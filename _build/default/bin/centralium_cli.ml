@@ -1,0 +1,281 @@
+(* The centralium command-line tool: inspect topologies, print generated
+   RPAs, and run the paper's scenario simulations from the shell.
+
+   dune exec bin/centralium_cli.exe -- <command> ... *)
+
+open Cmdliner
+
+let pf = Printf.printf
+
+(* ---------------- topology ---------------- *)
+
+let topology_cmd =
+  let run name pods rsws =
+    (match name with
+     | "fabric" ->
+       let f = Topology.Clos.fabric ~pods ~rsws_per_pod:rsws () in
+       pf "fabric: %s\n"
+         (Format.asprintf "%a" Topology.Graph.pp_stats f.Topology.Clos.graph);
+       List.iter
+         (fun layer ->
+           pf "  %-5s %d switches\n"
+             (Topology.Node.layer_to_string layer)
+             (List.length (Topology.Graph.by_layer f.Topology.Clos.graph layer)))
+         (Topology.Graph.layers f.Topology.Clos.graph)
+     | "expansion" ->
+       let x = Topology.Clos.expansion () in
+       pf "expansion: %s\n"
+         (Format.asprintf "%a" Topology.Graph.pp_stats x.Topology.Clos.xgraph)
+     | "decommission" ->
+       let d = Topology.Clos.decommission () in
+       pf "decommission: %s\n"
+         (Format.asprintf "%a" Topology.Graph.pp_stats d.Topology.Clos.dgraph)
+     | "wcmp" ->
+       let w = Topology.Clos.wcmp_convergence () in
+       pf "wcmp-convergence: %s\n"
+         (Format.asprintf "%a" Topology.Graph.pp_stats w.Topology.Clos.wgraph)
+     | "rollout" ->
+       let r = Topology.Clos.rollout () in
+       pf "rollout: %s\n"
+         (Format.asprintf "%a" Topology.Graph.pp_stats r.Topology.Clos.rgraph)
+     | "sev" ->
+       let s = Topology.Clos.sev () in
+       pf "sev: %s\n"
+         (Format.asprintf "%a" Topology.Graph.pp_stats s.Topology.Clos.sgraph)
+     | other -> pf "unknown topology %S\n" other);
+    0
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "fabric"
+      & info [] ~docv:"NAME"
+          ~doc:"fabric | expansion | decommission | wcmp | rollout | sev")
+  in
+  let pods = Arg.(value & opt int 4 & info [ "pods" ] ~doc:"pods (fabric)") in
+  let rsws =
+    Arg.(value & opt int 4 & info [ "rsws" ] ~doc:"RSWs per pod (fabric)")
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Build and describe one of the paper's topologies")
+    Term.(const run $ name_arg $ pods $ rsws)
+
+(* ---------------- rpa ---------------- *)
+
+let rpa_cmd =
+  let run kind =
+    let destination = Centralium.Destination.backbone_default in
+    let asn = Net.Asn.of_int 65000 in
+    let rpa =
+      match kind with
+      | "equalize" ->
+        Some
+          (Centralium.Apps.Path_equalize.rpa ~destination ~origin_asn:asn
+             ~via:[ Net.Asn.of_int 64513; Net.Asn.of_int 64514 ])
+      | "guard" ->
+        Some
+          (Centralium.Apps.Min_next_hop_guard.rpa ~destination
+             ~threshold:(Centralium.Path_selection.Fraction 0.75)
+             ~keep_fib_warm:true)
+      | "backup" ->
+        Some
+          (Centralium.Apps.Backup_preference.rpa ~destination
+             ~primary:(Centralium.Signature.make ~neighbor_asn:(Net.Asn.of_int 64513) ())
+             ~primary_min_next_hop:(Centralium.Path_selection.Count 2)
+             ~backup:(Centralium.Signature.make ~neighbor_asn:(Net.Asn.of_int 64514) ())
+             ())
+      | "filter" ->
+        Some
+          (Centralium.Apps.Boundary_filter.rpa ~peer_layers:[ Topology.Node.Eb ]
+             ~allowed:
+               [
+                 Centralium.Route_filter.prefix_rule ~max_mask_length:16
+                   (Net.Prefix.of_string_exn "10.0.0.0/8");
+               ])
+      | "freeze" ->
+        Some
+          (Centralium.Apps.Wcmp_freeze.rpa ~destination ~live_weight:8
+             ~drained_signature:
+               (Centralium.Signature.make
+                  ~communities:[ Net.Community.Well_known.drained ]
+                  ())
+             ())
+      | _ -> None
+    in
+    match rpa with
+    | Some rpa ->
+      List.iter print_endline (Centralium.Rpa.config_lines rpa);
+      pf "-- %d lines, %d statement(s)\n" (Centralium.Rpa.loc rpa)
+        (Centralium.Rpa.statement_count rpa);
+      0
+    | None ->
+      pf "unknown RPA kind; use equalize | guard | backup | filter | freeze\n";
+      1
+  in
+  let kind =
+    Arg.(
+      value & pos 0 string "equalize"
+      & info [] ~docv:"KIND" ~doc:"equalize | guard | backup | filter | freeze")
+  in
+  Cmd.v
+    (Cmd.info "rpa" ~doc:"Print a generated RPA in the paper's Figure 7 syntax")
+    Term.(const run $ kind)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let run scenario seed =
+    (match scenario with
+     | "fig2" ->
+       let r = Experiments.Scenarios.Fig2.run ~seed () in
+       pf "native FAv2 share: %.0f%%; with RPA: %.0f%% (balanced %.0f%%)\n"
+         (100.0 *. r.Experiments.Scenarios.Fig2.native_fav2_share)
+         (100.0 *. r.rpa_fav2_share) (100.0 *. r.balanced_share)
+     | "fig4" ->
+       let r = Experiments.Scenarios.Fig4.run ~seed () in
+       pf "worst transient funnel: native %.1f%%, with guard %.1f%% (steady %.1f%%)\n"
+         (100.0 *. r.Experiments.Scenarios.Fig4.native_worst_funnel)
+         (100.0 *. r.rpa_worst_funnel) (100.0 *. r.steady_share)
+     | "fig5" ->
+       let r = Experiments.Scenarios.Fig5.run ~seed () in
+       pf "peak DU next-hop groups: native %d, with RPA %d (bound %d)\n"
+         r.Experiments.Scenarios.Fig5.du_nhg_native r.du_nhg_rpa
+         r.theoretical_bound
+     | "fig9" ->
+       let r = Experiments.Scenarios.Fig9.run ~seed () in
+       pf "loops: best-path %d, rule %d; circulating volume %.2f vs %.2f\n"
+         (List.length r.Experiments.Scenarios.Fig9.loops_with_best_advertised)
+         (List.length r.loops_with_rule)
+         r.circulating_bad r.circulating_good
+     | "fig10" ->
+       let r = Experiments.Scenarios.Fig10.run ~seed () in
+       pf "worst FA share: uncoordinated %.0f%%, safe order %.0f%%\n"
+         (100.0 *. r.Experiments.Scenarios.Fig10.funnel_top_down)
+         (100.0 *. r.funnel_bottom_up)
+     | "fig13" ->
+       let r = Experiments.Scenarios.Fig13.run ~seed () in
+       pf "capacity vs ideal: RPA-TE %.1f%%, ECMP %.1f%%; unblocked %.0f%%\n"
+         (100.0 *. r.Experiments.Scenarios.Fig13.mean_rpa_over_ideal)
+         (100.0 *. r.mean_ecmp_over_ideal)
+         (100.0 *. r.unblocked_fraction)
+     | "fig14" ->
+       let r = Experiments.Scenarios.Fig14.run ~seed () in
+       pf "black-holed: knob on %.0f%%, knob off %.0f%%\n"
+         (100.0 *. r.Experiments.Scenarios.Fig14.blackholed_with_knob)
+         (100.0 *. r.blackholed_without_knob)
+     | other -> pf "unknown scenario %S (fig2 fig4 fig5 fig9 fig10 fig13 fig14)\n" other);
+    0
+  in
+  let scenario =
+    Arg.(
+      value & pos 0 string "fig2"
+      & info [] ~docv:"SCENARIO" ~doc:"fig2 | fig4 | fig5 | fig9 | fig10 | fig13 | fig14")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one of the paper's scenario simulations")
+    Term.(const run $ scenario $ seed)
+
+(* ---------------- table3 ---------------- *)
+
+let table3_cmd =
+  let run () =
+    pf "%-4s %8s %7s %9s %8s %8s\n" "" "#Steps" "#Steps" "#Days" "#Days" "RPA";
+    pf "%-4s %8s %7s %9s %8s %8s\n" "" "w/o RPA" "w RPA" "w/o RPA" "w/ RPA" "LOC";
+    List.iter
+      (fun row ->
+        let days plan =
+          let d = Planner.duration_days plan in
+          if d < 1.0 then "<1" else Printf.sprintf "%.0f" d
+        in
+        pf "(%s) %8d %7d %9s %8s %8d\n"
+          (Topology.Migration.category_letter row.Planner.category)
+          (Planner.step_count row.Planner.without_rpa)
+          (Planner.step_count row.Planner.with_rpa)
+          (days row.Planner.without_rpa)
+          (days row.Planner.with_rpa)
+          row.Planner.rpa_loc)
+      (Planner.table3 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Print the operational-efficiency comparison (Table 3)")
+    Term.(const run $ const ())
+
+(* ---------------- parse ---------------- *)
+
+let parse_cmd =
+  let run file =
+    let source =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    match Centralium.Rpa_parser.parse source with
+    | Ok rpa ->
+      pf "parsed OK: %d statement(s), %d line(s) canonical form\n"
+        (Centralium.Rpa.statement_count rpa)
+        (Centralium.Rpa.loc rpa);
+      List.iter print_endline (Centralium.Rpa.config_lines rpa);
+      0
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      1
+  in
+  let file =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"FILE" ~doc:"RPA configuration file ('-' for stdin)")
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:"Parse and validate an RPA configuration file, printing its \
+             canonical form")
+    Term.(const run $ file)
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let run () =
+    let outcomes =
+      Centralium.Verification.qualify_all
+        (Centralium.Verification.standard_suite ())
+    in
+    List.iter
+      (fun o -> Format.printf "%a@." Centralium.Verification.pp_outcome o)
+      outcomes;
+    if List.for_all Centralium.Verification.passed outcomes then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the pre-deployment qualification suite (Section 7.1) on \
+             reduced-scale emulated networks")
+    Term.(const run $ const ())
+
+(* ---------------- apps ---------------- *)
+
+let apps_cmd =
+  let run () =
+    List.iter print_endline Centralium.Apps.all_app_names;
+    0
+  in
+  Cmd.v
+    (Cmd.info "apps" ~doc:"List the onboarded controller applications")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "centralium" ~version:"1.0.0"
+      ~doc:
+        "Hybrid route-planning for data center network migrations \
+         (SIGCOMM '25 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            topology_cmd; rpa_cmd; parse_cmd; simulate_cmd; table3_cmd;
+            verify_cmd; apps_cmd;
+          ]))

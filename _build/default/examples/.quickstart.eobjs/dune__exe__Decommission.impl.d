@@ -1,0 +1,1 @@
+examples/decommission.ml: Bgp Centralium Dataplane List Net Printf String Topology

@@ -1,0 +1,1 @@
+examples/fleet_consistency.ml: Bgp Centralium Format List Net Printf String Topology

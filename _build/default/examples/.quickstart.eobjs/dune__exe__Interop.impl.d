@@ -1,0 +1,1 @@
+examples/interop.ml: Array Bgp Centralium Dataplane Format List Net Printf String Topology

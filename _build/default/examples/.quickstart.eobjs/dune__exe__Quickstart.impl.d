@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgp Centralium Dsim Format List Net Printf String Topology

@@ -1,0 +1,1 @@
+examples/state_explosion.ml: Bgp Centralium Dataplane List Net Printf Topology

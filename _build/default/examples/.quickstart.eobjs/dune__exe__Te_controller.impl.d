@@ -1,0 +1,1 @@
+examples/te_controller.ml: Centralium Fun List Printf Te Topology

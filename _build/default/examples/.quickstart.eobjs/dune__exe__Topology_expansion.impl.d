@@ -1,0 +1,1 @@
+examples/topology_expansion.ml: Bgp Centralium Dataplane List Net Printf String Topology

@@ -1,0 +1,1 @@
+examples/topology_expansion.mli:

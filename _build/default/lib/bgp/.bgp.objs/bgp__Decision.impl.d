@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Int List Net Path

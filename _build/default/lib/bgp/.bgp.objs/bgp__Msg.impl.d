@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Format Net

@@ -1,0 +1,1 @@
+lib/bgp/network.ml: Dsim Float Hashtbl List Net Option Policy Printf Speaker Topology Trace

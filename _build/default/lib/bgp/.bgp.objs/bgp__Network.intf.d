@@ -1,0 +1,1 @@
+lib/bgp/network.mli: Dsim Net Policy Rib_policy Speaker Topology Trace

@@ -1,0 +1,1 @@
+lib/bgp/path.ml: Format Int Net

@@ -1,0 +1,1 @@
+lib/bgp/path.mli: Format Net

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Format List Net Option

@@ -1,0 +1,1 @@
+lib/bgp/rib_policy.ml: Net Path String Topology

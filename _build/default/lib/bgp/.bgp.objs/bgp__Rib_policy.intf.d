@@ -1,0 +1,1 @@
+lib/bgp/rib_policy.mli: Net Path Topology

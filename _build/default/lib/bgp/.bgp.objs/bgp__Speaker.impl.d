@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: Decision Fun Hashtbl List Msg Net Option Path Policy Rib_policy Topology

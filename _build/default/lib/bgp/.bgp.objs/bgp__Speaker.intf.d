@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Msg Net Path Policy Rib_policy Topology

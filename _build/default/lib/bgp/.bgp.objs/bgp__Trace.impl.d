@@ -1,0 +1,1 @@
+lib/bgp/trace.ml: Hashtbl List Msg Net Speaker

@@ -1,0 +1,1 @@
+lib/bgp/trace.mli: Hashtbl Msg Net Speaker

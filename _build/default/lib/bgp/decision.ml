@@ -1,0 +1,34 @@
+let attr_rank (p : Path.t) =
+  let a = p.attr in
+  (* Smaller tuple = more preferred. *)
+  ( -a.Net.Attr.local_pref,
+    Net.As_path.length a.Net.Attr.as_path,
+    Net.Attr.origin_rank a.Net.Attr.origin,
+    a.Net.Attr.med )
+
+let preference_compare a b =
+  let c = compare (attr_rank a) (attr_rank b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.Path.peer b.Path.peer in
+    if c <> 0 then c else Int.compare a.Path.session b.Path.session
+
+let equal_cost a b = attr_rank a = attr_rank b
+
+let select ~multipath candidates =
+  match List.sort preference_compare candidates with
+  | [] -> ([], None)
+  | best :: _ as sorted ->
+    let set =
+      if multipath then List.filter (equal_cost best) sorted else [ best ]
+    in
+    (set, Some best)
+
+let least_favorable = function
+  | [] -> None
+  | first :: rest ->
+    (* Maximal under the preference order = least favorable. *)
+    Some
+      (List.fold_left
+         (fun worst p -> if preference_compare p worst > 0 then p else worst)
+         first rest)

@@ -1,0 +1,10 @@
+type t =
+  | Update of { prefix : Net.Prefix.t; attr : Net.Attr.t }
+  | Withdraw of { prefix : Net.Prefix.t }
+
+let prefix = function Update { prefix; _ } | Withdraw { prefix } -> prefix
+
+let pp ppf = function
+  | Update { prefix; attr } ->
+    Format.fprintf ppf "UPDATE %a %a" Net.Prefix.pp prefix Net.Attr.pp attr
+  | Withdraw { prefix } -> Format.fprintf ppf "WITHDRAW %a" Net.Prefix.pp prefix

@@ -1,0 +1,8 @@
+(** BGP update messages exchanged between speakers. *)
+
+type t =
+  | Update of { prefix : Net.Prefix.t; attr : Net.Attr.t }
+  | Withdraw of { prefix : Net.Prefix.t }
+
+val prefix : t -> Net.Prefix.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+type latency_model = Dsim.Rng.t -> float
+
+let default_latency rng = 0.0001 +. Dsim.Rng.exponential rng ~mean:0.001
+
+type t = {
+  topo : Topology.Graph.t;
+  event_queue : Dsim.Event_queue.t;
+  rng : Dsim.Rng.t;
+  latency : latency_model;
+  speakers : (int, Speaker.t) Hashtbl.t;
+  (* (src, dst, session) -> last scheduled delivery time, for FIFO order *)
+  channels : (int * int * int, float ref) Hashtbl.t;
+  trace_log : Trace.t;
+}
+
+let graph t = t.topo
+let queue t = t.event_queue
+let trace t = t.trace_log
+let now t = Dsim.Event_queue.now t.event_queue
+
+let speaker t device =
+  match Hashtbl.find_opt t.speakers device with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Network.speaker: unknown device %d" device)
+
+let env t : Speaker.env =
+  {
+    Speaker.now = now t;
+    peer_layer =
+      (fun peer ->
+        Option.map
+          (fun n -> n.Topology.Node.layer)
+          (Topology.Graph.node_opt t.topo peer));
+  }
+
+let create ?(seed = 42) ?(config = Speaker.default_config)
+    ?(latency = default_latency) topo =
+  let t =
+    {
+      topo;
+      event_queue = Dsim.Event_queue.create ();
+      rng = Dsim.Rng.create seed;
+      latency;
+      speakers = Hashtbl.create 64;
+      channels = Hashtbl.create 256;
+      trace_log = Trace.create ();
+    }
+  in
+  List.iter
+    (fun node ->
+      Hashtbl.replace t.speakers node.Topology.Node.id
+        (Speaker.create ~config node))
+    (Topology.Graph.nodes topo);
+  List.iter
+    (fun (link : Topology.Graph.link) ->
+      let sa = speaker t link.a and sb = speaker t link.b in
+      Speaker.add_peer sa ~peer:link.b ~sessions:link.sessions;
+      Speaker.add_peer sb ~peer:link.a ~sessions:link.sessions)
+    (Topology.Graph.links topo);
+  t
+
+(* ---------------- FIB tracking ---------------- *)
+
+let fib_assoc speaker = Speaker.fib speaker
+
+let record_fib_diff t device before after =
+  let time = now t in
+  let find prefix l =
+    Option.map snd (List.find_opt (fun (p, _) -> Net.Prefix.equal p prefix) l)
+  in
+  (* Removed or changed entries. *)
+  List.iter
+    (fun (prefix, state_before) ->
+      match find prefix after with
+      | None ->
+        Trace.record t.trace_log
+          (Trace.Fib_change { time; device; prefix; state = None })
+      | Some state_after ->
+        if state_after <> state_before then
+          Trace.record t.trace_log
+            (Trace.Fib_change { time; device; prefix; state = Some state_after }))
+    before;
+  (* New entries. *)
+  List.iter
+    (fun (prefix, state_after) ->
+      if find prefix before = None then
+        Trace.record t.trace_log
+          (Trace.Fib_change { time; device; prefix; state = Some state_after }))
+    after
+
+(* ---------------- Message dispatch ---------------- *)
+
+let channel t key =
+  match Hashtbl.find_opt t.channels key with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.replace t.channels key r;
+    r
+
+let session_alive t src dst =
+  match Topology.Graph.find_link t.topo src dst with
+  | Some link -> link.Topology.Graph.up
+  | None -> false
+
+let rec dispatch t src (outbox : Speaker.outbox) =
+  List.iter
+    (fun (dst, session, msg) ->
+      Trace.record t.trace_log
+        (Trace.Message_sent { time = now t; src; dst; session; msg });
+      let delay = t.latency t.rng in
+      let chan = channel t (src, dst, session) in
+      let delivery =
+        Float.max (now t +. delay) (!chan +. 1e-9) (* FIFO within a session *)
+      in
+      chan := delivery;
+      Dsim.Event_queue.schedule_at t.event_queue ~time:delivery (fun () ->
+          deliver t ~src ~dst ~session msg))
+    outbox
+
+and deliver t ~src ~dst ~session msg =
+  (* A message in flight when the session goes down is lost. *)
+  if session_alive t src dst then begin
+    let sp = speaker t dst in
+    if Speaker.session_up sp ~peer:src ~session then begin
+      let before = fib_assoc sp in
+      let outbox = Speaker.receive sp (env t) ~peer:src ~session msg in
+      record_fib_diff t dst before (fib_assoc sp);
+      dispatch t dst outbox
+    end
+  end
+
+(* Runs [f] on the speaker, records FIB changes, dispatches messages. *)
+let transition t device f =
+  let sp = speaker t device in
+  let before = fib_assoc sp in
+  let outbox = f sp (env t) in
+  record_fib_diff t device before (fib_assoc sp);
+  dispatch t device outbox
+
+let schedule ?(delay = 0.0) t f =
+  Dsim.Event_queue.schedule t.event_queue ~delay f
+
+(* ---------------- Scheduled operations ---------------- *)
+
+let originate ?delay t device prefix attr =
+  schedule ?delay t (fun () ->
+      transition t device (fun sp env -> Speaker.originate sp env prefix attr))
+
+let withdraw_origin ?delay t device prefix =
+  schedule ?delay t (fun () ->
+      transition t device (fun sp env -> Speaker.withdraw_origin sp env prefix))
+
+let set_link ?delay t a b ~up =
+  schedule ?delay t (fun () ->
+      match Topology.Graph.find_link t.topo a b with
+      | None -> invalid_arg (Printf.sprintf "Network.set_link: no link %d-%d" a b)
+      | Some link ->
+        if link.Topology.Graph.up <> up then begin
+          Topology.Graph.set_link_up t.topo a b up;
+          for session = 0 to link.Topology.Graph.sessions - 1 do
+            transition t a (fun sp env ->
+                Speaker.set_session sp env ~peer:b ~session ~up);
+            transition t b (fun sp env ->
+                Speaker.set_session sp env ~peer:a ~session ~up)
+          done
+        end)
+
+let set_hooks ?delay t device hooks =
+  schedule ?delay t (fun () ->
+      transition t device (fun sp env -> Speaker.set_hooks sp env hooks))
+
+let set_egress_policy_all ?delay t device policy =
+  schedule ?delay t (fun () ->
+      transition t device (fun sp env ->
+          Speaker.set_egress_policy_all sp env policy))
+
+let set_ingress_policy ?delay t ~node ~peer policy =
+  schedule ?delay t (fun () ->
+      transition t node (fun sp env ->
+          Speaker.set_ingress_policy sp env ~peer policy))
+
+let drain_device ?delay t device = set_egress_policy_all ?delay t device Policy.drain
+
+let undrain_device ?delay t device =
+  set_egress_policy_all ?delay t device Policy.empty
+
+(* ---------------- Running ---------------- *)
+
+let converge ?(max_events = 2_000_000) t =
+  let executed = Dsim.Event_queue.run ~max_events t.event_queue in
+  if not (Dsim.Event_queue.is_empty t.event_queue) then
+    failwith
+      (Printf.sprintf
+         "Network.converge: %d events executed without quiescence (persistent \
+          oscillation?)"
+         executed);
+  executed
+
+let run_until t ~time = Dsim.Event_queue.run_until t.event_queue ~time
+
+(* ---------------- Inspection ---------------- *)
+
+let fib t device prefix = Speaker.fib_lookup (speaker t device) prefix
+
+let fib_snapshot t prefix =
+  Hashtbl.fold
+    (fun device sp acc ->
+      match Speaker.fib_lookup sp prefix with
+      | Some state -> (device, state) :: acc
+      | None -> acc)
+    t.speakers []
+  |> List.sort compare

@@ -1,0 +1,74 @@
+(** An event-driven network of BGP speakers over a topology.
+
+    Every device of the graph gets a speaker; every graph link becomes one
+    or more eBGP sessions. Messages are delivered through the discrete-event
+    queue with randomized per-message latency but FIFO order within a
+    session (BGP runs over TCP), which is exactly the asynchrony that
+    produces the paper's transient states. All operations below merely
+    {e schedule} work; call {!converge} (or {!run_until}) to let the
+    network react. *)
+
+type latency_model = Dsim.Rng.t -> float
+(** Samples a one-way message latency in seconds. *)
+
+val default_latency : latency_model
+(** 100 µs base + exponential with 1 ms mean. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Speaker.config ->
+  ?latency:latency_model ->
+  Topology.Graph.t ->
+  t
+(** Builds a speaker per node and sessions per link (respecting the link's
+    [sessions] count). [config] applies to every speaker. *)
+
+val graph : t -> Topology.Graph.t
+val queue : t -> Dsim.Event_queue.t
+val trace : t -> Trace.t
+val now : t -> float
+val speaker : t -> int -> Speaker.t
+
+(** {1 Scheduled operations} *)
+
+val originate : ?delay:float -> t -> int -> Net.Prefix.t -> Net.Attr.t -> unit
+val withdraw_origin : ?delay:float -> t -> int -> Net.Prefix.t -> unit
+
+val set_link : ?delay:float -> t -> int -> int -> up:bool -> unit
+(** Brings all sessions of the link up or down (and updates the graph). *)
+
+val set_hooks : ?delay:float -> t -> int -> Rib_policy.hooks -> unit
+(** Deploys an RPA (or restores native behaviour) on one device. *)
+
+val set_egress_policy_all : ?delay:float -> t -> int -> Policy.t -> unit
+(** E.g. applies a maintenance drain export policy on a device. *)
+
+val set_ingress_policy : ?delay:float -> t -> node:int -> peer:int -> Policy.t -> unit
+
+val drain_device : ?delay:float -> t -> int -> unit
+(** Shorthand: applies {!Policy.drain} as the device's global export
+    policy. *)
+
+val undrain_device : ?delay:float -> t -> int -> unit
+
+(** {1 Running} *)
+
+val converge : ?max_events:int -> t -> int
+(** Runs the event queue to quiescence; returns the number of events
+    executed. Raises [Failure] if [max_events] (default 2_000_000) is
+    reached, which indicates a persistent control-plane oscillation. *)
+
+val run_until : t -> time:float -> int
+
+(** {1 Inspection} *)
+
+val fib : t -> int -> Net.Prefix.t -> Speaker.fib_state option
+val fib_snapshot : t -> Net.Prefix.t -> (int * Speaker.fib_state) list
+(** FIB state of every device for the prefix (devices without a route are
+    omitted). *)
+
+val env : t -> Speaker.env
+(** The environment handed to speakers (for direct speaker manipulation in
+    tests). *)

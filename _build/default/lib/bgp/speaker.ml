@@ -1,0 +1,382 @@
+type config = {
+  multipath : bool;
+  wcmp : bool;
+  default_local_pref : int;
+}
+
+let default_config = { multipath = true; wcmp = false; default_local_pref = 100 }
+
+type fib_state =
+  | Local
+  | Entries of entry list
+
+and entry = { next_hop : int; session : int; weight : int }
+
+type env = { now : float; peer_layer : int -> Topology.Node.layer option }
+
+type t = {
+  node : Topology.Node.t;
+  config : config;
+  mutable hooks : Rib_policy.hooks;
+  (* prefix -> (peer, session) -> raw received attributes *)
+  rib_in : (Net.Prefix.t, (int * int, Net.Attr.t) Hashtbl.t) Hashtbl.t;
+  origin_table : (Net.Prefix.t, Net.Attr.t) Hashtbl.t;
+  ingress : (int, Policy.t) Hashtbl.t;
+  egress : (int, Policy.t) Hashtbl.t;
+  mutable egress_all : Policy.t;
+  fib_table : (Net.Prefix.t, fib_state) Hashtbl.t;
+  (* peer -> prefix -> last advertised attributes *)
+  rib_out : (int, (Net.Prefix.t, Net.Attr.t) Hashtbl.t) Hashtbl.t;
+  session_count : (int, int) Hashtbl.t;
+  session_state : (int * int, bool) Hashtbl.t;
+}
+
+type outbox = (int * int * Msg.t) list
+
+let create ?(config = default_config) ?(hooks = Rib_policy.native) node =
+  {
+    node;
+    config;
+    hooks;
+    rib_in = Hashtbl.create 64;
+    origin_table = Hashtbl.create 8;
+    ingress = Hashtbl.create 8;
+    egress = Hashtbl.create 8;
+    egress_all = Policy.empty;
+    fib_table = Hashtbl.create 64;
+    rib_out = Hashtbl.create 8;
+    session_count = Hashtbl.create 8;
+    session_state = Hashtbl.create 16;
+  }
+
+let node t = t.node
+let id t = t.node.Topology.Node.id
+let asn t = t.node.Topology.Node.asn
+let hooks t = t.hooks
+
+(* ---------------- Peering ---------------- *)
+
+let add_peer t ~peer ~sessions =
+  Hashtbl.replace t.session_count peer sessions;
+  for s = 0 to sessions - 1 do
+    Hashtbl.replace t.session_state (peer, s) true
+  done
+
+let session_up t ~peer ~session =
+  match Hashtbl.find_opt t.session_state (peer, session) with
+  | Some up -> up
+  | None -> false
+
+let up_sessions t peer =
+  match Hashtbl.find_opt t.session_count peer with
+  | None -> []
+  | Some n ->
+    List.filter (fun s -> session_up t ~peer ~session:s) (List.init n Fun.id)
+
+let peers t =
+  Hashtbl.fold
+    (fun peer _count acc ->
+      match up_sessions t peer with
+      | [] -> acc
+      | up -> (peer, List.length up) :: acc)
+    t.session_count []
+  |> List.sort compare
+
+(* ---------------- Context ---------------- *)
+
+let make_ctx t env prefix : Rib_policy.ctx =
+  {
+    Rib_policy.device = id t;
+    prefix;
+    now = env.now;
+    peer_layer = env.peer_layer;
+    live_peers_in_layer =
+      (fun layer ->
+        List.length
+          (List.filter
+             (fun (peer, _) ->
+               match env.peer_layer peer with
+               | Some l -> Topology.Node.layer_equal l layer
+               | None -> false)
+             (peers t)));
+  }
+
+(* ---------------- Candidate gathering ---------------- *)
+
+let raw_routes t prefix =
+  match Hashtbl.find_opt t.rib_in prefix with
+  | None -> []
+  | Some table ->
+    Hashtbl.fold (fun (peer, session) attr acc -> (peer, session, attr) :: acc)
+      table []
+    |> List.sort compare
+
+let post_policy_candidates t env prefix ~use_hooks =
+  let ctx = make_ctx t env prefix in
+  let own_asn = asn t in
+  List.filter_map
+    (fun (peer, session, raw_attr) ->
+      if not (session_up t ~peer ~session) then None
+      else if Net.As_path.mem own_asn raw_attr.Net.Attr.as_path then
+        None (* standard AS-path loop prevention *)
+      else
+        let policy =
+          Option.value (Hashtbl.find_opt t.ingress peer) ~default:Policy.empty
+        in
+        match Policy.apply policy ~self:own_asn prefix raw_attr with
+        | None -> None
+        | Some attr ->
+          if use_hooks && not (t.hooks.Rib_policy.ingress_accept ctx ~peer attr)
+          then None
+          else Some (Path.make ~peer ~session ~attr))
+    (raw_routes t prefix)
+
+let candidates t prefix =
+  let env = { now = 0.0; peer_layer = (fun _ -> None) } in
+  post_policy_candidates t env prefix ~use_hooks:false
+
+(* ---------------- Weights ---------------- *)
+
+let native_weight t (path : Path.t) =
+  if t.config.wcmp then
+    max 1 (Option.value path.attr.Net.Attr.link_bandwidth ~default:1)
+  else 1
+
+let weighted_entries t ctx selected =
+  let weighted =
+    match t.hooks.Rib_policy.weights ctx ~selected with
+    | Some pairs -> pairs
+    | None -> List.map (fun p -> (p, native_weight t p)) selected
+  in
+  List.map
+    (fun ((p : Path.t), w) ->
+      { next_hop = p.peer; session = p.session; weight = max 1 w })
+    weighted
+
+(* ---------------- Advertisement ---------------- *)
+
+let prepare_advert t attr ~total_weight =
+  let attr = Net.Attr.with_prepended (asn t) attr in
+  let attr = Net.Attr.set_local_pref t.config.default_local_pref attr in
+  if t.config.wcmp then Net.Attr.set_link_bandwidth (Some total_weight) attr
+  else Net.Attr.set_link_bandwidth None attr
+
+let rib_out_for t peer =
+  match Hashtbl.find_opt t.rib_out peer with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 16 in
+    Hashtbl.replace t.rib_out peer table;
+    table
+
+(* Computes the desired advertisement toward [peer] and emits messages if it
+   differs from what was last sent. *)
+let advertise_to t prefix ~peer ~desired : outbox =
+  let table = rib_out_for t peer in
+  let previous = Hashtbl.find_opt table prefix in
+  let changed =
+    match (previous, desired) with
+    | None, None -> false
+    | Some a, Some b -> not (Net.Attr.equal a b)
+    | None, Some _ | Some _, None -> true
+  in
+  if not changed then []
+  else begin
+    (match desired with
+     | Some attr -> Hashtbl.replace table prefix attr
+     | None -> Hashtbl.remove table prefix);
+    let msg =
+      match desired with
+      | Some attr -> Msg.Update { prefix; attr }
+      | None -> Msg.Withdraw { prefix }
+    in
+    List.map (fun session -> (peer, session, msg)) (up_sessions t peer)
+  end
+
+let all_peer_ids t =
+  Hashtbl.fold (fun peer _ acc -> peer :: acc) t.session_count []
+  |> List.sort compare
+
+let desired_advert t ctx prefix ~peer ~(adv : Path.t option) ~total_weight =
+  match adv with
+  | None -> None
+  | Some path ->
+    if path.Path.peer = peer then None (* split horizon *)
+    else begin
+      let own_asn = asn t in
+      let peer_policy =
+        Option.value (Hashtbl.find_opt t.egress peer) ~default:Policy.empty
+      in
+      match Policy.apply peer_policy ~self:own_asn prefix path.Path.attr with
+      | None -> None
+      | Some attr ->
+        (match Policy.apply t.egress_all ~self:own_asn prefix attr with
+         | None -> None
+         | Some attr ->
+           if not (t.hooks.Rib_policy.egress_accept ctx ~peer attr) then None
+           else Some (prepare_advert t attr ~total_weight))
+    end
+
+(* ---------------- Evaluation ---------------- *)
+
+let total_weight_of_fib = function
+  | Some (Entries entries) ->
+    List.fold_left (fun acc e -> acc + e.weight) 0 entries
+  | Some Local | None -> 1
+
+let evaluate t env prefix : outbox =
+  let ctx = make_ctx t env prefix in
+  match Hashtbl.find_opt t.origin_table prefix with
+  | Some origin_attr ->
+    (* Locally originated: FIB is Local; advertise to every peer. *)
+    Hashtbl.replace t.fib_table prefix Local;
+    let self_path = Path.make ~peer:(id t) ~session:(-1) ~attr:origin_attr in
+    List.concat_map
+      (fun peer ->
+        let desired =
+          desired_advert t ctx prefix ~peer ~adv:(Some self_path) ~total_weight:1
+        in
+        advertise_to t prefix ~peer ~desired)
+      (all_peer_ids t)
+  | None ->
+    let cands = post_policy_candidates t env prefix ~use_hooks:true in
+    let native = Decision.select ~multipath:t.config.multipath cands in
+    let sel = t.hooks.Rib_policy.select ctx ~candidates:cands ~native in
+    (match sel.Rib_policy.selected with
+     | [] -> Hashtbl.remove t.fib_table prefix
+     | selected ->
+       Hashtbl.replace t.fib_table prefix
+         (Entries (weighted_entries t ctx selected)));
+    let total_weight = total_weight_of_fib (Hashtbl.find_opt t.fib_table prefix) in
+    List.concat_map
+      (fun peer ->
+        let desired =
+          desired_advert t ctx prefix ~peer ~adv:sel.Rib_policy.advertise
+            ~total_weight
+        in
+        advertise_to t prefix ~peer ~desired)
+      (all_peer_ids t)
+
+let known_prefixes t =
+  let set = Hashtbl.create 64 in
+  Hashtbl.iter (fun p _ -> Hashtbl.replace set p ()) t.rib_in;
+  Hashtbl.iter (fun p _ -> Hashtbl.replace set p ()) t.origin_table;
+  Hashtbl.iter (fun p _ -> Hashtbl.replace set p ()) t.fib_table;
+  Hashtbl.iter
+    (fun _ table -> Hashtbl.iter (fun p _ -> Hashtbl.replace set p ()) table)
+    t.rib_out;
+  Hashtbl.fold (fun p () acc -> p :: acc) set []
+  |> List.sort Net.Prefix.compare
+
+let evaluate_all t env : outbox =
+  List.concat_map (evaluate t env) (known_prefixes t)
+
+(* ---------------- Transitions ---------------- *)
+
+let originate t env prefix attr =
+  Hashtbl.replace t.origin_table prefix attr;
+  evaluate t env prefix
+
+let withdraw_origin t env prefix =
+  Hashtbl.remove t.origin_table prefix;
+  Hashtbl.remove t.fib_table prefix;
+  evaluate t env prefix
+
+let receive t env ~peer ~session msg =
+  let prefix = Msg.prefix msg in
+  let table =
+    match Hashtbl.find_opt t.rib_in prefix with
+    | Some table -> table
+    | None ->
+      let table = Hashtbl.create 8 in
+      Hashtbl.replace t.rib_in prefix table;
+      table
+  in
+  (match msg with
+   | Msg.Update { attr; _ } -> Hashtbl.replace table (peer, session) attr
+   | Msg.Withdraw _ -> Hashtbl.remove table (peer, session));
+  evaluate t env prefix
+
+let set_session t env ~peer ~session ~up =
+  if not (Hashtbl.mem t.session_count peer) then add_peer t ~peer ~sessions:0;
+  let count = Hashtbl.find t.session_count peer in
+  if session >= count then Hashtbl.replace t.session_count peer (session + 1);
+  let was = session_up t ~peer ~session in
+  Hashtbl.replace t.session_state (peer, session) up;
+  if up = was then []
+  else begin
+    if not up then begin
+      (* Session reset flushes routes learned over it. *)
+      Hashtbl.iter (fun _ table -> Hashtbl.remove table (peer, session)) t.rib_in;
+      (* If the peer has no remaining sessions, forget advertised state so a
+         later re-establishment resends the table. *)
+      if up_sessions t peer = [] then Hashtbl.remove t.rib_out peer
+    end;
+    let outbox = evaluate_all t env in
+    if up then begin
+      (* Refresh: resend the current table over the new session. *)
+      let resend =
+        match Hashtbl.find_opt t.rib_out peer with
+        | None -> []
+        | Some table ->
+          Hashtbl.fold
+            (fun prefix attr acc ->
+              (peer, session, Msg.Update { prefix; attr }) :: acc)
+            table []
+      in
+      (* Duplicates with messages already in [outbox] are harmless: updates
+         are idempotent on the receiver. *)
+      outbox @ resend
+    end
+    else outbox
+  end
+
+let set_ingress_policy t env ~peer policy =
+  Hashtbl.replace t.ingress peer policy;
+  evaluate_all t env
+
+let set_egress_policy t env ~peer policy =
+  Hashtbl.replace t.egress peer policy;
+  evaluate_all t env
+
+let set_egress_policy_all t env policy =
+  t.egress_all <- policy;
+  evaluate_all t env
+
+let set_hooks t env hooks =
+  t.hooks <- hooks;
+  evaluate_all t env
+
+(* ---------------- Inspection ---------------- *)
+
+let fib t =
+  Hashtbl.fold (fun prefix state acc -> (prefix, state) :: acc) t.fib_table []
+  |> List.sort (fun (a, _) (b, _) -> Net.Prefix.compare a b)
+
+let fib_lookup t prefix = Hashtbl.find_opt t.fib_table prefix
+
+let fib_longest_match t destination =
+  Hashtbl.fold
+    (fun prefix state best ->
+      if Net.Prefix.contains prefix destination then
+        match best with
+        | Some (bp, _) when Net.Prefix.mask_length bp >= Net.Prefix.mask_length prefix
+          ->
+          best
+        | Some _ | None -> Some (prefix, state)
+      else best)
+    t.fib_table None
+
+let rib_in_size t =
+  Hashtbl.fold (fun _ table acc -> acc + Hashtbl.length table) t.rib_in 0
+
+let advertised_to t ~peer =
+  match Hashtbl.find_opt t.rib_out peer with
+  | None -> []
+  | Some table ->
+    Hashtbl.fold (fun prefix attr acc -> (prefix, attr) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> Net.Prefix.compare a b)
+
+let originated t =
+  Hashtbl.fold (fun prefix attr acc -> (prefix, attr) :: acc) t.origin_table []
+  |> List.sort (fun (a, _) (b, _) -> Net.Prefix.compare a b)

@@ -1,0 +1,89 @@
+(** A single BGP speaker: RIBs, decision process, FIB, advertisement.
+
+    The speaker is a deterministic state machine: feeding it a message (or a
+    local event such as an origination, a session flap, a policy or RPA
+    change) returns the set of messages it wants to send. Scheduling and
+    delivery of those messages is the job of {!Network}; keeping transport
+    out of the speaker makes unit testing the protocol logic trivial. *)
+
+type config = {
+  multipath : bool;  (** ECMP across equal-cost paths (default true) *)
+  wcmp : bool;
+      (** derive weights from the link-bandwidth community and re-advertise
+          aggregate capacity downstream (default false) *)
+  default_local_pref : int;
+}
+
+val default_config : config
+
+(** What the FIB holds for a prefix. *)
+type fib_state =
+  | Local  (** the prefix is originated here *)
+  | Entries of entry list
+      (** weighted next hops; an empty list never appears — a prefix with no
+          entries is simply absent from the FIB *)
+
+and entry = { next_hop : int; session : int; weight : int }
+
+type t
+
+val create : ?config:config -> ?hooks:Rib_policy.hooks -> Topology.Node.t -> t
+
+val node : t -> Topology.Node.t
+val id : t -> int
+val asn : t -> Net.Asn.t
+val hooks : t -> Rib_policy.hooks
+
+(** {1 Peering} *)
+
+val add_peer : t -> peer:int -> sessions:int -> unit
+val peers : t -> (int * int) list
+(** (peer id, session count) for peers with at least one open session. *)
+
+val session_up : t -> peer:int -> session:int -> bool
+(** Is this session established? *)
+
+(** A batch of messages to transmit, produced by every state transition. *)
+type outbox = (int * int * Msg.t) list
+(** (peer, session, message) *)
+
+(** {1 State transitions}
+
+    Each returns the messages to send. [ctx_of] is supplied by the network
+    layer (it knows topology and virtual time). *)
+
+type env = { now : float; peer_layer : int -> Topology.Node.layer option }
+
+val originate : t -> env -> Net.Prefix.t -> Net.Attr.t -> outbox
+val withdraw_origin : t -> env -> Net.Prefix.t -> outbox
+
+val receive : t -> env -> peer:int -> session:int -> Msg.t -> outbox
+
+val set_session : t -> env -> peer:int -> session:int -> up:bool -> outbox
+(** Session reset: on down, routes learned over the session are flushed; on
+    up, the speaker re-advertises its full table over the session. *)
+
+val set_ingress_policy : t -> env -> peer:int -> Policy.t -> outbox
+val set_egress_policy : t -> env -> peer:int -> Policy.t -> outbox
+val set_egress_policy_all : t -> env -> Policy.t -> outbox
+(** Applies to all current and future peers (used for drains). *)
+
+val set_hooks : t -> env -> Rib_policy.hooks -> outbox
+(** Deploying or removing an RPA re-evaluates every prefix. *)
+
+(** {1 Inspection} *)
+
+val fib : t -> (Net.Prefix.t * fib_state) list
+val fib_lookup : t -> Net.Prefix.t -> fib_state option
+(** Exact-match lookup. *)
+
+val fib_longest_match : t -> Net.Prefix.t -> (Net.Prefix.t * fib_state) option
+(** Longest-prefix match for a destination (given as a host prefix). *)
+
+val rib_in_size : t -> int
+val advertised_to : t -> peer:int -> (Net.Prefix.t * Net.Attr.t) list
+val candidates : t -> Net.Prefix.t -> Path.t list
+(** Post-policy paths currently admitted for the prefix (before selection),
+    as used by the decision process. *)
+
+val originated : t -> (Net.Prefix.t * Net.Attr.t) list

@@ -1,0 +1,72 @@
+type event =
+  | Fib_change of {
+      time : float;
+      device : int;
+      prefix : Net.Prefix.t;
+      state : Speaker.fib_state option;
+    }
+  | Message_sent of {
+      time : float;
+      src : int;
+      dst : int;
+      session : int;
+      msg : Msg.t;
+    }
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t event =
+  t.rev_events <- event :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+
+let fib_changes t =
+  List.filter_map
+    (function
+      | Fib_change { time; device; prefix; state } ->
+        Some (time, device, prefix, state)
+      | Message_sent _ -> None)
+    (events t)
+
+let messages_sent t =
+  List.length
+    (List.filter (function Message_sent _ -> true | Fib_change _ -> false)
+       t.rev_events)
+
+let fib_change_count t =
+  List.length
+    (List.filter (function Fib_change _ -> true | Message_sent _ -> false)
+       t.rev_events)
+
+let clear t =
+  t.rev_events <- [];
+  t.count <- 0
+
+let fib_timeline t ~prefix ~initial =
+  let current = Hashtbl.create 16 in
+  List.iter (fun (device, state) -> Hashtbl.replace current device state) initial;
+  let snapshot () = Hashtbl.copy current in
+  let relevant =
+    List.filter_map
+      (function
+        | Fib_change { time; device; prefix = p; state }
+          when Net.Prefix.equal p prefix ->
+          Some (time, device, state)
+        | Fib_change _ | Message_sent _ -> None)
+      (events t)
+  in
+  (* Group consecutive changes at the same instant into one snapshot. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (time, device, state) :: rest ->
+      (match state with
+       | Some s -> Hashtbl.replace current device s
+       | None -> Hashtbl.remove current device);
+      (match rest with
+       | (t2, _, _) :: _ when t2 = time -> go acc rest
+       | _ :: _ | [] -> go ((time, snapshot ()) :: acc) rest)
+  in
+  go [] relevant

@@ -1,0 +1,47 @@
+(** Recording of control-plane and forwarding-state history.
+
+    Transient phenomena — first/last-router funneling, next-hop-group
+    explosion, momentary loops and black-holes — only exist {e during}
+    convergence, so experiments need the full time series of FIB states, not
+    just the converged snapshot. The network layer appends an event here on
+    every FIB change and message transmission. *)
+
+type event =
+  | Fib_change of {
+      time : float;
+      device : int;
+      prefix : Net.Prefix.t;
+      state : Speaker.fib_state option;  (** [None] = route removed *)
+    }
+  | Message_sent of {
+      time : float;
+      src : int;
+      dst : int;
+      session : int;
+      msg : Msg.t;
+    }
+
+type t
+
+val create : unit -> t
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** In recording order. *)
+
+val fib_changes : t -> (float * int * Net.Prefix.t * Speaker.fib_state option) list
+
+val messages_sent : t -> int
+
+val fib_change_count : t -> int
+
+val clear : t -> unit
+
+(** Replays the FIB time series for one prefix: for each instant at which
+    any device's FIB changed, the map of device -> entries. Used by the
+    data plane to evaluate transient forwarding. *)
+val fib_timeline :
+  t -> prefix:Net.Prefix.t ->
+  initial:(int * Speaker.fib_state) list ->
+  (float * (int, Speaker.fib_state) Hashtbl.t) list

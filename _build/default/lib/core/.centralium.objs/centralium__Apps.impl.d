@@ -1,0 +1,1 @@
+lib/core/apps.ml: Bgp Controller Deployment Destination List Net Path_selection Printf Route_attribute Route_filter Rpa Signature Switch_agent Topology

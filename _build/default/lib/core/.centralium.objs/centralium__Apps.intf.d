@@ -1,0 +1,1 @@
+lib/core/apps.mli: Bgp Controller Destination Net Path_selection Route_filter Rpa Signature Topology

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Bgp Deployment Health Int List Nsdb Printf Rpa Service Switch_agent Topology

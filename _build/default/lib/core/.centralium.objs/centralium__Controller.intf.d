@@ -1,0 +1,1 @@
+lib/core/controller.mli: Bgp Health Nsdb Rpa Service Switch_agent

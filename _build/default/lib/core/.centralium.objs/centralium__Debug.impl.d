@@ -1,0 +1,1 @@
+lib/core/debug.ml: Bgp Destination Engine Format List Net Option Path_selection Rpa Signature Switch_agent Topology

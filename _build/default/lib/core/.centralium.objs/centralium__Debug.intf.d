@@ -1,0 +1,1 @@
+lib/core/debug.mli: Bgp Engine Format Net Switch_agent

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Hashtbl Int List Topology

@@ -1,0 +1,1 @@
+lib/core/destination.ml: Format List Net Printf String

@@ -1,0 +1,1 @@
+lib/core/destination.mli: Format Net

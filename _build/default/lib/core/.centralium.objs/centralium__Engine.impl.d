@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bgp Destination Hashtbl List Net Path_selection Route_attribute Route_filter Rpa Signature

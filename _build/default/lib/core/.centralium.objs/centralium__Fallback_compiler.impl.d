@@ -1,0 +1,1 @@
+lib/core/fallback_compiler.ml: Bgp Destination Hashtbl List Option Path_selection Printf Queue Route_attribute Route_filter Rpa Topology

@@ -1,0 +1,1 @@
+lib/core/fallback_compiler.mli: Bgp Rpa Topology

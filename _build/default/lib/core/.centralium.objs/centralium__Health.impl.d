@@ -1,0 +1,1 @@
+lib/core/health.ml: Bgp Dataplane List Net Printf String

@@ -1,0 +1,1 @@
+lib/core/health.mli: Bgp Net

@@ -1,0 +1,1 @@
+lib/core/nsdb.ml: Array Bool Float Format Fun Hashtbl Int List Printf Rpa String

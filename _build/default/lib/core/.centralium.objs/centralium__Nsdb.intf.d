@@ -1,0 +1,1 @@
+lib/core/nsdb.mli: Format Rpa

@@ -1,0 +1,1 @@
+lib/core/path_selection.ml: Destination Float Format List Printf Signature

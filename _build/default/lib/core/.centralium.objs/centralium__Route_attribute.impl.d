@@ -1,0 +1,1 @@
+lib/core/route_attribute.ml: Destination Format List Printf Signature

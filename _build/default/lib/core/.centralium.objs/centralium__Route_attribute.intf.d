@@ -1,0 +1,1 @@
+lib/core/route_attribute.mli: Destination Format Net Signature

@@ -1,0 +1,1 @@
+lib/core/route_filter.ml: Format List Net Printf String Topology

@@ -1,0 +1,1 @@
+lib/core/route_filter.mli: Format Net Topology

@@ -1,0 +1,1 @@
+lib/core/rpa.ml: Format List Path_selection Route_attribute Route_filter

@@ -1,0 +1,1 @@
+lib/core/rpa.mli: Format Path_selection Route_attribute Route_filter

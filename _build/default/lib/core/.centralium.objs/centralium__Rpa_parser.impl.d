@@ -1,0 +1,1 @@
+lib/core/rpa_parser.ml: Destination List Net Path_selection Printf Result Route_attribute Route_filter Rpa Signature String Topology

@@ -1,0 +1,1 @@
+lib/core/rpa_parser.mli: Rpa

@@ -1,0 +1,1 @@
+lib/core/service.ml: Format Fun List Nsdb Sys

@@ -1,0 +1,1 @@
+lib/core/switch_agent.ml: Bgp Dsim Engine Hashtbl Int List Nsdb Openr Option Printf Rpa Service Sys Topology

@@ -1,0 +1,1 @@
+lib/core/switch_agent.mli: Bgp Openr Rpa Service

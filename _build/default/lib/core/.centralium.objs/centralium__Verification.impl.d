@@ -1,0 +1,1 @@
+lib/core/verification.ml: Apps Bgp Controller Destination Format Health List Net Path_selection Printexc Topology

@@ -1,0 +1,1 @@
+lib/core/verification.mli: Bgp Controller Format Health

@@ -1,0 +1,399 @@
+let all_app_names =
+  [
+    "path-equalize";
+    "min-next-hop-guard";
+    "anycast-stability";
+    "backup-preference";
+    "te-weights";
+    "wcmp-freeze";
+    "boundary-filter";
+    "prefix-limit-guard";
+    "expansion-equalizer";
+    "decommission-guard";
+    "maintenance-drain";
+    "policy-rollout";
+    "slow-roll";
+    "job-placement";
+  ]
+
+let upstream_asns graph ~origination_layer device =
+  let own_rank =
+    Topology.Node.layer_rank (Topology.Graph.node graph device).Topology.Node.layer
+  in
+  let origin_rank = Topology.Node.layer_rank origination_layer in
+  let toward_origin neighbor_rank =
+    if origin_rank >= own_rank then neighbor_rank > own_rank
+    else neighbor_rank < own_rank
+  in
+  (* Physical neighbors, not just live ones: the controller compiles intent
+     from its topology view, which includes devices that are cabled but not
+     yet activated (exactly the expansion case of Figure 2). *)
+  Topology.Graph.all_neighbors graph device
+  |> List.filter_map (fun ((n : Topology.Node.t), _link) ->
+         if toward_origin (Topology.Node.layer_rank n.Topology.Node.layer) then
+           Some n.Topology.Node.asn
+         else None)
+
+let make_plan ?(pre_checks = []) ?(post_checks = []) graph ~name ~targets
+    ~origination_layer rpa_of =
+  {
+    Controller.plan_name = name;
+    rpas = List.map (fun device -> (device, rpa_of device)) targets;
+    phases = Deployment.phases graph ~targets ~origination_layer Deployment.Install;
+    pre_checks;
+    post_checks;
+  }
+
+module Path_equalize = struct
+  let rpa ~destination ~origin_asn ~via =
+    (* Drained routes are excluded: the path set deliberately ignores
+       AS-path length, so without the negative match, maintenance drains
+       (which pad the path) would stop steering traffic away. *)
+    let signature =
+      Signature.make ~origin_asn ~neighbor_asns:via
+        ~none_of:[ Net.Community.Well_known.drained ]
+        ()
+    in
+    Rpa.make
+      ~path_selection:
+        [
+          Path_selection.make ~name:"path-equalize"
+            [
+              Path_selection.statement ~name:"equalize"
+                ~path_sets:
+                  [ Path_selection.path_set ~name:"same-origin" signature ]
+                destination;
+            ];
+        ]
+      ()
+
+  let plan graph ~destination ~origin_asn ~targets ~origination_layer =
+    make_plan graph ~name:"path-equalize" ~targets ~origination_layer
+      (fun device ->
+        rpa ~destination ~origin_asn
+          ~via:(upstream_asns graph ~origination_layer device))
+end
+
+module Min_next_hop_guard = struct
+  let rpa ~destination ~threshold ~keep_fib_warm =
+    Rpa.make
+      ~path_selection:
+        [
+          Path_selection.make ~name:"min-next-hop-guard"
+            [
+              Path_selection.statement ~name:"guard" ~path_sets:[]
+                ~bgp_native_min_next_hop:threshold
+                ~keep_fib_warm_if_mnh_violated:keep_fib_warm destination;
+            ];
+        ]
+      ()
+
+  let plan graph ~destination ~threshold ~keep_fib_warm ~targets
+      ~origination_layer =
+    let rpa = rpa ~destination ~threshold ~keep_fib_warm in
+    make_plan graph ~name:"min-next-hop-guard" ~targets ~origination_layer
+      (fun _ -> rpa)
+end
+
+module Anycast_stability = struct
+  let rpa ~origin_asn ~via =
+    let destination =
+      Destination.Tagged Net.Community.Well_known.anycast_load_bearing
+    in
+    (* Anycast prefixes stick to any upstream path from their anycast
+       origin, regardless of length changes caused by maintenance
+       asymmetry. *)
+    let signature = Signature.make ~origin_asn ~neighbor_asns:via () in
+    Rpa.make
+      ~path_selection:
+        [
+          Path_selection.make ~name:"anycast-stability"
+            [
+              Path_selection.statement ~name:"pin-anycast"
+                ~path_sets:[ Path_selection.path_set ~name:"anycast" signature ]
+                destination;
+            ];
+        ]
+      ()
+
+  let plan graph ~origin_asn ~targets ~origination_layer =
+    make_plan graph ~name:"anycast-stability" ~targets ~origination_layer
+      (fun device ->
+        rpa ~origin_asn ~via:(upstream_asns graph ~origination_layer device))
+end
+
+module Backup_preference = struct
+  let rpa ~destination ~primary ?primary_min_next_hop ~backup () =
+    Rpa.make
+      ~path_selection:
+        [
+          Path_selection.make ~name:"backup-preference"
+            [
+              Path_selection.statement ~name:"primary-else-backup"
+                ~path_sets:
+                  [
+                    Path_selection.path_set ~name:"primary"
+                      ?min_next_hop:primary_min_next_hop primary;
+                    Path_selection.path_set ~name:"backup" backup;
+                  ]
+                destination;
+            ];
+        ]
+      ()
+
+  let plan graph ~destination ~primary ?primary_min_next_hop ~backup ~targets
+      ~origination_layer () =
+    let rpa = rpa ~destination ~primary ?primary_min_next_hop ~backup () in
+    make_plan graph ~name:"backup-preference" ~targets ~origination_layer
+      (fun _ -> rpa)
+end
+
+module Te_weights = struct
+  let rpa_for_device graph ~destination ~device ~weights ?expires_at () =
+    ignore device;
+    let entries =
+      List.map
+        (fun (next_hop, weight) ->
+          let neighbor = Topology.Graph.node graph next_hop in
+          Route_attribute.next_hop_weight
+            ~name:(Printf.sprintf "via-%s" neighbor.Topology.Node.name)
+            (Signature.make ~neighbor_asn:neighbor.Topology.Node.asn ())
+            ~weight)
+        weights
+    in
+    Rpa.make
+      ~route_attribute:
+        [
+          Route_attribute.make ~name:"te-weights"
+            [ Route_attribute.statement ~name:"te" ?expires_at destination entries ];
+        ]
+      ()
+
+  let plan graph ~destination ~weights ~origination_layer ?expires_at () =
+    {
+      Controller.plan_name = "te-weights";
+      rpas =
+        List.map
+          (fun (device, device_weights) ->
+            ( device,
+              rpa_for_device graph ~destination ~device ~weights:device_weights
+                ?expires_at () ))
+          weights;
+      phases =
+        Deployment.phases graph ~targets:(List.map fst weights)
+          ~origination_layer Deployment.Install;
+      pre_checks = [];
+      post_checks = [];
+    }
+end
+
+module Wcmp_freeze = struct
+  let rpa ~destination ~live_weight ~drained_signature ?expires_at () =
+    Rpa.make
+      ~route_attribute:
+        [
+          Route_attribute.make ~name:"wcmp-freeze"
+            [
+              Route_attribute.statement ~name:"freeze" ?expires_at
+                ~default_weight:live_weight destination
+                [
+                  Route_attribute.next_hop_weight ~name:"drained"
+                    drained_signature ~weight:1;
+                ];
+            ];
+        ]
+      ()
+
+  let plan graph ~destination ~live_weight ~drained_signature ~targets
+      ~origination_layer ?expires_at () =
+    let rpa = rpa ~destination ~live_weight ~drained_signature ?expires_at () in
+    make_plan graph ~name:"wcmp-freeze" ~targets ~origination_layer (fun _ -> rpa)
+end
+
+module Boundary_filter = struct
+  let rpa ~peer_layers ~allowed =
+    Rpa.make
+      ~route_filter:
+        [
+          Route_filter.make ~name:"boundary-filter"
+            [
+              Route_filter.statement ~name:"boundary"
+                ~ingress:(Route_filter.Allow_list allowed)
+                ~egress:(Route_filter.Allow_list allowed)
+                { Route_filter.peer_layers; peer_devices = [] };
+            ];
+        ]
+      ()
+
+  let plan graph ~peer_layers ~allowed ~targets ~origination_layer =
+    let rpa = rpa ~peer_layers ~allowed in
+    make_plan graph ~name:"boundary-filter" ~targets ~origination_layer
+      (fun _ -> rpa)
+end
+
+module Prefix_limit_guard = struct
+  let rpa ~covering ~max_mask_length =
+    Rpa.make
+      ~route_filter:
+        [
+          Route_filter.make ~name:"prefix-limit"
+            [
+              Route_filter.statement ~name:"limit"
+                ~ingress:
+                  (Route_filter.Allow_list
+                     [ Route_filter.prefix_rule ~max_mask_length covering ])
+                Route_filter.any_peer;
+            ];
+        ]
+      ()
+
+  let plan graph ~covering ~max_mask_length ~targets ~origination_layer =
+    let rpa = rpa ~covering ~max_mask_length in
+    make_plan graph ~name:"prefix-limit-guard" ~targets ~origination_layer
+      (fun _ -> rpa)
+end
+
+module Expansion_equalizer = struct
+  let plan (x : Topology.Clos.expansion) =
+    let backbone_node = Topology.Graph.node x.Topology.Clos.xgraph x.backbone in
+    Path_equalize.plan x.xgraph ~destination:Destination.backbone_default
+      ~origin_asn:backbone_node.Topology.Node.asn
+      ~targets:(x.xfsws @ x.xssws)
+      ~origination_layer:Topology.Node.Eb
+end
+
+module Decommission_guard = struct
+  let plan graph ~destination ~threshold ~decommissioned ~origination_layer =
+    Min_next_hop_guard.plan graph ~destination ~threshold ~keep_fib_warm:true
+      ~targets:decommissioned ~origination_layer
+end
+
+module Maintenance_drain = struct
+  let execute controller ~devices ?guard () =
+    let deploy_guard =
+      match guard with
+      | None -> Ok ()
+      | Some plan ->
+        (match Controller.deploy controller plan with
+         | Ok _ -> Ok ()
+         | Error es -> Error es)
+    in
+    match deploy_guard with
+    | Error es -> Error es
+    | Ok () ->
+      let net = Controller.network controller in
+      List.iter
+        (fun device ->
+          Switch_agent.set_maintenance (Controller.agent controller) ~device true;
+          Bgp.Network.drain_device net device)
+        devices;
+      ignore (Bgp.Network.converge net);
+      Ok ()
+
+  let undo controller ~devices ?guard () =
+    let net = Controller.network controller in
+    List.iter
+      (fun device ->
+        Switch_agent.set_maintenance (Controller.agent controller) ~device false;
+        Bgp.Network.undrain_device net device)
+      devices;
+    ignore (Bgp.Network.converge net);
+    match guard with
+    | None -> Ok ()
+    | Some plan ->
+      (match Controller.remove controller plan with
+       | Ok _ -> Ok ()
+       | Error es -> Error es)
+end
+
+module Job_placement = struct
+  let rpa ~job_tag ~preferred_plane ?plane_min_next_hop () =
+    Rpa.make
+      ~path_selection:
+        [
+          Path_selection.make ~name:"job-placement"
+            [
+              Path_selection.statement ~name:"pin-to-plane"
+                ~path_sets:
+                  [
+                    Path_selection.path_set ~name:"preferred-plane"
+                      ?min_next_hop:plane_min_next_hop
+                      (Signature.make ~neighbor_asns:preferred_plane ());
+                    Path_selection.path_set ~name:"any-plane" Signature.any;
+                  ]
+                (Destination.Tagged job_tag);
+            ];
+        ]
+      ()
+
+  let plan graph ~job_tag ~preferred_plane ?plane_min_next_hop ~targets
+      ~origination_layer () =
+    let plane_asns =
+      List.map
+        (fun device -> (Topology.Graph.node graph device).Topology.Node.asn)
+        preferred_plane
+    in
+    make_plan graph ~name:"job-placement" ~targets ~origination_layer
+      (fun _ -> rpa ~job_tag ~preferred_plane:plane_asns ?plane_min_next_hop ())
+end
+
+module Slow_roll = struct
+  type progress = {
+    applied : int;
+    halted : bool;
+    out_of_sync : int list;
+  }
+
+  let chunks n list =
+    let rec go acc current count = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | x :: rest ->
+        if count = n then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (count + 1) rest
+    in
+    go [] [] 0 list
+
+  let execute controller ~plan ~chunk ~max_out_of_sync =
+    let agent = Controller.agent controller in
+    let net = Controller.network controller in
+    let applied = ref 0 in
+    let halted = ref false in
+    List.iter
+      (fun phase ->
+        List.iter
+          (fun devices ->
+            if not !halted then begin
+              List.iter
+                (fun device ->
+                  match List.assoc_opt device plan.Controller.rpas with
+                  | Some rpa ->
+                    Switch_agent.set_intended agent ~device rpa;
+                    (match Switch_agent.reconcile_device agent device with
+                     | `Applied -> incr applied
+                     | `In_sync | `Unreachable -> ())
+                  | None -> ())
+                devices;
+              ignore (Bgp.Network.converge net);
+              if List.length (Switch_agent.stragglers agent) > max_out_of_sync
+              then halted := true
+            end)
+          (chunks (max 1 chunk) phase))
+      plan.Controller.phases;
+    {
+      applied = !applied;
+      halted = !halted;
+      out_of_sync = Switch_agent.stragglers agent;
+    }
+end
+
+module Policy_rollout = struct
+  let execute controller ~base_policies ~rpa_plan =
+    let net = Controller.network controller in
+    List.iter
+      (fun (device, policy) -> Bgp.Network.set_egress_policy_all net device policy)
+      base_policies;
+    ignore (Bgp.Network.converge net);
+    match Controller.deploy controller rpa_plan with
+    | Ok _ -> Ok ()
+    | Error es -> Error es
+end

@@ -1,0 +1,291 @@
+(** Application-layer use cases (Section 5.1: "We have onboarded 10+ use
+    cases, including Path Selection, Traffic Engineering, and Route
+    Filtering").
+
+    Each application compiles a high-level operator intent into a
+    {!Controller.plan}: per-switch RPAs plus a safe deployment order. The
+    controller does the rest (checks, phased rollout, consistency). *)
+
+val all_app_names : string list
+
+val upstream_asns :
+  Topology.Graph.t -> origination_layer:Topology.Node.layer -> int ->
+  Net.Asn.t list
+(** ASNs of the device's live neighbors that sit {e toward} the origination
+    layer. Per-switch RPA generation scopes path-set signatures to these,
+    so a path re-learned sideways from a downstream peer can never match
+    the set (which would otherwise destabilize selection). *)
+
+(** {1 Path-selection applications} *)
+
+(** Equalize paths of varying AS-path lengths toward a destination group
+    (Section 4.4.1) — the fix for the first-router problem of topology
+    expansions (Figure 2) and the rollout example of Figure 10. *)
+module Path_equalize : sig
+  val rpa :
+    destination:Destination.t ->
+    origin_asn:Net.Asn.t ->
+    via:Net.Asn.t list ->
+    Rpa.t
+  (** One statement: a single path set matching every path originated by
+      [origin_asn] and learned from a neighbor in [via], making AS-path
+      length irrelevant among them. *)
+
+  val plan :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    origin_asn:Net.Asn.t ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    Controller.plan
+  (** Generates one RPA {e per switch} (controller function 2 of
+      Section 5): each target's path set is scoped to its own upstream
+      neighbors. *)
+end
+
+(** Localized capacity-collapse prevention (Section 4.4.2) — the fix for
+    the last-router problem of decommissions (Figure 4). *)
+module Min_next_hop_guard : sig
+  val rpa :
+    destination:Destination.t ->
+    threshold:Path_selection.min_next_hop ->
+    keep_fib_warm:bool ->
+    Rpa.t
+
+  val plan :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    threshold:Path_selection.min_next_hop ->
+    keep_fib_warm:bool ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    Controller.plan
+end
+
+(** Differential traffic distribution (Section 3.1c): pin anycast
+    load-bearing prefixes to the paths of a stable signature so maintenance
+    that breaks symmetry does not move them. *)
+module Anycast_stability : sig
+  val rpa : origin_asn:Net.Asn.t -> via:Net.Asn.t list -> Rpa.t
+
+  val plan :
+    Topology.Graph.t ->
+    origin_asn:Net.Asn.t ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    Controller.plan
+end
+
+(** Conditional primary/backup forwarding (Section 3.1d, routing policy
+    transitions): the path-set priority list prefers the primary signature
+    and falls back to the backup only when the primary has too few active
+    routes. *)
+module Backup_preference : sig
+  val rpa :
+    destination:Destination.t ->
+    primary:Signature.t ->
+    ?primary_min_next_hop:Path_selection.min_next_hop ->
+    backup:Signature.t ->
+    unit ->
+    Rpa.t
+
+  val plan :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    primary:Signature.t ->
+    ?primary_min_next_hop:Path_selection.min_next_hop ->
+    backup:Signature.t ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    unit ->
+    Controller.plan
+end
+
+(** {1 Traffic-engineering applications} *)
+
+(** Centralized TE between DCN and backbone (Section 6.4 / Figure 13):
+    prescribes per-device WCMP weights computed by the {!Te} solver as
+    Route Attribute RPAs. Next hops are identified by their neighbor ASN
+    signature. *)
+module Te_weights : sig
+  val rpa_for_device :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    device:int ->
+    weights:(int * int) list ->
+    ?expires_at:float ->
+    unit ->
+    Rpa.t
+  (** [weights] maps next-hop device ids to integer weights. *)
+
+  val plan :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    weights:(int * (int * int) list) list ->
+    origination_layer:Topology.Node.layer ->
+    ?expires_at:float ->
+    unit ->
+    Controller.plan
+end
+
+(** Pre-maintenance WCMP freeze (the Section 3.4 / Figure 5 fix):
+    prescribe the post-maintenance weights a priori so convergence never
+    explores combinatorial next-hop-group combinations. *)
+module Wcmp_freeze : sig
+  val rpa :
+    destination:Destination.t ->
+    live_weight:int ->
+    drained_signature:Signature.t ->
+    ?expires_at:float ->
+    unit ->
+    Rpa.t
+  (** Paths matching [drained_signature] get weight dropped to 1 while all
+      others carry [live_weight]; prescribed before the drain happens. *)
+
+  val plan :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    live_weight:int ->
+    drained_signature:Signature.t ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    ?expires_at:float ->
+    unit ->
+    Controller.plan
+end
+
+(** {1 Route-filtering applications} *)
+
+(** Boundary prefix filtering between network domains (data center and
+    backbone). *)
+module Boundary_filter : sig
+  val rpa :
+    peer_layers:Topology.Node.layer list ->
+    allowed:Route_filter.prefix_rule list ->
+    Rpa.t
+
+  val plan :
+    Topology.Graph.t ->
+    peer_layers:Topology.Node.layer list ->
+    allowed:Route_filter.prefix_rule list ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    Controller.plan
+end
+
+(** Guard against more-specific prefix leaks overloading forwarding
+    resources (the "prefix attribute" of Section 4.3). *)
+module Prefix_limit_guard : sig
+  val rpa : covering:Net.Prefix.t -> max_mask_length:int -> Rpa.t
+
+  val plan :
+    Topology.Graph.t ->
+    covering:Net.Prefix.t ->
+    max_mask_length:int ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    Controller.plan
+end
+
+(** {1 Migration orchestrators} *)
+
+(** Scenario 1 (Section 3.2): topology expansion with first-router
+    protection — Path_equalize over the layers below the expansion. *)
+module Expansion_equalizer : sig
+  val plan : Topology.Clos.expansion -> Controller.plan
+  (** Equalizes backbone paths on the FSW and SSW layers of the Figure 2
+      expansion topology. *)
+end
+
+(** Scenario 2 (Section 3.3): decommission with last-router protection —
+    Min_next_hop_guard injected only into the switches being
+    decommissioned. *)
+module Decommission_guard : sig
+  val plan :
+    Topology.Graph.t ->
+    destination:Destination.t ->
+    threshold:Path_selection.min_next_hop ->
+    decommissioned:int list ->
+    origination_layer:Topology.Node.layer ->
+    Controller.plan
+end
+
+(** Maintenance traffic drain (Table 1e): applies drain export policies to
+    the devices under maintenance, optionally after protecting their
+    neighbors with a minimum-next-hop guard. *)
+module Maintenance_drain : sig
+  val execute :
+    Controller.t ->
+    devices:int list ->
+    ?guard:Controller.plan ->
+    unit ->
+    (unit, string list) result
+  (** Deploys the guard (if any), marks the devices as in maintenance,
+      applies drain policies, and converges. *)
+
+  val undo : Controller.t -> devices:int list -> ?guard:Controller.plan ->
+    unit -> (unit, string list) result
+end
+
+(** Training-job placement routing (Section 7.4, "AI backend networks"):
+    pins a job's tagged prefixes onto the spine plane its collective
+    traffic was placed on, falling back to any plane if the preferred one
+    thins out. Built from the same path-set priority-list primitive as
+    {!Backup_preference} — evidence for the paper's claim that RPA extends
+    to the AI-backend use case without new mechanism. *)
+module Job_placement : sig
+  val rpa :
+    job_tag:Net.Community.t ->
+    preferred_plane:Net.Asn.t list ->
+    ?plane_min_next_hop:Path_selection.min_next_hop ->
+    unit ->
+    Rpa.t
+  (** [preferred_plane] is the ASNs of the plane's switches as seen from
+      the target devices. *)
+
+  val plan :
+    Topology.Graph.t ->
+    job_tag:Net.Community.t ->
+    preferred_plane:int list ->
+    ?plane_min_next_hop:Path_selection.min_next_hop ->
+    targets:int list ->
+    origination_layer:Topology.Node.layer ->
+    unit ->
+    Controller.plan
+end
+
+(** Gated slow roll (Section 5.1): the contrasting intended/current views
+    make it trivial to pace a rollout by the fraction of managed devices
+    that are out-of-sync — the roll halts when stragglers accumulate. *)
+module Slow_roll : sig
+  type progress = {
+    applied : int;
+    halted : bool;
+        (** the straggler gate tripped before the plan completed *)
+    out_of_sync : int list;  (** devices still diverging when it stopped *)
+  }
+
+  val execute :
+    Controller.t ->
+    plan:Controller.plan ->
+    chunk:int ->
+    max_out_of_sync:int ->
+    progress
+  (** Rolls the plan out [chunk] devices at a time within the safe phase
+      order, letting BGP converge between chunks; halts (without touching
+      the remaining devices) as soon as more than [max_out_of_sync]
+      managed devices are out-of-sync. *)
+end
+
+(** Unified routing-change orchestration (Section 7.1): deploys base BGP
+    policy changes and an RPA plan as one coordinated operation, so their
+    interdependency cannot be violated by mismatched cadences. *)
+module Policy_rollout : sig
+  val execute :
+    Controller.t ->
+    base_policies:(int * Bgp.Policy.t) list ->
+    rpa_plan:Controller.plan ->
+    (unit, string list) result
+  (** Applies the base egress policies first, converges, then deploys the
+      RPA plan (which depends on the attributes those policies set). *)
+end

@@ -1,0 +1,155 @@
+type plan = {
+  plan_name : string;
+  rpas : (int * Rpa.t) list;
+  phases : int list list;
+  pre_checks : Health.check list;
+  post_checks : Health.check list;
+}
+
+let plan_loc plan =
+  plan.rpas
+  |> List.map (fun (_, rpa) -> Rpa.config_lines rpa)
+  |> List.sort_uniq compare
+  |> List.fold_left (fun acc lines -> acc + List.length lines) 0
+
+type report = {
+  applied : int;
+  skipped_in_sync : int;
+  unreachable : int list;
+  deploy_seconds : float list;
+}
+
+type t = {
+  net : Bgp.Network.t;
+  switch_agent : Switch_agent.t;
+  state_db : Nsdb.Replicated.t;
+  nsdb_service : Service.t;
+}
+
+let create ?seed net =
+  {
+    net;
+    switch_agent = Switch_agent.create ?seed net;
+    state_db = Nsdb.Replicated.create ~replicas:2;
+    nsdb_service = Service.create ~name:"nsdb" ~role:Service.Storage;
+  }
+
+let network t = t.net
+let agent t = t.switch_agent
+let nsdb t = t.state_db
+
+let services t = [ t.nsdb_service; Switch_agent.service t.switch_agent ]
+
+let validate_plan t plan =
+  let plan_devices = List.sort Int.compare (List.map fst plan.rpas) in
+  let phase_devices =
+    List.sort Int.compare (Deployment.flatten plan.phases)
+  in
+  if plan_devices <> phase_devices then
+    Error
+      (Printf.sprintf "plan %s: phases do not cover exactly the plan devices"
+         plan.plan_name)
+  else
+    match
+      List.find_opt
+        (fun d -> Topology.Graph.node_opt (Bgp.Network.graph t.net) d = None)
+        plan_devices
+    with
+    | Some d -> Error (Printf.sprintf "plan %s: unknown device %d" plan.plan_name d)
+    | None ->
+      (match
+         List.find_opt
+           (fun d -> List.length (List.filter (Int.equal d) plan_devices) > 1)
+           plan_devices
+       with
+       | Some d ->
+         Error (Printf.sprintf "plan %s: device %d has multiple RPAs (merge them)"
+                  plan.plan_name d)
+       | None -> Ok ())
+
+let record_plan t plan =
+  (* The replicated NSDB keeps the fleet-wide intent for audit/consistency. *)
+  List.iter
+    (fun (device, rpa) ->
+      Service.with_work t.nsdb_service (fun () ->
+          Nsdb.Replicated.set t.state_db
+            ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
+            (Nsdb.Rpa rpa)))
+    plan.rpas
+
+let run_phases t ~phases ~intent_of =
+  let applied = ref 0 and in_sync = ref 0 in
+  let unreachable = ref [] in
+  List.iter
+    (fun phase ->
+      List.iter
+        (fun device ->
+          (match intent_of device with
+           | Some rpa -> Switch_agent.set_intended t.switch_agent ~device rpa
+           | None -> Switch_agent.clear_intended t.switch_agent ~device);
+          match Switch_agent.reconcile_device t.switch_agent device with
+          | `Applied -> incr applied
+          | `In_sync -> incr in_sync
+          | `Unreachable -> unreachable := device :: !unreachable)
+        phase;
+      (* Let BGP converge before the next phase picks up the RPA
+         (Section 5.3.2: every layer must receive the new RPA after all
+         their downstream peers have). *)
+      ignore (Bgp.Network.converge t.net))
+    phases;
+  (!applied, !in_sync, List.rev !unreachable)
+
+let deploy t plan =
+  match validate_plan t plan with
+  | Error e -> Error [ e ]
+  | Ok () ->
+    (match Health.failures plan.pre_checks with
+     | _ :: _ as failures ->
+       Error
+         (List.map (fun (name, e) -> Printf.sprintf "pre-check %s: %s" name e)
+            failures)
+     | [] ->
+       record_plan t plan;
+       Switch_agent.clear_deploy_times t.switch_agent;
+       let applied, skipped, unreachable =
+         run_phases t ~phases:plan.phases ~intent_of:(fun device ->
+             List.assoc_opt device plan.rpas)
+       in
+       let report =
+         {
+           applied;
+           skipped_in_sync = skipped;
+           unreachable;
+           deploy_seconds = Switch_agent.deploy_time_samples t.switch_agent;
+         }
+       in
+       (match Health.failures plan.post_checks with
+        | [] -> Ok report
+        | failures ->
+          Error
+            (List.map
+               (fun (name, e) -> Printf.sprintf "post-check %s: %s" name e)
+               failures)))
+
+let remove t plan =
+  match validate_plan t plan with
+  | Error e -> Error [ e ]
+  | Ok () ->
+    Switch_agent.clear_deploy_times t.switch_agent;
+    let applied, skipped, unreachable =
+      run_phases t ~phases:(List.rev plan.phases) ~intent_of:(fun _ -> None)
+    in
+    List.iter
+      (fun (device, _) ->
+        Service.with_work t.nsdb_service (fun () ->
+            Nsdb.Replicated.set t.state_db
+              ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
+              (Nsdb.Rpa Rpa.empty)))
+      plan.rpas;
+    Ok
+      {
+        applied;
+        skipped_in_sync = skipped;
+        unreachable;
+        deploy_seconds = Switch_agent.deploy_time_samples t.switch_agent;
+      }

@@ -1,0 +1,56 @@
+(** The Centralium controller: applications over NSDB over Switch Agent
+    (Figure 8), providing the five critical functions of Section 5:
+    pre-deployment health checks, per-switch RPA generation, coordinated
+    phased deployment, post-deployment checks, and fleet consistency.
+
+    Applications compile an operator intent into a {!plan}; {!deploy}
+    executes it safely: pre-checks, write intended state, reconcile phase
+    by phase with BGP convergence in between, post-checks. *)
+
+type plan = {
+  plan_name : string;
+  rpas : (int * Rpa.t) list;  (** per-device generated RPAs *)
+  phases : int list list;
+      (** deployment order, from {!Deployment.phases}; every device in
+          [rpas] must appear in exactly one phase *)
+  pre_checks : Health.check list;
+  post_checks : Health.check list;
+}
+
+val plan_loc : plan -> int
+(** Total rendered LOC of the distinct RPAs in the plan (Table 3's
+    "RPA LOC"). Identical per-device RPAs are counted once, matching how
+    operators author one RPA template per layer. *)
+
+type report = {
+  applied : int;
+  skipped_in_sync : int;
+  unreachable : int list;
+  deploy_seconds : float list;  (** per applied device (Figure 12 samples) *)
+}
+
+type t
+
+val create : ?seed:int -> Bgp.Network.t -> t
+
+val network : t -> Bgp.Network.t
+val agent : t -> Switch_agent.t
+val nsdb : t -> Nsdb.Replicated.t
+
+val services : t -> Service.t list
+(** All service tasks of this controller deployment (for Figure 11). *)
+
+val deploy : t -> plan -> (report, string list) result
+(** Runs pre-checks (failures abort with their messages), writes intended
+    state, reconciles phase by phase letting the network converge after
+    each phase, runs post-checks (failures are returned as [Error] but the
+    deployment is kept — mirroring production, where post-check failures
+    page operators rather than auto-revert). *)
+
+val remove : t -> plan -> (report, string list) result
+(** Removes the plan's RPAs in the {e reverse} phase order (the
+    Section 5.3.2 removal rule), restoring native BGP. *)
+
+val validate_plan : t -> plan -> (unit, string) result
+(** Structural validation: phases cover exactly the plan's devices, and
+    every device exists in the network. *)

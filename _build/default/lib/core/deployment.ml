@@ -1,0 +1,50 @@
+type direction = Install | Remove
+
+let distance_from_origination graph ~origination_layer device =
+  let node = Topology.Graph.node graph device in
+  abs
+    (Topology.Node.layer_rank node.Topology.Node.layer
+     - Topology.Node.layer_rank origination_layer)
+
+let phases graph ~targets ~origination_layer direction =
+  let annotated =
+    List.map
+      (fun device ->
+        (distance_from_origination graph ~origination_layer device, device))
+      targets
+  in
+  let distances =
+    List.sort_uniq Int.compare (List.map fst annotated)
+  in
+  let ordered_distances =
+    match direction with
+    | Install -> List.rev distances (* furthest first *)
+    | Remove -> distances (* closest first *)
+  in
+  List.map
+    (fun d ->
+      List.filter_map
+        (fun (d', device) -> if d = d' then Some device else None)
+        annotated)
+    ordered_distances
+
+let is_safe_order graph ~origination_layer direction phase_list =
+  let position = Hashtbl.create 16 in
+  List.iteri
+    (fun i phase -> List.iter (fun d -> Hashtbl.replace position d i) phase)
+    phase_list;
+  let devices = List.concat phase_list in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          let da = distance_from_origination graph ~origination_layer a in
+          let db = distance_from_origination graph ~origination_layer b in
+          let pa = Hashtbl.find position a and pb = Hashtbl.find position b in
+          match direction with
+          | Install -> (not (da > db)) || pa <= pb
+          | Remove -> (not (da < db)) || pa <= pb)
+        devices)
+    devices
+
+let flatten = List.concat

@@ -1,0 +1,27 @@
+type t =
+  | Prefixes of Net.Prefix.t list
+  | Tagged of Net.Community.t
+
+let backbone_default = Tagged Net.Community.Well_known.backbone_default_route
+
+let matches t prefix ~route_attrs =
+  match t with
+  | Prefixes covers ->
+    List.exists (fun p -> Net.Prefix.contains p prefix) covers
+  | Tagged community ->
+    List.exists (fun attr -> Net.Attr.has_community community attr) route_attrs
+
+let config_line = function
+  | Prefixes ps ->
+    Printf.sprintf "destination = [%s]"
+      (String.concat ", " (List.map Net.Prefix.to_string ps))
+  | Tagged c ->
+    Printf.sprintf "destination = tagged(%s)" (Net.Community.to_string c)
+
+let pp ppf t = Format.pp_print_string ppf (config_line t)
+
+let equal a b =
+  match (a, b) with
+  | Prefixes x, Prefixes y -> List.equal Net.Prefix.equal x y
+  | Tagged x, Tagged y -> Net.Community.equal x y
+  | Prefixes _, Tagged _ | Tagged _, Prefixes _ -> false

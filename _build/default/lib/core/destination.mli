@@ -1,0 +1,26 @@
+(** The destination selector of an RPA statement.
+
+    RPAs are "defined per group of destination prefixes that share the same
+    intent" (Section 4.3). In production the group is usually named by the
+    community attached at the point of origin — e.g. the snippet of
+    Section 4.4 writes [Destination: "BACKBONE_DEFAULT_ROUTE"]. We support
+    both that form ({!Tagged}) and explicit prefix lists. *)
+
+type t =
+  | Prefixes of Net.Prefix.t list
+      (** the statement applies to prefixes covered by any entry *)
+  | Tagged of Net.Community.t
+      (** the statement applies to prefixes whose routes carry the
+          origination community *)
+
+val backbone_default : t
+(** [Tagged Net.Community.Well_known.backbone_default_route]. *)
+
+val matches : t -> Net.Prefix.t -> route_attrs:Net.Attr.t list -> bool
+(** [route_attrs] are the attributes of the candidate routes currently known
+    for the prefix (a [Tagged] destination is recognized from them). A
+    [Tagged] destination with no candidate routes matches nothing. *)
+
+val pp : Format.formatter -> t -> unit
+val config_line : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,130 @@
+type compiled = {
+  ingress_policies : (int * int * Bgp.Policy.t) list;
+  warnings : string list;
+}
+
+(* Hop distance from [device] to the nearest node of [layer], over the
+   physical topology. *)
+let distance_to_layer graph ~layer device =
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (device, 0) queue;
+  Hashtbl.replace visited device ();
+  let rec go () =
+    if Queue.is_empty queue then None
+    else begin
+      let v, d = Queue.pop queue in
+      let node = Topology.Graph.node graph v in
+      if Topology.Node.layer_equal node.Topology.Node.layer layer then Some d
+      else begin
+        List.iter
+          (fun ((n : Topology.Node.t), _) ->
+            if not (Hashtbl.mem visited n.Topology.Node.id) then begin
+              Hashtbl.replace visited n.Topology.Node.id ();
+              Queue.add (n.Topology.Node.id, d + 1) queue
+            end)
+          (Topology.Graph.all_neighbors graph v);
+        go ()
+      end
+    end
+  in
+  go ()
+
+(* The destination restriction of a compiled padding rule. *)
+let match_of_destination destination =
+  match destination with
+  | Destination.Tagged community ->
+    (fun actions -> Bgp.Policy.rule ~communities:[ community ] actions)
+  | Destination.Prefixes prefixes ->
+    (fun actions -> Bgp.Policy.rule ~prefixes actions)
+
+let compile_equalize graph ~origination_layer ~targets st =
+  (* For each target, pad routes from nearer upstream neighbors so every
+     upstream session presents the same AS-path length. *)
+  let rule_for = match_of_destination st.Path_selection.destination in
+  List.concat_map
+    (fun device ->
+      let own_rank =
+        Topology.Node.layer_rank
+          (Topology.Graph.node graph device).Topology.Node.layer
+      in
+      let origin_rank = Topology.Node.layer_rank origination_layer in
+      let upstream =
+        Topology.Graph.all_neighbors graph device
+        |> List.filter (fun ((n : Topology.Node.t), _) ->
+               let r = Topology.Node.layer_rank n.Topology.Node.layer in
+               if origin_rank >= own_rank then r > own_rank else r < own_rank)
+        |> List.map (fun ((n : Topology.Node.t), _) -> n.Topology.Node.id)
+      in
+      let distances =
+        List.filter_map
+          (fun peer ->
+            Option.map
+              (fun d -> (peer, d))
+              (distance_to_layer graph ~layer:origination_layer peer))
+          upstream
+      in
+      match distances with
+      | [] -> []
+      | _ :: _ ->
+        let furthest = List.fold_left (fun acc (_, d) -> max acc d) 0 distances in
+        List.filter_map
+          (fun (peer, d) ->
+            let pad = furthest - d in
+            if pad <= 0 then None
+            else
+              Some (device, peer, [ rule_for [ Bgp.Policy.Prepend_self pad ] ]))
+          distances)
+    targets
+
+let compile graph ~origination_layer ~targets (rpa : Rpa.t) =
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let policies =
+    List.concat_map
+      (fun (ps : Path_selection.t) ->
+        List.concat_map
+          (fun (st : Path_selection.statement) ->
+            (match st.Path_selection.bgp_native_min_next_hop with
+             | Some _ ->
+               warn
+                 "statement %s: BgpNativeMinNextHop has no BGP-policy \
+                  equivalent (needs a vendor minimum-ECMP knob)"
+                 st.Path_selection.st_name
+             | None -> ());
+            match st.Path_selection.path_sets with
+            | [ _single ] ->
+              compile_equalize graph ~origination_layer ~targets st
+            | [] -> []
+            | _ :: _ :: _ ->
+              warn
+                "statement %s: priority lists of path sets are not \
+                 expressible as static policies"
+                st.Path_selection.st_name;
+              [])
+          ps.Path_selection.statements)
+      rpa.Rpa.path_selection
+  in
+  List.iter
+    (fun (ra : Route_attribute.t) ->
+      warn "RouteAttributeRpa %s: prescribed WCMP weights require daemon \
+            support" ra.Route_attribute.name)
+    rpa.Rpa.route_attribute;
+  List.iter
+    (fun (rf : Route_filter.t) ->
+      warn "RouteFilterRpa %s: mask-length-bounded allow lists are only \
+            approximable with prefix lists" rf.Route_filter.name)
+    rpa.Rpa.route_filter;
+  { ingress_policies = policies; warnings = List.rev !warnings }
+
+let apply net compiled =
+  List.iter
+    (fun (device, peer, policy) ->
+      Bgp.Network.set_ingress_policy net ~node:device ~peer policy)
+    compiled.ingress_policies
+
+let remove net compiled =
+  List.iter
+    (fun (device, peer, _) ->
+      Bgp.Network.set_ingress_policy net ~node:device ~peer Bgp.Policy.empty)
+    compiled.ingress_policies

@@ -1,0 +1,41 @@
+(** Indirect RPA realization through low-level BGP primitives
+    (Section 7.4, "Applying to Small/Medium Networks").
+
+    Centralium proper requires owning the BGP daemon. Networks that cannot
+    modify their daemon can still realize part of a route plan by compiling
+    it into conventional per-session policies — the "external compiler"
+    escape hatch the paper sketches, which is "more difficult to reason
+    about and can increase the risk of errors".
+
+    The compiler handles the equalize-style Path Selection intent (a single
+    path set over a destination group) by computing, per target device, the
+    AS-path padding each upstream session needs so that all upstream paths
+    tie — i.e. it automates the Section 3.2 "naive approach". Everything
+    else (minimum-next-hop guards, prescribed weights, mask-bounded
+    filters) is {e not} expressible with these primitives and is reported
+    as a warning instead of being silently dropped.
+
+    The compiled policies carry the paper's documented liabilities, which
+    the tests demonstrate: they are transitory configuration that must be
+    cleaned up, and redacting them re-creates the funneling risk. *)
+
+type compiled = {
+  ingress_policies : (int * int * Bgp.Policy.t) list;
+      (** (device, peer, policy): install as the device's ingress policy
+          for that peer *)
+  warnings : string list;
+      (** RPA constructs that have no low-level BGP equivalent *)
+}
+
+val compile :
+  Topology.Graph.t ->
+  origination_layer:Topology.Node.layer ->
+  targets:int list ->
+  Rpa.t ->
+  compiled
+
+val apply : Bgp.Network.t -> compiled -> unit
+(** Schedules the ingress policies onto the network (converge afterwards). *)
+
+val remove : Bgp.Network.t -> compiled -> unit
+(** Redacts the compiled policies — the risky cleanup step. *)

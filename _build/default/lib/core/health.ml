@@ -1,0 +1,84 @@
+type check = { check_name : string; run : unit -> (unit, string) result }
+
+let run_all checks = List.map (fun c -> (c.check_name, c.run ())) checks
+
+let failures checks =
+  List.filter_map
+    (fun (name, result) ->
+      match result with Ok () -> None | Error e -> Some (name, e))
+    (run_all checks)
+
+let all_pass checks = failures checks = []
+
+let route_present network ~device prefix =
+  {
+    check_name = Printf.sprintf "route-present(%d, %s)" device
+        (Net.Prefix.to_string prefix);
+    run =
+      (fun () ->
+        match Bgp.Network.fib network device prefix with
+        | Some _ -> Ok ()
+        | None -> Error "no route in FIB");
+  }
+
+let path_count_at_least network ~device prefix ~count =
+  {
+    check_name = Printf.sprintf "path-count(%d, %s) >= %d" device
+        (Net.Prefix.to_string prefix) count;
+    run =
+      (fun () ->
+        match Bgp.Network.fib network device prefix with
+        | Some Bgp.Speaker.Local -> Ok ()
+        | Some (Bgp.Speaker.Entries entries) ->
+          if List.length entries >= count then Ok ()
+          else
+            Error
+              (Printf.sprintf "only %d next hops" (List.length entries))
+        | None -> Error "no route in FIB");
+  }
+
+let no_loss network prefix ~demands =
+  {
+    check_name = Printf.sprintf "no-loss(%s)" (Net.Prefix.to_string prefix);
+    run =
+      (fun () ->
+        let result = Dataplane.Traffic.route_prefix network prefix ~demands in
+        let total = Dataplane.Traffic.total_demand demands in
+        let lost = Dataplane.Metrics.loss_fraction result ~total in
+        if lost <= 1e-9 then Ok ()
+        else Error (Printf.sprintf "%.1f%% of demand lost" (100.0 *. lost)));
+  }
+
+let congestion_free network prefix ~demands ~members ~max_share =
+  {
+    check_name =
+      Printf.sprintf "congestion-free(%s, share <= %.2f)"
+        (Net.Prefix.to_string prefix) max_share;
+    run =
+      (fun () ->
+        let result = Dataplane.Traffic.route_prefix network prefix ~demands in
+        let total = Dataplane.Traffic.total_demand demands in
+        let share = Dataplane.Metrics.funneling result ~members ~total in
+        if share <= max_share +. 1e-9 then Ok ()
+        else
+          Error
+            (Printf.sprintf "device carries %.0f%% of demand" (100.0 *. share)));
+  }
+
+let loop_free network prefix ~devices =
+  {
+    check_name = Printf.sprintf "loop-free(%s)" (Net.Prefix.to_string prefix);
+    run =
+      (fun () ->
+        let loops =
+          Dataplane.Metrics.find_forwarding_loops
+            ~lookup:(fun device -> Bgp.Network.fib network device prefix)
+            ~devices
+        in
+        match loops with
+        | [] -> Ok ()
+        | cycle :: _ ->
+          Error
+            (Printf.sprintf "forwarding loop through [%s]"
+               (String.concat "; " (List.map string_of_int cycle))));
+  }

@@ -1,0 +1,260 @@
+type value =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Rpa of Rpa.t
+
+let value_equal a b =
+  match (a, b) with
+  | String x, String y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Rpa x, Rpa y -> Rpa.config_lines x = Rpa.config_lines y
+  | (String _ | Int _ | Float _ | Bool _ | Rpa _), _ -> false
+
+let pp_value ppf = function
+  | String s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.pp_print_float ppf f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Rpa r -> Rpa.pp ppf r
+
+type node = {
+  mutable node_value : value option;
+  children : (string, node) Hashtbl.t;
+}
+
+let new_node () = { node_value = None; children = Hashtbl.create 4 }
+
+type subscription = { pattern : string list; callback : string -> value option -> unit }
+
+type t = {
+  root : node;
+  subscriptions : (int, subscription) Hashtbl.t;
+  mutable next_sub : int;
+}
+
+let create () =
+  { root = new_node (); subscriptions = Hashtbl.create 8; next_sub = 0 }
+
+let split path =
+  match String.split_on_char '/' path with
+  | [] | [ "" ] -> invalid_arg "Nsdb: empty path"
+  | segments ->
+    if List.exists (fun s -> s = "") segments then
+      invalid_arg (Printf.sprintf "Nsdb: empty segment in path %S" path);
+    segments
+
+let join segments = String.concat "/" segments
+
+let rec pattern_matches pattern concrete =
+  match (pattern, concrete) with
+  | [], [] -> true
+  | "**" :: ps, cs ->
+    pattern_matches ps cs
+    || (match cs with
+        | [] -> false
+        | _ :: rest -> pattern_matches pattern rest)
+  | p :: ps, c :: cs -> (p = "*" || p = c) && pattern_matches ps cs
+  | [], _ :: _ | _ :: _, [] -> false
+
+let notify t concrete_segments value =
+  let concrete = join concrete_segments in
+  Hashtbl.iter
+    (fun _ sub ->
+      if pattern_matches sub.pattern concrete_segments then
+        sub.callback concrete value)
+    t.subscriptions
+
+let set t ~path value =
+  let segments = split path in
+  if List.exists (fun s -> String.contains s '*') segments then
+    invalid_arg "Nsdb.set: wildcard in path";
+  let rec go node = function
+    | [] -> node.node_value <- Some value
+    | seg :: rest ->
+      let child =
+        match Hashtbl.find_opt node.children seg with
+        | Some c -> c
+        | None ->
+          let c = new_node () in
+          Hashtbl.replace node.children seg c;
+          c
+      in
+      go child rest
+  in
+  go t.root segments;
+  notify t segments (Some value)
+
+let find_node t segments =
+  let rec go node = function
+    | [] -> Some node
+    | seg :: rest ->
+      (match Hashtbl.find_opt node.children seg with
+       | Some child -> go child rest
+       | None -> None)
+  in
+  go t.root segments
+
+let get_one t ~path =
+  match find_node t (split path) with
+  | Some node -> node.node_value
+  | None -> None
+
+let get t ~path =
+  let segments = split path in
+  let results = ref [] in
+  let rec go node prefix = function
+    | [] ->
+      (match node.node_value with
+       | Some v -> results := (join (List.rev prefix), v) :: !results
+       | None -> ())
+    | "**" :: rest as pattern ->
+      (* Zero segments... *)
+      go node prefix rest;
+      (* ...or descend one level, keeping the pattern. *)
+      Hashtbl.iter
+        (fun seg child -> go child (seg :: prefix) pattern)
+        node.children
+    | "*" :: rest ->
+      Hashtbl.iter (fun seg child -> go child (seg :: prefix) rest) node.children
+    | seg :: rest ->
+      (match Hashtbl.find_opt node.children seg with
+       | Some child -> go child (seg :: prefix) rest
+       | None -> ())
+  in
+  go t.root [] segments;
+  (* Patterns with several ** can derive the same concrete path twice. *)
+  List.sort_uniq compare !results
+
+let rec collect_values node prefix acc =
+  let acc =
+    match node.node_value with
+    | Some v -> (join (List.rev prefix), v) :: acc
+    | None -> acc
+  in
+  Hashtbl.fold
+    (fun seg child acc -> collect_values child (seg :: prefix) acc)
+    node.children acc
+
+let get_subtree t ~path =
+  let segments = split path in
+  match find_node t segments with
+  | None -> []
+  | Some node -> List.sort compare (collect_values node (List.rev segments) [])
+
+let delete t ~path =
+  let segments = split path in
+  match segments with
+  | [] -> ()
+  | _ :: _ ->
+    let rec parent_of node = function
+      | [ last ] -> Some (node, last)
+      | seg :: rest ->
+        (match Hashtbl.find_opt node.children seg with
+         | Some child -> parent_of child rest
+         | None -> None)
+      | [] -> None
+    in
+    (match parent_of t.root segments with
+     | None -> ()
+     | Some (parent, last) ->
+       (match Hashtbl.find_opt parent.children last with
+        | None -> ()
+        | Some victim ->
+          let removed = collect_values victim (List.rev segments) [] in
+          Hashtbl.remove parent.children last;
+          List.iter
+            (fun (concrete, _) ->
+              notify t (String.split_on_char '/' concrete) None)
+            removed))
+
+let paths t = List.map fst (collect_values t.root [] []) |> List.sort compare
+
+let size t = List.length (collect_values t.root [] [])
+
+let memory_estimate_bytes t =
+  (* Structural model: a tree node costs ~128 bytes of bookkeeping; values
+     cost their rendered size. *)
+  let rec count node =
+    let own =
+      128
+      +
+      match node.node_value with
+      | None -> 0
+      | Some (String s) -> String.length s + 24
+      | Some (Int _ | Float _ | Bool _) -> 24
+      | Some (Rpa r) -> 64 * Rpa.loc r
+    in
+    Hashtbl.fold (fun _ child acc -> acc + count child) node.children own
+  in
+  count t.root
+
+let snapshot t = List.sort compare (collect_values t.root [] [])
+
+let restore t entries =
+  Hashtbl.reset t.root.children;
+  t.root.node_value <- None;
+  List.iter (fun (path, v) -> set t ~path v) entries
+
+let subscribe t ~path callback =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  Hashtbl.replace t.subscriptions id { pattern = split path; callback };
+  id
+
+let unsubscribe t id = Hashtbl.remove t.subscriptions id
+
+module Replicated = struct
+  type store = t
+
+  let store_set = set
+  let store_create = create
+
+  type nonrec t = {
+    stores : store array;
+    mutable dead : bool array;
+  }
+
+  let create ~replicas =
+    if replicas < 1 then invalid_arg "Nsdb.Replicated.create: need >= 1";
+    {
+      stores = Array.init replicas (fun _ -> create ());
+      dead = Array.make replicas false;
+    }
+
+  let alive t =
+    List.filter
+      (fun i -> not t.dead.(i))
+      (List.init (Array.length t.stores) Fun.id)
+
+  let leader t = match alive t with [] -> None | first :: _ -> Some first
+
+  let set t ~path value =
+    List.iter (fun i -> store_set t.stores.(i) ~path value) (alive t)
+
+  let get t ~path =
+    match leader t with
+    | None -> failwith "Nsdb.Replicated.get: no live replica"
+    | Some i -> get t.stores.(i) ~path
+
+  let fail_replica t i = t.dead.(i) <- true
+
+  let recover_replica t i =
+    (* Re-sync from the pre-recovery leader: the recovering replica may have
+       missed writes while it was down (eventual consistency). *)
+    let source = leader t in
+    t.dead.(i) <- false;
+    match source with
+    | Some l when l <> i ->
+      let fresh = store_create () in
+      List.iter
+        (fun (path, v) -> store_set fresh ~path v)
+        (collect_values t.stores.(l).root [] []);
+      t.stores.(i) <- fresh
+    | Some _ | None -> ()
+
+  let replica t i = t.stores.(i)
+end

@@ -1,0 +1,103 @@
+(** Network State Database: the storage layer of the Centralium controller
+    (Section 5.1).
+
+    Current and intended network state share one tree representation rooted
+    at a device map, so any node is addressable by a path string like
+    ["devices/ssw-1/rpa/path-selection"]. All services use the same generic
+    get/set/publish/subscribe API; paths may contain ['*'] wildcard
+    segments (Appendix A.3).
+
+    A {!Replicated} wrapper provides the eventual-consistency deployment
+    model of Section 5.2: writes fan out to all replicas, reads go to the
+    elected leader, and leader failure transparently re-routes reads. *)
+
+type value =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Rpa of Rpa.t
+
+val value_equal : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+type t
+
+val create : unit -> t
+
+val set : t -> path:string -> value -> unit
+(** Creates intermediate nodes as needed. Raises [Invalid_argument] on an
+    empty path or a path containing ['*']. *)
+
+val get_one : t -> path:string -> value option
+(** Exact path, no wildcards. *)
+
+val get : t -> path:string -> (string * value) list
+(** [path] may contain ['*'] segments (each matching exactly one concrete
+    segment) and ["**"] segments (matching any number, including zero).
+    Returns (concrete path, value) pairs, sorted by path. *)
+
+val get_subtree : t -> path:string -> (string * value) list
+(** Every value at or under [path] (no wildcards). *)
+
+val delete : t -> path:string -> unit
+(** Deletes the node and its subtree; notifies subscribers of every removed
+    value. *)
+
+val paths : t -> string list
+(** All paths holding a value. *)
+
+val size : t -> int
+(** Number of values stored. *)
+
+val memory_estimate_bytes : t -> int
+(** A structural estimate of the store's resident size (tree nodes and
+    values), used by the Figure 11 memory CDF. *)
+
+val snapshot : t -> (string * value) list
+(** Every (path, value) pair, sorted — the serialization used when a
+    service restarts or a replica re-syncs. *)
+
+val restore : t -> (string * value) list -> unit
+(** Clears the store and loads the snapshot. Subscribers are notified of
+    the restored values (not of the clearing). *)
+
+val subscribe : t -> path:string -> (string -> value option -> unit) -> int
+(** [subscribe t ~path f] calls [f concrete_path value] on every
+    set/delete whose path matches [path] (['*'] and ["**"] wildcards
+    allowed). [None] signals deletion. Returns a subscription id. *)
+
+val unsubscribe : t -> int -> unit
+
+(** {1 Replication} *)
+
+module Replicated : sig
+  type store = t
+
+  type t
+
+  val create : replicas:int -> t
+  (** Raises [Invalid_argument] if [replicas < 1]. *)
+
+  val set : t -> path:string -> value -> unit
+  (** Fans out to every live replica (publish path of Section 5.2). *)
+
+  val get : t -> path:string -> (string * value) list
+  (** Served by the elected leader. Raises [Failure] if no replica is
+      alive. *)
+
+  val leader : t -> int option
+  (** Index of the current leader (lowest-index live replica). *)
+
+  val fail_replica : t -> int -> unit
+  (** Marks a replica dead; reads re-route to the next elected leader. *)
+
+  val recover_replica : t -> int -> unit
+  (** Brings a replica back and re-synchronizes it from the leader
+      (eventual consistency: it may have missed writes while down). *)
+
+  val replica : t -> int -> store
+  (** Direct access for tests. *)
+
+  val alive : t -> int list
+end

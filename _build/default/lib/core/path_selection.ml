@@ -1,0 +1,76 @@
+type min_next_hop =
+  | Count of int
+  | Fraction of float
+
+type path_set = {
+  ps_name : string;
+  ps_signature : Signature.t;
+  ps_min_next_hop : min_next_hop option;
+}
+
+type statement = {
+  st_name : string;
+  destination : Destination.t;
+  path_sets : path_set list;
+  bgp_native_min_next_hop : min_next_hop option;
+  keep_fib_warm_if_mnh_violated : bool;
+}
+
+type t = { name : string; statements : statement list }
+
+let path_set ?min_next_hop ~name signature =
+  { ps_name = name; ps_signature = signature; ps_min_next_hop = min_next_hop }
+
+let statement ?(name = "statement") ?(path_sets = [])
+    ?bgp_native_min_next_hop ?(keep_fib_warm_if_mnh_violated = false)
+    destination =
+  {
+    st_name = name;
+    destination;
+    path_sets;
+    bgp_native_min_next_hop;
+    keep_fib_warm_if_mnh_violated;
+  }
+
+let make ?(name = "path-selection") statements = { name; statements }
+
+let required_count mnh ~denominator =
+  match mnh with
+  | Count n -> n
+  | Fraction f -> int_of_float (Float.ceil (f *. float_of_int denominator))
+
+let mnh_to_string = function
+  | Count n -> string_of_int n
+  | Fraction f -> Printf.sprintf "%.0f%%" (100.0 *. f)
+
+let config_lines t =
+  let statement_lines st =
+    let path_set_lines ps =
+      [ Printf.sprintf "  PathSet %s {" ps.ps_name ]
+      @ List.map (fun l -> "    " ^ l) (Signature.config_lines ps.ps_signature)
+      @ (match ps.ps_min_next_hop with
+         | None -> []
+         | Some mnh -> [ "    MinNextHop = " ^ mnh_to_string mnh ])
+      @ [ "  }" ]
+    in
+    [ Printf.sprintf "Statement %s {" st.st_name;
+      " " ^ Destination.config_line st.destination ]
+    @ (match st.path_sets with
+       | [] -> [ " PathSetList = []" ]
+       | sets -> (" PathSetList = [" :: List.concat_map path_set_lines sets) @ [ " ]" ])
+    @ (match st.bgp_native_min_next_hop with
+       | None -> []
+       | Some mnh -> [ " BgpNativeMinNextHop = " ^ mnh_to_string mnh ])
+    @ (if st.keep_fib_warm_if_mnh_violated then
+         [ " KeepFibWarmIfMnhViolated = true" ]
+       else [])
+    @ [ "}" ]
+  in
+  (Printf.sprintf "PathSelectionRpa %s {" t.name
+   :: List.concat_map statement_lines t.statements)
+  @ [ "}" ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Format.pp_print_string)
+    (config_lines t)

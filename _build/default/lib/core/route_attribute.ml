@@ -1,0 +1,65 @@
+type next_hop_weight = {
+  w_name : string;
+  w_signature : Signature.t;
+  weight : int;
+}
+
+type statement = {
+  st_name : string;
+  destination : Destination.t;
+  next_hop_weights : next_hop_weight list;
+  default_weight : int;
+  expires_at : float option;
+}
+
+type t = { name : string; statements : statement list }
+
+let next_hop_weight ?(name = "weight") signature ~weight =
+  if weight < 0 then invalid_arg "Route_attribute.next_hop_weight: negative";
+  { w_name = name; w_signature = signature; weight }
+
+let statement ?(name = "statement") ?(default_weight = 1) ?expires_at
+    destination next_hop_weights =
+  { st_name = name; destination; next_hop_weights; default_weight; expires_at }
+
+let make ?(name = "route-attribute") statements = { name; statements }
+
+let weight_of st attr =
+  match
+    List.find_opt (fun w -> Signature.matches w.w_signature attr)
+      st.next_hop_weights
+  with
+  | Some w -> w.weight
+  | None -> st.default_weight
+
+let expired st ~now =
+  match st.expires_at with None -> false | Some t -> now >= t
+
+let config_lines t =
+  let statement_lines st =
+    let weight_lines w =
+      [ Printf.sprintf "  NextHopWeight %s {" w.w_name ]
+      @ List.map (fun l -> "    " ^ l) (Signature.config_lines w.w_signature)
+      @ [ Printf.sprintf "    Weight = %d" w.weight; "  }" ]
+    in
+    [ Printf.sprintf "Statement %s {" st.st_name;
+      " " ^ Destination.config_line st.destination;
+      " NextHopWeightList = [" ]
+    @ List.concat_map weight_lines st.next_hop_weights
+    @ [ " ]" ]
+    @ (if st.default_weight <> 1 then
+         [ Printf.sprintf " DefaultWeight = %d" st.default_weight ]
+       else [])
+    @ (match st.expires_at with
+       | None -> []
+       | Some time -> [ Printf.sprintf " ExpirationTime = %.3f" time ])
+    @ [ "}" ]
+  in
+  (Printf.sprintf "RouteAttributeRpa %s {" t.name
+   :: List.concat_map statement_lines t.statements)
+  @ [ "}" ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Format.pp_print_string)
+    (config_lines t)

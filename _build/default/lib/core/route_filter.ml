@@ -1,0 +1,118 @@
+type peer_signature = {
+  peer_layers : Topology.Node.layer list;
+  peer_devices : int list;
+}
+
+let any_peer = { peer_layers = []; peer_devices = [] }
+
+type prefix_rule = {
+  covering : Net.Prefix.t;
+  min_mask_length : int option;
+  max_mask_length : int option;
+}
+
+type filter =
+  | Allow_all
+  | Allow_list of prefix_rule list
+
+type statement = {
+  st_name : string;
+  peer : peer_signature;
+  ingress : filter;
+  egress : filter;
+}
+
+type t = { name : string; statements : statement list }
+
+let prefix_rule ?min_mask_length ?max_mask_length covering =
+  { covering; min_mask_length; max_mask_length }
+
+let statement ?(name = "statement") ?(ingress = Allow_all) ?(egress = Allow_all)
+    peer =
+  { st_name = name; peer; ingress; egress }
+
+let make ?(name = "route-filter") statements = { name; statements }
+
+let peer_matches signature ~peer ~layer =
+  let layer_ok =
+    signature.peer_layers = []
+    ||
+    match layer with
+    | None -> false
+    | Some l -> List.exists (Topology.Node.layer_equal l) signature.peer_layers
+  in
+  let device_ok =
+    signature.peer_devices = [] || List.mem peer signature.peer_devices
+  in
+  layer_ok && device_ok
+
+let rule_allows rule prefix =
+  Net.Prefix.contains rule.covering prefix
+  && (match rule.min_mask_length with
+      | None -> true
+      | Some m -> Net.Prefix.mask_length prefix >= m)
+  && (match rule.max_mask_length with
+      | None -> true
+      | Some m -> Net.Prefix.mask_length prefix <= m)
+
+let filter_allows filter prefix =
+  match filter with
+  | Allow_all -> true
+  | Allow_list rules -> List.exists (fun r -> rule_allows r prefix) rules
+
+type direction = Ingress | Egress
+
+let allows t direction ~peer ~layer prefix =
+  match
+    List.find_opt (fun st -> peer_matches st.peer ~peer ~layer) t.statements
+  with
+  | None -> true
+  | Some st ->
+    let filter = match direction with Ingress -> st.ingress | Egress -> st.egress in
+    filter_allows filter prefix
+
+let config_lines t =
+  let filter_lines label = function
+    | Allow_all -> [ Printf.sprintf " %s = allow-all" label ]
+    | Allow_list rules ->
+      [ Printf.sprintf " %s = [" label ]
+      @ List.map
+          (fun r ->
+            Printf.sprintf "  PrefixSet { prefix = %s%s%s }"
+              (Net.Prefix.to_string r.covering)
+              (match r.min_mask_length with
+               | None -> ""
+               | Some m -> Printf.sprintf "; min_mask = %d" m)
+              (match r.max_mask_length with
+               | None -> ""
+               | Some m -> Printf.sprintf "; max_mask = %d" m))
+          rules
+      @ [ " ]" ]
+  in
+  let peer_line sg =
+    let layers =
+      match sg.peer_layers with
+      | [] -> "any"
+      | ls -> String.concat "," (List.map Topology.Node.layer_to_string ls)
+    in
+    let devices =
+      match sg.peer_devices with
+      | [] -> "any"
+      | ds -> String.concat "," (List.map string_of_int ds)
+    in
+    Printf.sprintf " PeerSignature { layers = %s; devices = %s }" layers devices
+  in
+  let statement_lines st =
+    [ Printf.sprintf "Statement %s {" st.st_name; peer_line st.peer ]
+    @ filter_lines "IngressFilter" st.ingress
+    @ filter_lines "EgressFilter" st.egress
+    @ [ "}" ]
+  in
+  (Printf.sprintf "RouteFilterRpa %s {" t.name
+   :: List.concat_map statement_lines t.statements)
+  @ [ "}" ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Format.pp_print_string)
+    (config_lines t)

@@ -1,0 +1,19 @@
+(** Parser for the Figure 7 RPA configuration syntax.
+
+    Operators author RPAs as configuration (the paper reports 150+ RPA
+    commits per year); this module parses the same syntax that
+    {!Rpa.config_lines} renders, giving a round trip
+
+    {[ Rpa_parser.parse (String.concat "\n" (Rpa.config_lines rpa)) ]}
+
+    that reconstructs an equivalent RPA. Whitespace and newlines are not
+    significant. The [advertise_least_favorable] dissemination flag is not
+    part of the surface syntax (it is a protocol invariant, not operator
+    intent) and always parses as [true]. *)
+
+val parse : string -> (Rpa.t, string) result
+(** Parses zero or more [PathSelectionRpa], [RouteAttributeRpa] and
+    [RouteFilterRpa] blocks and merges them. *)
+
+val parse_exn : string -> Rpa.t
+(** Raises [Invalid_argument] with the parse error. *)

@@ -1,0 +1,103 @@
+type t = {
+  as_path_regex : Net.Path_regex.t option;
+  communities : Net.Community.t list;
+  none_of : Net.Community.t list;
+  origin_asn : Net.Asn.t option;
+  neighbor_asns : Net.Asn.t list option;  (* any-of; [None] = unconstrained *)
+}
+
+let make ?as_path_regex ?(communities = []) ?(none_of = []) ?origin_asn
+    ?neighbor_asn ?neighbor_asns () =
+  let neighbor_asns =
+    match (neighbor_asn, neighbor_asns) with
+    | Some single, Some many -> Some (single :: many)
+    | Some single, None -> Some [ single ]
+    | None, (Some _ as many) -> many
+    | None, None -> None
+  in
+  {
+    as_path_regex = Option.map Net.Path_regex.compile_exn as_path_regex;
+    communities;
+    none_of;
+    origin_asn;
+    neighbor_asns;
+  }
+
+let any = make ()
+
+let matches t (attr : Net.Attr.t) =
+  let regex_ok =
+    match t.as_path_regex with
+    | None -> true
+    | Some re -> Net.Path_regex.matches re attr.Net.Attr.as_path
+  in
+  let communities_ok =
+    List.for_all (fun c -> Net.Attr.has_community c attr) t.communities
+    && not (List.exists (fun c -> Net.Attr.has_community c attr) t.none_of)
+  in
+  let origin_ok =
+    match t.origin_asn with
+    | None -> true
+    | Some asn ->
+      (match Net.As_path.origin_asn attr.Net.Attr.as_path with
+       | Some o -> Net.Asn.equal o asn
+       | None -> false)
+  in
+  let neighbor_ok =
+    match t.neighbor_asns with
+    | None -> true
+    | Some asns ->
+      (match Net.As_path.first_asn attr.Net.Attr.as_path with
+       | Some f -> List.exists (Net.Asn.equal f) asns
+       | None -> false)
+  in
+  regex_ok && communities_ok && origin_ok && neighbor_ok
+
+let equal a b =
+  Option.equal Net.Path_regex.equal a.as_path_regex b.as_path_regex
+  && List.equal Net.Community.equal a.communities b.communities
+  && List.equal Net.Community.equal a.none_of b.none_of
+  && Option.equal Net.Asn.equal a.origin_asn b.origin_asn
+  && Option.equal (List.equal Net.Asn.equal) a.neighbor_asns b.neighbor_asns
+
+let config_lines t =
+  let lines = [] in
+  let lines =
+    match t.as_path_regex with
+    | None -> lines
+    | Some re ->
+      Printf.sprintf "as_path_regex = \"%s\"" (Net.Path_regex.source re) :: lines
+  in
+  let lines =
+    match t.communities with
+    | [] -> lines
+    | cs ->
+      Printf.sprintf "communities = [%s]"
+        (String.concat ", " (List.map Net.Community.to_string cs))
+      :: lines
+  in
+  let lines =
+    match t.none_of with
+    | [] -> lines
+    | cs ->
+      Printf.sprintf "communities_none = [%s]"
+        (String.concat ", " (List.map Net.Community.to_string cs))
+      :: lines
+  in
+  let lines =
+    match t.origin_asn with
+    | None -> lines
+    | Some asn -> Printf.sprintf "origin_asn = %s" (Net.Asn.to_string asn) :: lines
+  in
+  let lines =
+    match t.neighbor_asns with
+    | None -> lines
+    | Some asns ->
+      Printf.sprintf "neighbor_asns = [%s]"
+        (String.concat ", " (List.map Net.Asn.to_string asns))
+      :: lines
+  in
+  match lines with [] -> [ "any" ] | _ :: _ -> List.rev lines
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%s@]" (String.concat "; " (config_lines t))

@@ -1,0 +1,41 @@
+(** PathSignature — the attribute-match criteria that identify a path set
+    (Section 4.3).
+
+    A signature is "a unique combination of standard BGP transitive
+    attributes": an AS-path regular expression, required communities, an
+    origin or neighbor ASN. BGP attributes of member paths need not overlap
+    completely, only share the signature. *)
+
+type t
+
+val make :
+  ?as_path_regex:string ->
+  ?communities:Net.Community.t list ->
+  ?none_of:Net.Community.t list ->
+  ?origin_asn:Net.Asn.t ->
+  ?neighbor_asn:Net.Asn.t ->
+  ?neighbor_asns:Net.Asn.t list ->
+  unit ->
+  t
+(** All criteria are conjunctive; an empty signature matches every path.
+    [neighbor_asns] restricts the path's first ASN to a set — the way
+    per-switch generated RPAs scope a path set to "paths via my
+    upstream-layer neighbors" so that paths re-learned sideways from
+    downstream peers never match ([neighbor_asn] is the singleton
+    shorthand). [none_of] is a negative community match: a path carrying
+    any listed community does not match — e.g. excluding maintenance-
+    drained routes from an equalized path set, so drains keep working on
+    switches whose RPA ignores AS-path padding. Raises [Invalid_argument]
+    if the regex does not compile. *)
+
+val any : t
+
+val matches : t -> Net.Attr.t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val config_lines : t -> string list
+(** Rendering in the paper's Figure 7 configuration style; used both for
+    operator display and for the Table 3 RPA-LOC measurement. *)

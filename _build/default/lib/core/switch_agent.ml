@@ -1,0 +1,125 @@
+type t = {
+  agent_service : Service.t;
+  net : Bgp.Network.t;
+  rng : Dsim.Rng.t;
+  reachable : (int, bool) Hashtbl.t;
+  (* the actual RPA values live here; the NSDB views hold their rendered
+     form for comparison and display *)
+  intended_rpas : (int, Rpa.t) Hashtbl.t;
+  current_rpas : (int, Rpa.t) Hashtbl.t;
+  mutable deploy_times : float list;  (* reverse order *)
+  mutable management : (Openr.Network.t * int) option;
+}
+
+let rpa_path device = Printf.sprintf "devices/%d/rpa" device
+let maint_path device = Printf.sprintf "devices/%d/maintenance" device
+
+let create ?(seed = 7) net =
+  {
+    agent_service = Service.create ~name:"switch-agent" ~role:Service.Io;
+    net;
+    rng = Dsim.Rng.create seed;
+    reachable = Hashtbl.create 64;
+    intended_rpas = Hashtbl.create 64;
+    current_rpas = Hashtbl.create 64;
+    deploy_times = [];
+    management = None;
+  }
+
+let service t = t.agent_service
+let network t = t.net
+
+let set_intended t ~device rpa =
+  Hashtbl.replace t.intended_rpas device rpa;
+  Nsdb.set (Service.intended t.agent_service) ~path:(rpa_path device)
+    (Nsdb.Rpa rpa)
+
+let clear_intended t ~device =
+  Hashtbl.replace t.intended_rpas device Rpa.empty;
+  Nsdb.set (Service.intended t.agent_service) ~path:(rpa_path device)
+    (Nsdb.Rpa Rpa.empty)
+
+let intended_rpa t ~device = Hashtbl.find_opt t.intended_rpas device
+let current_rpa t ~device = Hashtbl.find_opt t.current_rpas device
+
+let set_maintenance t ~device down =
+  Nsdb.set (Service.intended t.agent_service) ~path:(maint_path device)
+    (Nsdb.Bool down)
+
+let in_maintenance t device =
+  match
+    Nsdb.get_one (Service.intended t.agent_service) ~path:(maint_path device)
+  with
+  | Some (Nsdb.Bool b) -> b
+  | Some (Nsdb.String _ | Nsdb.Int _ | Nsdb.Float _ | Nsdb.Rpa _) | None -> false
+
+let is_reachable t device =
+  Option.value (Hashtbl.find_opt t.reachable device) ~default:true
+  &&
+  match t.management with
+  | None -> true
+  | Some (openr, host) ->
+    device = host || Openr.Network.reachable openr ~src:host ~dst:device
+
+let set_reachable t ~device up = Hashtbl.replace t.reachable device up
+
+let attach_management_network t openr ~controller_host =
+  t.management <- Some (openr, controller_host)
+
+let unexpected_unreachable t =
+  Topology.Graph.nodes (Bgp.Network.graph t.net)
+  |> List.filter_map (fun (n : Topology.Node.t) ->
+         let device = n.Topology.Node.id in
+         if (not (is_reachable t device)) && not (in_maintenance t device) then
+           Some device
+         else None)
+  |> List.sort Int.compare
+
+let rpa_equal a b = Rpa.config_lines a = Rpa.config_lines b
+
+let reconcile_device t device =
+  let intended = Option.value (intended_rpa t ~device) ~default:Rpa.empty in
+  let current = Option.value (current_rpa t ~device) ~default:Rpa.empty in
+  if rpa_equal intended current then `In_sync
+  else if not (is_reachable t device) then `Unreachable
+  else begin
+    Service.with_work t.agent_service (fun () ->
+        (* RPC round trip to the BGP daemon, then building and installing
+           the evaluation engine. The RPC latency is sampled (we have no
+           real switches); the apply cost is measured for real. *)
+        let rpc_latency =
+          Dsim.Rng.log_normal t.rng ~mu:(log 0.0003) ~sigma:0.8
+        in
+        let apply_start = Sys.time () in
+        let hooks =
+          if Rpa.is_empty intended then Bgp.Rib_policy.native
+          else Engine.hooks (Engine.create intended)
+        in
+        Bgp.Network.set_hooks t.net device hooks;
+        let apply_cost = Sys.time () -. apply_start in
+        t.deploy_times <- (rpc_latency +. apply_cost) :: t.deploy_times;
+        Hashtbl.replace t.current_rpas device intended;
+        Nsdb.set (Service.current t.agent_service) ~path:(rpa_path device)
+          (Nsdb.Rpa intended));
+    `Applied
+  end
+
+let reconcile t ~devices =
+  List.fold_left
+    (fun applied device ->
+      match reconcile_device t device with
+      | `Applied -> applied + 1
+      | `In_sync | `Unreachable -> applied)
+    0 devices
+
+let stragglers t =
+  Hashtbl.fold
+    (fun device intended acc ->
+      let current = Option.value (current_rpa t ~device) ~default:Rpa.empty in
+      if rpa_equal intended current then acc else device :: acc)
+    t.intended_rpas []
+  |> List.sort Int.compare
+
+let deploy_time_samples t = List.rev t.deploy_times
+
+let clear_deploy_times t = t.deploy_times <- []

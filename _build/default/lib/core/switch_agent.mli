@@ -1,0 +1,66 @@
+(** The Switch Agent: Centralium's I/O layer (Section 5.1).
+
+    Continuously reconciles intended state with current state by writing
+    RPAs into the distributed control plane (here: installing
+    {!Engine}-backed hooks into the {!Bgp.Network} speakers) and by
+    polling device state back into the current view.
+
+    Intended RPAs live in the agent's service views under
+    ["devices/<id>/rpa"]. Reconciliation applies the diff; each application
+    is timed (simulated RPC latency + measured apply cost), producing the
+    Figure 12 deployment-time distribution. Unreachable devices become
+    stragglers unless their intended operational state says they are down
+    for maintenance (Section 5.2, Device Failures). *)
+
+type t
+
+val create : ?seed:int -> Bgp.Network.t -> t
+
+val service : t -> Service.t
+val network : t -> Bgp.Network.t
+
+(** {1 Intended state} *)
+
+val set_intended : t -> device:int -> Rpa.t -> unit
+val clear_intended : t -> device:int -> unit
+val intended_rpa : t -> device:int -> Rpa.t option
+val current_rpa : t -> device:int -> Rpa.t option
+
+val set_maintenance : t -> device:int -> bool -> unit
+(** Marks the device's intended operational state as down-for-maintenance. *)
+
+(** {1 Reachability} *)
+
+val set_reachable : t -> device:int -> bool -> unit
+
+val attach_management_network :
+  t -> Openr.Network.t -> controller_host:int -> unit
+(** After this, a device also counts as reachable only while the Open/R
+    management plane has a route from [controller_host] to it — the
+    production design where Centralium accesses devices via routes provided
+    by Open/R, avoiding circular dependency on the BGP state it manipulates
+    (Appendix A.2). *)
+
+val unexpected_unreachable : t -> int list
+(** Unreachable devices that are {e not} intended to be in maintenance —
+    the ones operators must be alerted about. *)
+
+(** {1 Reconciliation} *)
+
+val reconcile_device : t -> int -> [ `Applied | `In_sync | `Unreachable ]
+(** Applies the intended RPA of one device to its BGP speaker (via the
+    network's event queue at the current virtual instant) and updates the
+    current view. The measured deployment time is recorded. *)
+
+val reconcile : t -> devices:int list -> int
+(** Reconciles the given devices (in the given order); returns how many
+    changed. Does not run the network — callers decide when to let BGP
+    converge (e.g. between deployment phases). *)
+
+val stragglers : t -> int list
+(** Devices whose intended and current RPA differ. *)
+
+val deploy_time_samples : t -> float list
+(** Seconds per applied RPA update, most recent last (Figure 12 data). *)
+
+val clear_deploy_times : t -> unit

@@ -1,0 +1,1 @@
+lib/dataplane/flowsim.ml: Bgp Hashtbl Int64 List Option

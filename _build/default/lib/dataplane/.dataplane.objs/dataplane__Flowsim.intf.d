@@ -1,0 +1,1 @@
+lib/dataplane/flowsim.mli: Bgp

@@ -1,0 +1,1 @@
+lib/dataplane/metrics.ml: Bgp Float Hashtbl List Option Traffic

@@ -1,0 +1,1 @@
+lib/dataplane/metrics.mli: Bgp Hashtbl Traffic

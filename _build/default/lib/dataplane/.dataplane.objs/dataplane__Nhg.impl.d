@@ -1,0 +1,1 @@
+lib/dataplane/nhg.ml: Bgp Format Hashtbl List Net Set Stdlib

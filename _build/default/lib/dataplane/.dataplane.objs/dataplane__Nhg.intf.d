@@ -1,0 +1,1 @@
+lib/dataplane/nhg.mli: Bgp Format Net

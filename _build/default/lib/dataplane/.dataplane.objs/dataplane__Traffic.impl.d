@@ -1,0 +1,1 @@
+lib/dataplane/traffic.ml: Bgp Hashtbl List Option

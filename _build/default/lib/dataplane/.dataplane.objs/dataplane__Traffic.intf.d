@@ -1,0 +1,1 @@
+lib/dataplane/traffic.mli: Bgp Hashtbl Net

@@ -1,0 +1,64 @@
+type result = {
+  delivered : int;
+  dropped_no_route : int;
+  dropped_ttl : int;
+  hop_counts : (int * int) list;
+}
+
+(* A splitmix-style avalanche so that consecutive flow ids spread evenly
+   over the buckets at every device independently. *)
+let mix flow device =
+  let z = Int64.of_int ((flow * 0x9E3779B9) lxor (device * 0x85EBCA6B)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 31)) 2)
+
+let next_hop_of ~flow ~device entries =
+  match entries with
+  | [] -> invalid_arg "Flowsim.next_hop_of: empty next-hop set"
+  | _ :: _ ->
+    let total =
+      List.fold_left (fun acc e -> acc + max 1 e.Bgp.Speaker.weight) 0 entries
+    in
+    let bucket = mix flow device mod total in
+    let rec pick acc = function
+      | [] -> invalid_arg "Flowsim.next_hop_of: bucket out of range"
+      | e :: rest ->
+        let acc = acc + max 1 e.Bgp.Speaker.weight in
+        if bucket < acc then e else pick acc rest
+    in
+    pick 0 entries
+
+let run ?(ttl = 64) ~lookup ~flows () =
+  let delivered = ref 0 and no_route = ref 0 and expired = ref 0 in
+  let hops_table = Hashtbl.create 16 in
+  List.iter
+    (fun (source, flow) ->
+      let rec walk device remaining hops =
+        if remaining = 0 then incr expired
+        else
+          match lookup device with
+          | Some Bgp.Speaker.Local ->
+            incr delivered;
+            Hashtbl.replace hops_table hops
+              (1 + Option.value (Hashtbl.find_opt hops_table hops) ~default:0)
+          | None -> incr no_route
+          | Some (Bgp.Speaker.Entries entries) ->
+            let e = next_hop_of ~flow ~device entries in
+            walk e.Bgp.Speaker.next_hop (remaining - 1) (hops + 1)
+      in
+      walk source ttl 0)
+    flows;
+  {
+    delivered = !delivered;
+    dropped_no_route = !no_route;
+    dropped_ttl = !expired;
+    hop_counts =
+      Hashtbl.fold (fun h n acc -> (h, n) :: acc) hops_table []
+      |> List.sort compare;
+  }
+
+let loss_fraction r =
+  let total = r.delivered + r.dropped_no_route + r.dropped_ttl in
+  if total = 0 then 0.0
+  else float_of_int (r.dropped_no_route + r.dropped_ttl) /. float_of_int total

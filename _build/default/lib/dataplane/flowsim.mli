@@ -1,0 +1,34 @@
+(** Flow-level forwarding simulation.
+
+    {!Traffic} models volume fluidly (exact proportional splits), which is
+    right for utilization and funneling but cannot express per-packet
+    outcomes: a packet caught in a forwarding loop is dropped when its TTL
+    expires (the "packets will be dropped during this time" of
+    Section 3.3). This module forwards discrete flows instead: at every
+    hop the flow id is hashed onto the weighted next-hop set — the ECMP/
+    WCMP hashing switches actually perform — and a TTL bounds its life. *)
+
+type result = {
+  delivered : int;
+  dropped_no_route : int;  (** reached a device without a route *)
+  dropped_ttl : int;       (** expired in a loop *)
+  hop_counts : (int * int) list;
+      (** (hops, delivered flows with that hop count), sorted *)
+}
+
+val run :
+  ?ttl:int ->
+  lookup:(int -> Bgp.Speaker.fib_state option) ->
+  flows:(int * int) list ->
+  unit ->
+  result
+(** [run ~lookup ~flows ()] forwards each (source, flow id) until delivery
+    ([Local]), a missing route, or TTL exhaustion (default 64). Hashing is
+    deterministic: the same flow takes the same path on every run. *)
+
+val loss_fraction : result -> float
+
+val next_hop_of : flow:int -> device:int -> Bgp.Speaker.entry list -> Bgp.Speaker.entry
+(** The hashing decision itself: picks the entry whose cumulative weight
+    bucket the flow hashes into. Raises [Invalid_argument] on []. Exposed
+    for distribution tests. *)

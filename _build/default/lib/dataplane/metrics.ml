@@ -1,0 +1,81 @@
+let transit_share (result : Traffic.result) ~device ~total =
+  if total <= 0.0 then 0.0
+  else
+    Option.value (Hashtbl.find_opt result.Traffic.transit device) ~default:0.0
+    /. total
+
+let funneling result ~members ~total =
+  List.fold_left
+    (fun acc device -> Float.max acc (transit_share result ~device ~total))
+    0.0 members
+
+let loss_fraction (result : Traffic.result) ~total =
+  if total <= 0.0 then 0.0
+  else (result.Traffic.dropped +. result.Traffic.looped) /. total
+
+let blackholed_fraction (result : Traffic.result) ~total =
+  if total <= 0.0 then 0.0 else result.Traffic.dropped /. total
+
+let looped_fraction (result : Traffic.result) ~total =
+  if total <= 0.0 then 0.0 else result.Traffic.looped /. total
+
+let find_forwarding_loops ~lookup ~devices =
+  (* DFS with colors; 0/absent = white, 1 = on current path, 2 = done.
+     [path] holds the devices from the current one's parent back to the
+     root, so hitting a gray node yields the cycle as the path segment back
+     to that node. *)
+  let color = Hashtbl.create 64 in
+  let cycles = ref [] in
+  let normalize cycle =
+    (* Rotate so the smallest id leads: the same cycle found from different
+       entry points is reported once. *)
+    match cycle with
+    | [] -> []
+    | _ :: _ ->
+      let smallest = List.fold_left min max_int cycle in
+      let rec rotate n = function
+        | d :: rest when d <> smallest && n < List.length cycle ->
+          rotate (n + 1) (rest @ [ d ])
+        | rotated -> rotated
+      in
+      rotate 0 cycle
+  in
+  let rec visit path device =
+    match Hashtbl.find_opt color device with
+    | Some 2 -> ()
+    | Some 1 ->
+      let rec back_to = function
+        | [] -> []
+        | d :: rest -> if d = device then [] else d :: back_to rest
+      in
+      let cycle = normalize (device :: List.rev (back_to path)) in
+      if cycle <> [] && not (List.mem cycle !cycles) then
+        cycles := cycle :: !cycles
+    | Some _ | None ->
+      Hashtbl.replace color device 1;
+      (match lookup device with
+       | Some (Bgp.Speaker.Entries entries) ->
+         List.iter
+           (fun e -> visit (device :: path) e.Bgp.Speaker.next_hop)
+           entries
+       | Some Bgp.Speaker.Local | None -> ());
+      Hashtbl.replace color device 2
+  in
+  List.iter (fun d -> visit [] d) devices;
+  List.rev !cycles
+
+let max_funneling_over_timeline ~timeline ~demands ~members =
+  let total = Traffic.total_demand demands in
+  List.fold_left
+    (fun (worst, at) (time, snapshot) ->
+      let result = Traffic.route_snapshot snapshot ~demands in
+      let f = funneling result ~members ~total in
+      if f > worst then (f, time) else (worst, at))
+    (0.0, 0.0) timeline
+
+let max_link_utilization (result : Traffic.result) ~capacity =
+  Hashtbl.fold
+    (fun link load acc ->
+      let cap = capacity link in
+      if cap <= 0.0 then acc else Float.max acc (load /. cap))
+    result.Traffic.link_load 0.0

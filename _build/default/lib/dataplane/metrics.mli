@@ -1,0 +1,43 @@
+(** Forwarding-plane health metrics: funneling, loss, loops, utilization.
+
+    These are the observables the paper's scenarios are judged by: the
+    first/last-router problems are "one device carries (nearly) all
+    traffic" (Figures 2 and 4), bad dissemination is a persistent loop
+    (Figure 9), the SEV is black-holed volume (Figure 14), and TE quality is
+    maximum link utilization (Figure 13). *)
+
+val funneling :
+  Traffic.result -> members:int list -> total:float -> float
+(** The largest share of [total] demand transiting any single device of
+    [members] (e.g. all switches of one layer). 1.0 = perfect funnel,
+    [1 / length members] = perfectly balanced. 0 if no traffic crossed the
+    layer. *)
+
+val transit_share : Traffic.result -> device:int -> total:float -> float
+
+val loss_fraction : Traffic.result -> total:float -> float
+(** (dropped + looped) / total. *)
+
+val blackholed_fraction : Traffic.result -> total:float -> float
+(** dropped / total. *)
+
+val looped_fraction : Traffic.result -> total:float -> float
+
+val find_forwarding_loops :
+  lookup:(int -> Bgp.Speaker.fib_state option) -> devices:int list -> int list list
+(** Cycles in the forwarding graph induced by [lookup], each reported once
+    as the list of devices on the cycle. Empty = loop-free. *)
+
+val max_funneling_over_timeline :
+  timeline:(float * (int, Bgp.Speaker.fib_state) Hashtbl.t) list ->
+  demands:(int * float) list ->
+  members:int list ->
+  float * float
+(** Routes the demands over every transient FIB snapshot and returns
+    [(worst_funneling, time_of_worst)] — the paper's transient-state
+    exposure for Figures 2, 4 and 10. Returns [(0., 0.)] on an empty
+    timeline. *)
+
+val max_link_utilization :
+  Traffic.result -> capacity:(int * int -> float) -> float
+(** Max over directed links of load / capacity. *)

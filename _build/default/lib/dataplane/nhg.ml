@@ -1,0 +1,73 @@
+type t = (int * int * int) list
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let of_entries entries =
+  let divisor =
+    List.fold_left (fun acc e -> gcd acc e.Bgp.Speaker.weight) 0 entries
+  in
+  let divisor = max 1 divisor in
+  entries
+  |> List.map (fun e ->
+         Bgp.Speaker.(e.next_hop, e.session, e.weight / divisor))
+  |> List.sort compare
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (nh, s, w) -> Format.fprintf ppf "%d.%d:%d" nh s w))
+    t
+
+module Group_set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let distinct_count fib =
+  List.fold_left
+    (fun set (_, state) ->
+      match state with
+      | Bgp.Speaker.Local -> set
+      | Bgp.Speaker.Entries entries -> Group_set.add (of_entries entries) set)
+    Group_set.empty fib
+  |> Group_set.cardinal
+
+let timeline_on_device ?(initial = []) trace ~device =
+  let current : (Net.Prefix.t, t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (prefix, state) ->
+      match state with
+      | Bgp.Speaker.Entries entries ->
+        Hashtbl.replace current prefix (of_entries entries)
+      | Bgp.Speaker.Local -> ())
+    initial;
+  let count () =
+    let set =
+      Hashtbl.fold (fun _ group set -> Group_set.add group set) current
+        Group_set.empty
+    in
+    Group_set.cardinal set
+  in
+  List.filter_map
+    (function
+      | Bgp.Trace.Fib_change { time; device = d; prefix; state } when d = device
+        ->
+        (match state with
+         | Some (Bgp.Speaker.Entries entries) ->
+           Hashtbl.replace current prefix (of_entries entries)
+         | Some Bgp.Speaker.Local | None -> Hashtbl.remove current prefix);
+        Some (time, count ())
+      | Bgp.Trace.Fib_change _ | Bgp.Trace.Message_sent _ -> None)
+    (Bgp.Trace.events trace)
+
+let max_on_device ?(initial = []) trace ~device =
+  let start = distinct_count initial in
+  List.fold_left
+    (fun acc (_, n) -> max acc n)
+    start
+    (timeline_on_device ~initial trace ~device)

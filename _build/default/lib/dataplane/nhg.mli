@@ -1,0 +1,36 @@
+(** Next-hop-group objects — the scarce on-chip resource of Section 3.4.
+
+    A next-hop group (NHG) is the hardware object that a forwarding
+    equivalence class points at: a weighted set of (port, weight) pairs.
+    Prefixes sharing the same weighted next-hop set share one object;
+    switch ASICs support only a bounded number of distinct objects. During
+    distributed WCMP convergence, prefixes transiently disagree about
+    weights and the object count explodes (up to [s^m] combinations). *)
+
+type t
+(** A canonical next-hop group: sorted (next_hop, session, weight) triples
+    with weights reduced by their gcd, so groups that induce the same
+    forwarding behaviour compare equal. *)
+
+val of_entries : Bgp.Speaker.entry list -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val distinct_count : (Net.Prefix.t * Bgp.Speaker.fib_state) list -> int
+(** Number of distinct NHG objects a FIB table needs ([Local] prefixes need
+    none). *)
+
+val max_on_device :
+  ?initial:(Net.Prefix.t * Bgp.Speaker.fib_state) list ->
+  Bgp.Trace.t -> device:int -> int
+(** Replays the trace and returns the peak number of simultaneously needed
+    distinct NHG objects on the device — the quantity that overflows
+    hardware in Figure 5. [initial] is the device's FIB at trace start
+    (default empty); the peak includes the initial count. *)
+
+val timeline_on_device :
+  ?initial:(Net.Prefix.t * Bgp.Speaker.fib_state) list ->
+  Bgp.Trace.t -> device:int -> (float * int) list
+(** (time, distinct NHG count) after every FIB change on the device. *)

@@ -1,0 +1,83 @@
+type result = {
+  delivered : float;
+  dropped : float;
+  looped : float;
+  transit : (int, float) Hashtbl.t;
+  link_load : (int * int, float) Hashtbl.t;
+  delivered_at : (int, float) Hashtbl.t;
+}
+
+let add table key v =
+  let current = Option.value (Hashtbl.find_opt table key) ~default:0.0 in
+  Hashtbl.replace table key (current +. v)
+
+let total_demand demands = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 demands
+
+let route ?(max_rounds = 64) ~lookup ~demands () =
+  let transit = Hashtbl.create 64 in
+  let link_load = Hashtbl.create 64 in
+  let delivered_at = Hashtbl.create 8 in
+  let delivered = ref 0.0 and dropped = ref 0.0 in
+  let inflow = Hashtbl.create 64 in
+  List.iter (fun (device, volume) -> add inflow device volume) demands;
+  let rounds = ref 0 in
+  let remaining () = Hashtbl.fold (fun _ v acc -> acc +. v) inflow 0.0 in
+  while Hashtbl.length inflow > 0 && !rounds < max_rounds do
+    incr rounds;
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun device volume ->
+        if volume > 0.0 then begin
+          add transit device volume;
+          match lookup device with
+          | Some Bgp.Speaker.Local ->
+            delivered := !delivered +. volume;
+            add delivered_at device volume
+          | None -> dropped := !dropped +. volume
+          | Some (Bgp.Speaker.Entries entries) ->
+            let weight_sum =
+              List.fold_left
+                (fun acc e -> acc + e.Bgp.Speaker.weight)
+                0 entries
+            in
+            List.iter
+              (fun e ->
+                let share =
+                  volume
+                  *. float_of_int e.Bgp.Speaker.weight
+                  /. float_of_int weight_sum
+                in
+                add link_load (device, e.Bgp.Speaker.next_hop) share;
+                add next e.Bgp.Speaker.next_hop share)
+              entries
+        end)
+      inflow;
+    Hashtbl.reset inflow;
+    Hashtbl.iter (fun device volume -> Hashtbl.replace inflow device volume) next
+  done;
+  let looped = remaining () in
+  {
+    delivered = !delivered;
+    dropped = !dropped;
+    looped;
+    transit;
+    link_load;
+    delivered_at;
+  }
+
+let route_prefix ?max_rounds network prefix ~demands =
+  route ?max_rounds
+    ~lookup:(fun device -> Bgp.Network.fib network device prefix)
+    ~demands ()
+
+let route_destination ?max_rounds network destination ~demands =
+  route ?max_rounds
+    ~lookup:(fun device ->
+      Option.map snd
+        (Bgp.Speaker.fib_longest_match
+           (Bgp.Network.speaker network device)
+           destination))
+    ~demands ()
+
+let route_snapshot ?max_rounds snapshot ~demands =
+  route ?max_rounds ~lookup:(Hashtbl.find_opt snapshot) ~demands ()

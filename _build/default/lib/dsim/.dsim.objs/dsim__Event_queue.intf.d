@@ -1,0 +1,1 @@
+lib/dsim/event_queue.mli:

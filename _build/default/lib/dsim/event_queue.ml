@@ -1,0 +1,106 @@
+(* Binary min-heap ordered by (time, seq); seq preserves FIFO order among
+   simultaneous events so simulations are fully deterministic. *)
+
+type entry = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; thunk = ignore }
+
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t entry =
+  if t.size = Array.length t.heap then grow t;
+  let heap = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_lt heap.(!i) heap.(parent) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let heap = t.heap in
+    let top = heap.(0) in
+    t.size <- t.size - 1;
+    heap.(0) <- heap.(t.size);
+    heap.(t.size) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && entry_lt heap.(l) heap.(!smallest) then smallest := l;
+      if r < t.size && entry_lt heap.(r) heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = heap.(!smallest) in
+        heap.(!smallest) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+let schedule_at t ~time thunk =
+  let time = Float.max time t.clock in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { time; seq; thunk }
+
+let schedule t ~delay thunk =
+  schedule_at t ~time:(t.clock +. Float.max 0.0 delay) thunk
+
+let is_empty t = t.size = 0
+
+let pending t = t.size
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some { time; thunk; seq = _ } ->
+    t.clock <- time;
+    thunk ();
+    true
+
+let run ?max_events t =
+  let limit = Option.value max_events ~default:max_int in
+  let rec go n = if n >= limit then n else if step t then go (n + 1) else n in
+  go 0
+
+let run_until t ~time =
+  let rec go n =
+    match (if t.size > 0 then Some t.heap.(0) else None) with
+    | Some head when head.time <= time ->
+      ignore (step t);
+      go (n + 1)
+    | Some _ | None ->
+      t.clock <- Float.max t.clock time;
+      n
+  in
+  go 0

@@ -1,0 +1,38 @@
+(** Discrete-event simulation core.
+
+    A priority queue of timestamped thunks with a stable tie-break (FIFO
+    among events scheduled for the same instant), driving a virtual clock.
+    Asynchronous BGP convergence — the root cause of every transient problem
+    in Section 3 of the paper — is modeled by scheduling message deliveries
+    at randomized future times and running the queue to quiescence. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (seconds). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule q ~delay f] runs [f] at [now q +. delay]. Negative delays are
+    clamped to 0 (execute at the current instant, after already queued
+    events for that instant). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; times before [now] are clamped to [now]. *)
+
+val is_empty : t -> bool
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val step : t -> bool
+(** Executes the earliest event. Returns [false] if the queue was empty. *)
+
+val run : ?max_events:int -> t -> int
+(** Runs events until the queue is empty or [max_events] have executed
+    (default unlimited). Returns the number executed. *)
+
+val run_until : t -> time:float -> int
+(** Runs all events with timestamp [<= time] and advances the clock to
+    [time]. Returns the number executed. *)

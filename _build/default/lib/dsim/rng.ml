@@ -1,0 +1,62 @@
+(* splitmix64: fast, well distributed, and trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value always fits OCaml's 63-bit int. *)
+  let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  x mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  (* 53 random bits scaled into [0, 1). *)
+  x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let log_normal t ~mu ~sigma =
+  (* Box-Muller *)
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let sample_without_replacement t k xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  let k = min k (Array.length arr) in
+  Array.to_list (Array.sub arr 0 k)

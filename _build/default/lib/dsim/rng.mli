@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every experiment in this repository draws randomness from a seeded
+    generator so runs are reproducible bit-for-bit; the ambient [Random]
+    module is never used inside the simulation. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val split : t -> t
+(** An independent stream derived from [t]; advances [t]. *)
+
+val int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean; used for message
+    latencies so convergence interleavings resemble production jitter. *)
+
+val log_normal : t -> mu:float -> sigma:float -> float
+(** Log-normal sample; used for RPC latency tails (Figure 12). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val sample_without_replacement : t -> int -> 'a list -> 'a list
+(** [sample_without_replacement t k xs]: [k] distinct elements of [xs]
+    (all of [xs] if [k >= length xs]); order is unspecified. *)

@@ -1,0 +1,1 @@
+lib/experiments/scenarios.ml: Array Bgp Centralium Dataplane Dsim Float Fun Hashtbl List Net Option Te Topology

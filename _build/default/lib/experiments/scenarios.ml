@@ -1,0 +1,527 @@
+let backbone_community = Net.Community.Well_known.backbone_default_route
+
+let tagged_attr () =
+  Net.Attr.make ~communities:(Net.Community.Set.singleton backbone_community) ()
+
+let deploy_rpa net device rpa =
+  Bgp.Network.set_hooks net device
+    (Centralium.Engine.hooks (Centralium.Engine.create rpa))
+
+let deploy_plan net (plan : Centralium.Controller.plan) =
+  List.iter
+    (fun (device, rpa) -> deploy_rpa net device rpa)
+    plan.Centralium.Controller.rpas
+
+let funnel_of net prefix ~demands ~members =
+  let result = Dataplane.Traffic.route_prefix net prefix ~demands in
+  let total = Dataplane.Traffic.total_demand demands in
+  Dataplane.Metrics.funneling result ~members ~total
+
+(* ------------------------------------------------------------------ *)
+
+module Fig2 = struct
+  type result = {
+    baseline_funnel : float;
+    native_fav2_share : float;
+    rpa_fav2_share : float;
+    balanced_share : float;
+    rpa_loss : float;
+  }
+
+  let run ?(seed = 42) () =
+    let default = Net.Prefix.default_v4 in
+    (* Initial state: FAv1 + Edge only. *)
+    let x0 = Topology.Clos.expansion () in
+    let demands_of x = List.map (fun f -> (f, 1.0)) x.Topology.Clos.xfsws in
+    let net0 = Bgp.Network.create ~seed x0.Topology.Clos.xgraph in
+    Bgp.Network.originate net0 x0.backbone default (tagged_attr ());
+    ignore (Bgp.Network.converge net0);
+    let baseline_funnel =
+      funnel_of net0 default ~demands:(demands_of x0) ~members:x0.fav1
+    in
+    (* Transitory state A: the first FAv2 is activated. *)
+    let x = Topology.Clos.expansion () in
+    let fav2 = Topology.Clos.add_fav2 x in
+    let fa_members = x.fav1 @ [ fav2 ] in
+    let run_case ~with_rpa =
+      let net = Bgp.Network.create ~seed:(seed + 1) x.xgraph in
+      if with_rpa then deploy_plan net (Centralium.Apps.Expansion_equalizer.plan x);
+      Bgp.Network.originate net x.backbone default (tagged_attr ());
+      ignore (Bgp.Network.converge net);
+      let result = Dataplane.Traffic.route_prefix net default ~demands:(demands_of x) in
+      let total = Dataplane.Traffic.total_demand (demands_of x) in
+      ( Dataplane.Metrics.transit_share result ~device:fav2 ~total,
+        Dataplane.Metrics.loss_fraction result ~total )
+    in
+    let native_fav2_share, _ = run_case ~with_rpa:false in
+    let rpa_fav2_share, rpa_loss = run_case ~with_rpa:true in
+    {
+      baseline_funnel;
+      native_fav2_share;
+      rpa_fav2_share;
+      balanced_share = 1.0 /. float_of_int (List.length fa_members);
+      rpa_loss;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig4 = struct
+  type result = {
+    steady_share : float;
+    native_worst_funnel : float;
+    rpa_worst_funnel : float;
+  }
+
+  let decommissioned_number = 1
+
+  let run_case ~seed ~guard =
+    let default = Net.Prefix.default_v4 in
+    let run_case' () =
+      let d = Topology.Clos.decommission ~planes:4 ~grids:8 ~per:4 () in
+      let net = Bgp.Network.create ~seed d.Topology.Clos.dgraph in
+      let ssw1s = Topology.Clos.ssws_numbered d decommissioned_number in
+      let fadu1s = Topology.Clos.fadus_numbered d decommissioned_number in
+      (match guard with
+       | None -> ()
+       | Some fraction ->
+         let plan =
+           Centralium.Apps.Decommission_guard.plan d.dgraph
+             ~destination:Centralium.Destination.backbone_default
+             ~threshold:(Centralium.Path_selection.Fraction fraction)
+             ~decommissioned:ssw1s ~origination_layer:Topology.Node.Eb
+         in
+         deploy_plan net plan);
+      Bgp.Network.originate net d.north_origin default (tagged_attr ());
+      ignore (Bgp.Network.converge net);
+      let demands = [ (d.south_origin, 16.0) ] in
+      let total = Dataplane.Traffic.total_demand demands in
+      let steady =
+        let result = Dataplane.Traffic.route_prefix net default ~demands in
+        Dataplane.Metrics.funneling result ~members:fadu1s ~total
+      in
+      (* Drain the FADU-1s asynchronously and watch the transient FIBs. *)
+      let initial = Bgp.Network.fib_snapshot net default in
+      Bgp.Trace.clear (Bgp.Network.trace net);
+      List.iteri
+        (fun i fadu ->
+          Bgp.Network.drain_device ~delay:(float_of_int i *. 0.002) net fadu)
+        fadu1s;
+      ignore (Bgp.Network.converge net);
+      let timeline =
+        Bgp.Trace.fib_timeline (Bgp.Network.trace net) ~prefix:default ~initial
+      in
+      let worst, _ =
+        Dataplane.Metrics.max_funneling_over_timeline ~timeline ~demands
+          ~members:fadu1s
+      in
+      (steady, worst)
+    in
+    run_case' ()
+
+  let run ?(seed = 42) () =
+    let steady_share, native_worst_funnel = run_case ~seed ~guard:None in
+    let _, rpa_worst_funnel = run_case ~seed ~guard:(Some 0.75) in
+    { steady_share; native_worst_funnel; rpa_worst_funnel }
+
+  let sweep ?(seed = 42) ~thresholds () =
+    List.map
+      (fun guard ->
+        let _, worst = run_case ~seed ~guard in
+        (guard, worst))
+      thresholds
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig5 = struct
+  type result = {
+    prefixes : int;
+    du_nhg_native : int;
+    du_nhg_rpa : int;
+    theoretical_bound : int;
+  }
+
+  let prefix_of i = Net.Prefix.v4 10 (i / 256) (i mod 256) 0 24
+
+  let run ?(seed = 42) ?(prefixes = 48) () =
+    let run_case ~with_rpa =
+      let w = Topology.Clos.wcmp_convergence () in
+      let du = List.nth w.Topology.Clos.dus 0 in
+      let config = { Bgp.Speaker.default_config with wcmp = true } in
+      let net = Bgp.Network.create ~seed ~config w.wgraph in
+      if with_rpa then begin
+        (* Prescribe the traffic distribution a priori: every UU path
+           carries weight 1 regardless of what capacity the distributed
+           control plane would derive. *)
+        let rpa =
+          Centralium.Rpa.make
+            ~route_attribute:
+              [
+                Centralium.Route_attribute.make ~name:"freeze"
+                  [
+                    Centralium.Route_attribute.statement ~default_weight:1
+                      (Centralium.Destination.Prefixes
+                         [ Net.Prefix.of_string_exn "10.0.0.0/8" ])
+                      [];
+                  ];
+              ]
+            ()
+        in
+        deploy_rpa net du rpa
+      end;
+      (* All EBs originate the same N prefixes. *)
+      for i = 0 to prefixes - 1 do
+        List.iter
+          (fun eb -> Bgp.Network.originate net eb (prefix_of i) (Net.Attr.make ()))
+          w.ebs
+      done;
+      ignore (Bgp.Network.converge net);
+      (* Snapshot the steady FIB so the replay counts unchanged prefixes'
+         groups too. *)
+      let initial = Bgp.Speaker.fib (Bgp.Network.speaker net du) in
+      Bgp.Trace.clear (Bgp.Network.trace net);
+      (* EB1 and EB2 transition from LIVE to MAINTENANCE asynchronously. *)
+      (match w.ebs with
+       | eb1 :: eb2 :: _ ->
+         Bgp.Network.drain_device ~delay:0.0 net eb1;
+         Bgp.Network.drain_device ~delay:0.003 net eb2
+       | _ -> invalid_arg "Fig5: need at least two EBs");
+      ignore (Bgp.Network.converge net);
+      Dataplane.Nhg.max_on_device ~initial (Bgp.Network.trace net) ~device:du
+    in
+    let du_nhg_native = run_case ~with_rpa:false in
+    let du_nhg_rpa = run_case ~with_rpa:true in
+    {
+      prefixes;
+      du_nhg_native;
+      du_nhg_rpa;
+      (* Up to 4 transitory per-UU states, seen independently over the
+         DU's 8 sessions. *)
+      theoretical_bound = 4 * 4 * 4 * 4 * 4 * 4 * 4 * 4;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig9 = struct
+  type result = {
+    loops_with_best_advertised : int list list;
+    circulating_bad : float;
+    ttl_loss_bad : float;
+    loops_with_rule : int list list;
+    circulating_good : float;
+    ttl_loss_good : float;
+  }
+
+  let prefix_d = Net.Prefix.of_string_exn "203.0.113.0/24"
+
+  let run ?(seed = 42) () =
+    let run_case ~advertise_least_favorable =
+      let m = Topology.Clos.mixed_dissemination () in
+      let net = Bgp.Network.create ~seed m.mgraph in
+      let r = m.Topology.Clos.r in
+      let asn_of d = (Topology.Graph.node m.mgraph d).Topology.Node.asn in
+      (* R6 load-balances prefix D over R2 and R5 (Figure 9). *)
+      let rpa =
+        Centralium.Rpa.make ~advertise_least_favorable
+          ~path_selection:
+            [
+              Centralium.Path_selection.make
+                [
+                  Centralium.Path_selection.statement
+                    ~path_sets:
+                      [
+                        Centralium.Path_selection.path_set ~name:"r2-r5"
+                          (Centralium.Signature.make
+                             ~neighbor_asns:[ asn_of r.(2); asn_of r.(5) ]
+                             ());
+                      ]
+                    (Centralium.Destination.Prefixes [ prefix_d ]);
+                ];
+            ]
+          ()
+      in
+      deploy_rpa net r.(6) rpa;
+      Bgp.Network.originate net m.origin prefix_d (Net.Attr.make ());
+      ignore (Bgp.Network.converge net);
+      let devices =
+        List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes m.mgraph)
+      in
+      let loops =
+        Dataplane.Metrics.find_forwarding_loops
+          ~lookup:(fun d -> Bgp.Network.fib net d prefix_d)
+          ~devices
+      in
+      let demands = [ (r.(6), 1.0); (r.(3), 1.0) ] in
+      let result = Dataplane.Traffic.route_prefix net prefix_d ~demands in
+      let load a b =
+        Option.value
+          (Hashtbl.find_opt result.Dataplane.Traffic.link_load (a, b))
+          ~default:0.0
+      in
+      (* Traffic on the R5-R6 link in both directions at once = packets
+         circulating between the two. *)
+      let circulating = Float.min (load r.(5) r.(6)) (load r.(6) r.(5)) in
+      (* Discrete flows with a TTL: bouncers between R5 and R6 expire. *)
+      let flows =
+        List.concat_map
+          (fun src -> List.init 100 (fun i -> (src, (src * 1000) + i)))
+          [ r.(6); r.(3) ]
+      in
+      let flow_result =
+        Dataplane.Flowsim.run
+          ~lookup:(fun d -> Bgp.Network.fib net d prefix_d)
+          ~flows ()
+      in
+      (loops, circulating, Dataplane.Flowsim.loss_fraction flow_result)
+    in
+    let loops_with_best_advertised, circulating_bad, ttl_loss_bad =
+      run_case ~advertise_least_favorable:false
+    in
+    let loops_with_rule, circulating_good, ttl_loss_good =
+      run_case ~advertise_least_favorable:true
+    in
+    { loops_with_best_advertised; circulating_bad; ttl_loss_bad;
+      loops_with_rule; circulating_good; ttl_loss_good }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig10 = struct
+  type result = {
+    funnel_top_down : float;
+    funnel_bottom_up : float;
+    balanced : float;
+  }
+
+  let run ?(seed = 42) () =
+    let default = Net.Prefix.default_v4 in
+    let fresh () =
+      let r = Topology.Clos.rollout () in
+      let net = Bgp.Network.create ~seed r.rgraph in
+      Bgp.Network.originate net r.rbackbone default (tagged_attr ());
+      ignore (Bgp.Network.converge net);
+      (r, net)
+    in
+    let plan_for (r : Topology.Clos.rollout) =
+      Centralium.Apps.Path_equalize.plan r.rgraph
+        ~destination:Centralium.Destination.backbone_default
+        ~origin_asn:(Topology.Graph.node r.rgraph r.rbackbone).Topology.Node.asn
+        ~targets:(r.rfsws @ r.rssws @ r.rfas)
+        ~origination_layer:Topology.Node.Eb
+    in
+    let rpa_of plan device = List.assoc device plan.Centralium.Controller.rpas in
+    let measure (r : Topology.Clos.rollout) net =
+      let demands = List.map (fun f -> (f, 1.0)) r.rfsws in
+      funnel_of net default ~demands ~members:r.rfas
+    in
+    (* Uncoordinated: the RPA takes effect on FA1 first. *)
+    let funnel_top_down =
+      let r, net = fresh () in
+      let plan = plan_for r in
+      (match r.rfas with
+       | fa1 :: _ -> deploy_rpa net fa1 (rpa_of plan fa1)
+       | [] -> invalid_arg "Fig10: no FAs");
+      ignore (Bgp.Network.converge net);
+      let worst = measure r net in
+      (* Finish the rollout; the funnel persists only until then. *)
+      List.iter
+        (fun (d, rpa) -> deploy_rpa net d rpa)
+        plan.Centralium.Controller.rpas;
+      ignore (Bgp.Network.converge net);
+      worst
+    in
+    (* Safe order: bottom-up phases, converging between phases, watching
+       the funnel at every checkpoint (including mid-FA-phase). *)
+    let funnel_bottom_up =
+      let r, net = fresh () in
+      let plan = plan_for r in
+      let worst = ref (measure r net) in
+      let checkpoint () = worst := Float.max !worst (measure r net) in
+      List.iter
+        (fun phase ->
+          List.iter
+            (fun device ->
+              deploy_rpa net device (rpa_of plan device);
+              ignore (Bgp.Network.converge net);
+              checkpoint ())
+            phase)
+        plan.Centralium.Controller.phases;
+      !worst
+    in
+    let r = Topology.Clos.rollout () in
+    {
+      funnel_top_down;
+      funnel_bottom_up;
+      balanced = 1.0 /. float_of_int (List.length r.rfas);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig14 = struct
+  type result = {
+    blackholed_with_knob : float;
+    blackholed_without_knob : float;
+    propagated_past_ssw : bool;
+  }
+
+  let specific = Net.Prefix.of_string_exn "10.0.0.0/8"
+  let host = Net.Prefix.v4 10 1 2 3 32
+
+  let run ?(seed = 42) () =
+    let run_case ~keep_fib_warm =
+      let s = Topology.Clos.sev () in
+      let net = Bgp.Network.create ~seed s.sgraph in
+      Bgp.Network.originate net s.sbackbone Net.Prefix.default_v4 (tagged_attr ());
+      ignore (Bgp.Network.converge net);
+      (* The protective RPA was pre-deployed on SSWs and FSWs: only
+         advertise routes of this destination group when >= 75% of the FA
+         uplinks provide them. *)
+      let guard =
+        Centralium.Apps.Min_next_hop_guard.rpa
+          ~destination:Centralium.Destination.backbone_default
+          ~threshold:(Centralium.Path_selection.Fraction 0.75) ~keep_fib_warm
+      in
+      List.iter (fun d -> deploy_rpa net d guard) (s.sssws @ s.sfsws);
+      ignore (Bgp.Network.converge net);
+      (* The not-production-ready FA unexpectedly originates the new, more
+         specific route. *)
+      Bgp.Network.originate net s.bad_fa specific (tagged_attr ());
+      ignore (Bgp.Network.converge net);
+      let demands = List.map (fun f -> (f, 1.0)) s.sfsws in
+      let result = Dataplane.Traffic.route_destination net host ~demands in
+      let total = Dataplane.Traffic.total_demand demands in
+      let blackholed =
+        Option.value
+          (Hashtbl.find_opt result.Dataplane.Traffic.delivered_at s.bad_fa)
+          ~default:0.0
+        /. total
+      in
+      let propagated =
+        List.exists (fun f -> Bgp.Network.fib net f specific <> None) s.sfsws
+      in
+      (blackholed, propagated)
+    in
+    let blackholed_with_knob, leaked1 = run_case ~keep_fib_warm:true in
+    let blackholed_without_knob, leaked2 = run_case ~keep_fib_warm:false in
+    {
+      blackholed_with_knob;
+      blackholed_without_knob;
+      propagated_past_ssw = leaked1 || leaked2;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig13 = struct
+  type event = {
+    event_id : int;
+    drained_links : int;
+    ecmp_capacity : float;
+    rpa_capacity : float;
+    ideal_capacity : float;
+  }
+
+  type result = {
+    events : event list;
+    mean_rpa_over_ideal : float;
+    mean_ecmp_over_ideal : float;
+    unblocked_fraction : float;
+  }
+
+  let fauus = 4
+  let ebs = 4
+
+  (* FAUU i is node i; EB j is node fauus + j; the backbone sink is the
+     last node. Uplink capacities are deliberately heterogeneous: that is
+     what separates WCMP from ECMP. *)
+  let base_edges () =
+    let sink = fauus + ebs in
+    let uplinks =
+      List.concat_map
+        (fun i ->
+          List.map
+            (fun j ->
+              (* Heterogeneous uplink speeds (1/3/5), varying per (i, j). *)
+              let capacity = float_of_int (1 + (((i + j) mod 3) * 2)) in
+              (i, fauus + j, capacity))
+            (List.init ebs Fun.id))
+        (List.init fauus Fun.id)
+    in
+    let egress = List.init ebs (fun j -> (fauus + j, sink, 8.0)) in
+    (uplinks, egress, sink)
+
+  let run ?(seed = 42) ?(events = 40) ?(levels = 64) () =
+    let rng = Dsim.Rng.create seed in
+    let uplinks, egress, sink = base_edges () in
+    let demand_per_fauu = 6.0 in
+    let demands = List.init fauus (fun i -> (i, demand_per_fauu)) in
+    let total = demand_per_fauu *. float_of_int fauus in
+    let make_event event_id =
+      (* Drain 0-4 uplinks, never isolating a FAUU. *)
+      let to_drain =
+        if event_id = 0 then []
+        else begin
+          let k = 1 + Dsim.Rng.int rng 4 in
+          let candidates = Dsim.Rng.sample_without_replacement rng k uplinks in
+          (* Greedily accept drains that leave every FAUU >= 1 live uplink. *)
+          List.fold_left
+            (fun accepted ((i, _, _) as edge) ->
+              let live_after =
+                List.length
+                  (List.filter
+                     (fun ((i', _, _) as e) ->
+                       i' = i && e <> edge && not (List.mem e accepted))
+                     uplinks)
+              in
+              if live_after >= 1 then edge :: accepted else accepted)
+            [] candidates
+        end
+      in
+      let live =
+        List.filter (fun edge -> not (List.mem edge to_drain)) uplinks
+      in
+      let instance =
+        {
+          Te.Solver.node_count = sink + 1;
+          edges = live @ egress;
+          demands;
+          destination = sink;
+        }
+      in
+      let u_ideal, w_ideal = Te.Solver.optimal instance in
+      let u_rpa =
+        Te.Solver.max_utilization instance (Te.Solver.quantize ~levels w_ideal)
+      in
+      let u_ecmp =
+        Te.Solver.max_utilization instance (Te.Solver.ecmp_weights instance)
+      in
+      {
+        event_id;
+        drained_links = List.length to_drain;
+        ecmp_capacity = Te.Solver.effective_capacity instance ~max_util:u_ecmp;
+        rpa_capacity = Te.Solver.effective_capacity instance ~max_util:u_rpa;
+        ideal_capacity = Te.Solver.effective_capacity instance ~max_util:u_ideal;
+      }
+    in
+    let event_list = List.init events make_event in
+    let mean f =
+      List.fold_left (fun acc e -> acc +. f e) 0.0 event_list
+      /. float_of_int (List.length event_list)
+    in
+    let unblocked =
+      List.filter
+        (fun e -> e.ecmp_capacity < total && e.rpa_capacity >= total)
+        event_list
+    in
+    {
+      events = event_list;
+      mean_rpa_over_ideal = mean (fun e -> e.rpa_capacity /. e.ideal_capacity);
+      mean_ecmp_over_ideal = mean (fun e -> e.ecmp_capacity /. e.ideal_capacity);
+      unblocked_fraction =
+        float_of_int (List.length unblocked)
+        /. float_of_int (List.length event_list);
+    }
+end

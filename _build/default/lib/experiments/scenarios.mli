@@ -1,0 +1,139 @@
+(** Executable reproductions of the paper's scenario figures.
+
+    Each [run] builds the figure's topology, drives the migration through
+    the event-simulated BGP network twice — native BGP versus
+    RPA-protected — and returns the observable the paper argues about
+    (funneling share, next-hop-group count, loop presence, black-holed
+    fraction). Both the integration tests and the benchmark harness consume
+    these. All runs are deterministic given [seed]. *)
+
+(** Section 3.2 / Figure 2: first-router problem in topology expansion. *)
+module Fig2 : sig
+  type result = {
+    baseline_funnel : float;
+        (** steady-state max FA share before FAv2 exists *)
+    native_fav2_share : float;
+        (** share of traffic through the first FAv2, native BGP (the
+            first-router collapse: expect 1.0) *)
+    rpa_fav2_share : float;  (** same with path-equalize RPAs (expect 1/n) *)
+    balanced_share : float;  (** 1 / (#FAv1 + 1), the ideal *)
+    rpa_loss : float;        (** loss fraction under RPA (expect 0) *)
+  }
+
+  val run : ?seed:int -> unit -> result
+end
+
+(** Section 3.3 / Figure 4: last-router problem in decommission. *)
+module Fig4 : sig
+  type result = {
+    steady_share : float;
+        (** per-FADU-1 share before any drain (1 / (#planes x per)) *)
+    native_worst_funnel : float;
+        (** worst transient share of any FADU-1 while FADU-1s drain
+            asynchronously under native BGP (expect ~#grids x steady) *)
+    rpa_worst_funnel : float;
+        (** same with the BgpNativeMinNextHop guard on SSW-1s *)
+  }
+
+  val run : ?seed:int -> unit -> result
+
+  val sweep :
+    ?seed:int -> thresholds:float option list -> unit -> (float option * float) list
+  (** Ablation of the guard threshold: for each entry ([None] = no guard,
+      [Some f] = [BgpNativeMinNextHop] fraction [f]) the worst transient
+      funnel over the drain. Shows where the design choice of Section 4.4.2
+      sits: too low a threshold behaves like native BGP, 1.0 withdraws on
+      the first drain. *)
+end
+
+(** Section 3.4 / Figure 5: transient next-hop-group explosion during
+    distributed WCMP convergence. *)
+module Fig5 : sig
+  type result = {
+    prefixes : int;
+    du_nhg_native : int;
+        (** peak distinct NHG objects on the DU during EB[1:2] maintenance
+            under distributed WCMP *)
+    du_nhg_rpa : int;
+        (** same with weights prescribed a priori by Route Attribute RPA *)
+    theoretical_bound : int;  (** s^m per-UU states to the #sessions: 4^8 *)
+  }
+
+  val run : ?seed:int -> ?prefixes:int -> unit -> result
+end
+
+(** Section 5.3.1 / Figure 9: dissemination rule and routing loops. *)
+module Fig9 : sig
+  type result = {
+    loops_with_best_advertised : int list list;
+        (** forwarding cycles when the RPA speaker advertises its best
+            selected path (expect the persistent R5-R6 loop) *)
+    circulating_bad : float;
+        (** traffic crossing the R5-R6 link in {e both} directions — the
+            signature of a forwarding loop: min(load R5->R6, load R6->R5) *)
+    ttl_loss_bad : float;
+        (** fraction of discrete flows (hash-forwarded, TTL 64) that die in
+            the loop — the paper's "packets dropped during this time" *)
+    loops_with_rule : int list list;  (** expect none *)
+    circulating_good : float;  (** expect 0 *)
+    ttl_loss_good : float;  (** expect 0 *)
+  }
+
+  val run : ?seed:int -> unit -> result
+end
+
+(** Section 5.3.2 / Figure 10: RPA deployment sequencing. *)
+module Fig10 : sig
+  type result = {
+    funnel_top_down : float;
+        (** worst transient FA share when the RPA lands on FA1 first
+            (uncoordinated; expect ~1.0 through FA2) *)
+    funnel_bottom_up : float;
+        (** worst transient FA share under the safe order (expect ~0.5) *)
+    balanced : float;  (** 1 / #FAs *)
+  }
+
+  val run : ?seed:int -> unit -> result
+end
+
+(** Section 7.2 / Figure 14: the KeepFibWarmIfMnhViolated SEV. *)
+module Fig14 : sig
+  type result = {
+    blackholed_with_knob : float;
+        (** fraction of host-bound traffic terminating at the
+            not-production-ready FA when KeepFibWarm was (incorrectly) set *)
+    blackholed_without_knob : float;  (** expect 0 *)
+    propagated_past_ssw : bool;
+        (** whether the new route leaked below SSWs (expect false — the
+            guard withheld advertisement either way) *)
+  }
+
+  val run : ?seed:int -> unit -> result
+end
+
+(** Section 6.4 / Figure 13: effective capacity of ECMP vs RPA-TE vs ideal
+    WCMP across maintenance events. *)
+module Fig13 : sig
+  type event = {
+    event_id : int;
+    drained_links : int;
+    ecmp_capacity : float;
+    rpa_capacity : float;
+    ideal_capacity : float;
+  }
+
+  type result = {
+    events : event list;
+    mean_rpa_over_ideal : float;   (** expect close to 1.0 *)
+    mean_ecmp_over_ideal : float;  (** expect well below 1.0 *)
+    unblocked_fraction : float;
+        (** fraction of events where the demand fits under RPA-TE but not
+            under ECMP — maintenance that TE unblocks (Section 6.4 reports
+            up to 45%) *)
+  }
+
+  val run : ?seed:int -> ?events:int -> ?levels:int -> unit -> result
+  (** [levels] is the link-bandwidth quantization granularity used for the
+      RPA-TE comparator (default 64). Sweeping it shows how much expressive
+      precision the RPA weight encoding needs to track the ideal. *)
+end

@@ -1,0 +1,1 @@
+lib/net/as_path.ml: Asn Format List String

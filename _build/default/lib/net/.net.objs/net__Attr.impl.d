@@ -1,0 +1,1 @@
+lib/net/attr.ml: As_path Community Format Int Option

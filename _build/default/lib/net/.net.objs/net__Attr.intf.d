@@ -1,0 +1,1 @@
+lib/net/attr.mli: As_path Asn Community Format

@@ -1,0 +1,1 @@
+lib/net/community.ml: Format Int Printf Set String

@@ -1,0 +1,1 @@
+lib/net/community.mli: Format Set

@@ -1,0 +1,1 @@
+lib/net/path_regex.ml: Array As_path Asn Format Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/net/path_regex.mli: As_path Asn Format

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Buffer Format Hashtbl Int Int64 List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/net/route.ml: Attr Format Int Prefix

@@ -1,0 +1,1 @@
+lib/net/route.mli: Attr Format Prefix

@@ -1,0 +1,59 @@
+type segment =
+  | Seq of Asn.t list
+  | Set of Asn.t list
+
+type t = segment list
+
+let empty = []
+
+let of_asns = function [] -> [] | asns -> [ Seq asns ]
+
+let of_segments segs =
+  List.filter (function Seq [] | Set [] -> false | Seq _ | Set _ -> true) segs
+
+let segments t = t
+
+let prepend asn = function
+  | Seq asns :: rest -> Seq (asn :: asns) :: rest
+  | (([] | Set _ :: _) as t) -> Seq [ asn ] :: t
+
+let rec prepend_n n asn t =
+  if n <= 0 then t else prepend_n (n - 1) asn (prepend asn t)
+
+let length t =
+  List.fold_left
+    (fun acc -> function Seq asns -> acc + List.length asns | Set _ -> acc + 1)
+    0 t
+
+let mem asn t =
+  List.exists
+    (function Seq asns | Set asns -> List.exists (Asn.equal asn) asns)
+    t
+
+let asns t =
+  List.concat_map (function Seq asns | Set asns -> asns) t
+
+let origin_asn t =
+  match List.rev (asns t) with [] -> None | last :: _ -> Some last
+
+let first_asn t = match asns t with [] -> None | first :: _ -> Some first
+
+let to_string t =
+  let seg_to_string = function
+    | Seq asns -> String.concat " " (List.map Asn.to_string asns)
+    | Set asns ->
+      "{" ^ String.concat " " (List.map Asn.to_string asns) ^ "}"
+  in
+  String.concat " " (List.map seg_to_string t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let compare_segment a b =
+  match (a, b) with
+  | Seq x, Seq y | Set x, Set y ->
+    List.compare Asn.compare x y
+  | Seq _, Set _ -> -1
+  | Set _, Seq _ -> 1
+
+let compare = List.compare compare_segment
+let equal a b = compare a b = 0

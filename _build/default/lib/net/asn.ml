@@ -1,0 +1,17 @@
+type t = int
+
+let max_asn = (1 lsl 32) - 1
+
+let of_int x =
+  if x < 0 || x > max_asn then
+    invalid_arg (Printf.sprintf "Asn.of_int: %d out of range" x);
+  x
+
+let to_int t = t
+let to_string = string_of_int
+let pp ppf t = Format.pp_print_int ppf t
+let compare = Int.compare
+let equal = Int.equal
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,23 @@
+(** Autonomous System Numbers.
+
+    In Meta-style data centers every switch runs eBGP in its own private AS,
+    so ASNs double as switch identities inside AS-paths. *)
+
+type t = private int
+(** A 4-byte ASN. *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] if outside [0, 2^32 - 1]. *)
+
+val to_int : t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,60 @@
+type origin = Igp | Egp | Incomplete
+
+let origin_to_string = function
+  | Igp -> "IGP"
+  | Egp -> "EGP"
+  | Incomplete -> "INCOMPLETE"
+
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  local_pref : int;
+  med : int;
+  communities : Community.Set.t;
+  link_bandwidth : int option;
+}
+
+let make ?(origin = Igp) ?(as_path = As_path.empty) ?(local_pref = 100)
+    ?(med = 0) ?(communities = Community.Set.empty) ?link_bandwidth () =
+  { origin; as_path; local_pref; med; communities; link_bandwidth }
+
+let with_prepended asn t = { t with as_path = As_path.prepend asn t.as_path }
+
+let add_community c t = { t with communities = Community.Set.add c t.communities }
+
+let has_community c t = Community.Set.mem c t.communities
+
+let set_local_pref local_pref t = { t with local_pref }
+
+let set_link_bandwidth link_bandwidth t = { t with link_bandwidth }
+
+let compare a b =
+  let c = Int.compare (origin_rank a.origin) (origin_rank b.origin) in
+  if c <> 0 then c
+  else
+    let c = As_path.compare a.as_path b.as_path in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.local_pref b.local_pref in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.med b.med in
+        if c <> 0 then c
+        else
+          let c = Community.Set.compare a.communities b.communities in
+          if c <> 0 then c
+          else Option.compare Int.compare a.link_bandwidth b.link_bandwidth
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>lp=%d med=%d origin=%s path=[%a] comms=%a%a@]"
+    t.local_pref t.med
+    (origin_to_string t.origin)
+    As_path.pp t.as_path Community.Set.pp t.communities
+    (fun ppf -> function
+      | None -> ()
+      | Some bw -> Format.fprintf ppf " lbw=%d" bw)
+    t.link_bandwidth

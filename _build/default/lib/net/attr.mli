@@ -1,0 +1,48 @@
+(** BGP path attributes.
+
+    The subset of attributes the paper's decision process and RPA signatures
+    operate on: ORIGIN, AS_PATH, LOCAL_PREF, MED, standard communities, and
+    the link-bandwidth extended community used for distributed WCMP
+    (Section 2, Traffic Distribution). *)
+
+type origin = Igp | Egp | Incomplete
+
+val origin_to_string : origin -> string
+
+val origin_rank : origin -> int
+(** Lower is preferred: IGP < EGP < INCOMPLETE. *)
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  local_pref : int;
+  med : int;
+  communities : Community.Set.t;
+  link_bandwidth : int option;
+      (** Relative WCMP weight carried by the link-bandwidth extended
+          community; [None] means no weight advertised (pure ECMP). *)
+}
+
+val make :
+  ?origin:origin ->
+  ?as_path:As_path.t ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?communities:Community.Set.t ->
+  ?link_bandwidth:int ->
+  unit ->
+  t
+(** Defaults: [Igp], empty path, local-pref 100, MED 0, no communities, no
+    link bandwidth. *)
+
+val with_prepended : Asn.t -> t -> t
+(** Attributes after crossing an eBGP hop: the sender's ASN is prepended. *)
+
+val add_community : Community.t -> t -> t
+val has_community : Community.t -> t -> bool
+val set_local_pref : int -> t -> t
+val set_link_bandwidth : int option -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,383 @@
+(* A Thompson-construction NFA over ASN tokens.
+
+   The only subtlety versus a textbook engine is anchoring: we keep explicit
+   [anchored_start]/[anchored_end] flags instead of embedding position
+   assertions in the automaton, which keeps simulation a plain set-of-states
+   walk. Unanchored search is simulated by re-injecting the start state at
+   every input position and accepting as soon as an accept state is seen
+   (with a trailing [.*] implied by not requiring end-of-input). *)
+
+type ast =
+  | Lit of int
+  | Any
+  | Klass of (int * int) list (* inclusive ranges *)
+  | Neg_klass of (int * int) list
+  | Cat of ast list
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+
+type parsed = { anchored_start : bool; anchored_end : bool; body : ast }
+
+exception Parse_error of string
+
+(* ---------------- Parser ---------------- *)
+
+type lexer = { src : string; mutable pos : int }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx = lx.pos <- lx.pos + 1
+
+let fail msg = raise (Parse_error msg)
+
+let skip_separators lx =
+  let rec go () =
+    match peek lx with
+    | Some (' ' | '_') ->
+      advance lx;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let lex_int lx =
+  let start = lx.pos in
+  let rec go () =
+    match peek lx with
+    | Some ('0' .. '9') ->
+      advance lx;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if lx.pos = start then fail "expected an ASN"
+  else int_of_string (String.sub lx.src start (lx.pos - start))
+
+let rec parse_alt lx =
+  let left = parse_cat lx in
+  skip_separators lx;
+  match peek lx with
+  | Some '|' ->
+    advance lx;
+    Alt (left, parse_alt lx)
+  | Some _ | None -> left
+
+and parse_cat lx =
+  let rec go acc =
+    skip_separators lx;
+    match peek lx with
+    | None | Some (')' | '|' | '$') -> List.rev acc
+    | Some _ -> go (parse_rep lx :: acc)
+  in
+  match go [] with [ one ] -> one | items -> Cat items
+
+and parse_rep lx =
+  let atom = parse_atom lx in
+  match peek lx with
+  | Some '*' ->
+    advance lx;
+    Star atom
+  | Some '+' ->
+    advance lx;
+    Plus atom
+  | Some '?' ->
+    advance lx;
+    Opt atom
+  | Some '{' ->
+    advance lx;
+    parse_bounds lx atom
+  | Some _ | None -> atom
+
+(* {m}, {m,} and {m,n} expand structurally: m mandatory copies followed by
+   optional ones (or a star for an open bound). *)
+and parse_bounds lx atom =
+  skip_separators lx;
+  let low = lex_int lx in
+  skip_separators lx;
+  let high =
+    match peek lx with
+    | Some ',' ->
+      advance lx;
+      skip_separators lx;
+      (match peek lx with
+       | Some '}' -> None (* {m,} *)
+       | Some _ | None -> Some (lex_int lx))
+    | Some _ | None -> Some low (* {m} *)
+  in
+  skip_separators lx;
+  (match peek lx with
+   | Some '}' -> advance lx
+   | Some c -> fail (Printf.sprintf "expected '}', found %c" c)
+   | None -> fail "unterminated '{'");
+  let mandatory = List.init low (fun _ -> atom) in
+  match high with
+  | None -> Cat (mandatory @ [ Star atom ])
+  | Some high ->
+    if high < low then fail "descending bound in {m,n}"
+    else Cat (mandatory @ List.init (high - low) (fun _ -> Opt atom))
+
+and parse_atom lx =
+  skip_separators lx;
+  match peek lx with
+  | Some '.' ->
+    advance lx;
+    Any
+  | Some '(' ->
+    advance lx;
+    let inner = parse_alt lx in
+    (match peek lx with
+     | Some ')' ->
+       advance lx;
+       inner
+     | Some c -> fail (Printf.sprintf "expected ')', found %c" c)
+     | None -> fail "unterminated '('")
+  | Some '[' ->
+    advance lx;
+    parse_class lx
+  | Some ('0' .. '9') -> Lit (lex_int lx)
+  | Some '^' -> fail "'^' is only allowed at the start of the pattern"
+  | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  | None -> fail "unexpected end of pattern"
+
+and parse_class lx =
+  let negated =
+    match peek lx with
+    | Some '^' ->
+      advance lx;
+      true
+    | Some _ | None -> false
+  in
+  let rec items acc =
+    skip_separators lx;
+    let lo = lex_int lx in
+    let range =
+      match peek lx with
+      | Some '-' ->
+        advance lx;
+        let hi = lex_int lx in
+        if hi < lo then fail "descending range in class" else (lo, hi)
+      | Some _ | None -> (lo, lo)
+    in
+    skip_separators lx;
+    match peek lx with
+    | Some ',' ->
+      advance lx;
+      items (range :: acc)
+    | Some ']' ->
+      advance lx;
+      List.rev (range :: acc)
+    | Some c -> fail (Printf.sprintf "expected ',' or ']', found %c" c)
+    | None -> fail "unterminated '['"
+  in
+  let ranges = items [] in
+  if negated then Neg_klass ranges else Klass ranges
+
+let parse src =
+  let lx = { src; pos = 0 } in
+  skip_separators lx;
+  let anchored_start =
+    match peek lx with
+    | Some '^' ->
+      advance lx;
+      true
+    | Some _ | None -> false
+  in
+  let body = parse_alt lx in
+  skip_separators lx;
+  let anchored_end =
+    match peek lx with
+    | Some '$' ->
+      advance lx;
+      true
+    | Some _ | None -> false
+  in
+  skip_separators lx;
+  (match peek lx with
+   | None -> ()
+   | Some c -> fail (Printf.sprintf "trailing input at %c" c));
+  { anchored_start; anchored_end; body }
+
+(* ---------------- NFA ---------------- *)
+
+type transition =
+  | Eps of int
+  | Tok of (int -> bool) * int
+
+type nfa = {
+  transitions : transition list array;
+  start : int;
+  accept : int;
+}
+
+type builder = { mutable table : transition list array; mutable next : int }
+
+let new_state b =
+  let id = b.next in
+  b.next <- id + 1;
+  if id >= Array.length b.table then begin
+    let bigger = Array.make (max 8 (2 * Array.length b.table)) [] in
+    Array.blit b.table 0 bigger 0 (Array.length b.table);
+    b.table <- bigger
+  end;
+  id
+
+let add_edge b from edge = b.table.(from) <- edge :: b.table.(from)
+
+(* Returns (entry, exit) fragment for [ast]. *)
+let rec build b ast =
+  match ast with
+  | Lit asn ->
+    let s = new_state b and e = new_state b in
+    add_edge b s (Tok ((fun x -> x = asn), e));
+    (s, e)
+  | Any ->
+    let s = new_state b and e = new_state b in
+    add_edge b s (Tok ((fun _ -> true), e));
+    (s, e)
+  | Klass ranges ->
+    let s = new_state b and e = new_state b in
+    let test x = List.exists (fun (lo, hi) -> lo <= x && x <= hi) ranges in
+    add_edge b s (Tok (test, e));
+    (s, e)
+  | Neg_klass ranges ->
+    let s = new_state b and e = new_state b in
+    let test x = not (List.exists (fun (lo, hi) -> lo <= x && x <= hi) ranges) in
+    add_edge b s (Tok (test, e));
+    (s, e)
+  | Cat items ->
+    let s = new_state b in
+    let last =
+      List.fold_left
+        (fun prev item ->
+          let s_i, e_i = build b item in
+          add_edge b prev (Eps s_i);
+          e_i)
+        s items
+    in
+    (s, last)
+  | Alt (l, r) ->
+    let s = new_state b and e = new_state b in
+    let s_l, e_l = build b l in
+    let s_r, e_r = build b r in
+    add_edge b s (Eps s_l);
+    add_edge b s (Eps s_r);
+    add_edge b e_l (Eps e);
+    add_edge b e_r (Eps e);
+    (s, e)
+  | Star inner ->
+    let s = new_state b and e = new_state b in
+    let s_i, e_i = build b inner in
+    add_edge b s (Eps s_i);
+    add_edge b s (Eps e);
+    add_edge b e_i (Eps s_i);
+    add_edge b e_i (Eps e);
+    (s, e)
+  | Plus inner ->
+    let s_i, e_i = build b inner in
+    let e = new_state b in
+    add_edge b e_i (Eps s_i);
+    add_edge b e_i (Eps e);
+    (s_i, e)
+  | Opt inner ->
+    let s = new_state b and e = new_state b in
+    let s_i, e_i = build b inner in
+    add_edge b s (Eps s_i);
+    add_edge b s (Eps e);
+    add_edge b e_i (Eps e);
+    (s, e)
+
+let compile_parsed p =
+  let b = { table = Array.make 16 []; next = 0 } in
+  let s, e = build b p.body in
+  {
+    transitions = Array.sub b.table 0 b.next;
+    start = s;
+    accept = e;
+  }
+
+type t = {
+  src : string;
+  nfa : nfa;
+  anchored_start : bool;
+  anchored_end : bool;
+}
+
+let compile src =
+  match parse src with
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | parsed ->
+    Ok
+      {
+        src;
+        nfa = compile_parsed parsed;
+        anchored_start = parsed.anchored_start;
+        anchored_end = parsed.anchored_end;
+      }
+
+let compile_exn src =
+  match compile src with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Path_regex %S: %s" src msg)
+
+let source t = t.src
+let pp ppf t = Format.pp_print_string ppf t.src
+let equal a b = String.equal a.src b.src
+
+(* ---------------- Simulation ---------------- *)
+
+module Int_set = Set.Make (Int)
+
+let eps_closure nfa states =
+  let rec go frontier closure =
+    match frontier with
+    | [] -> closure
+    | s :: rest ->
+      let frontier, closure =
+        List.fold_left
+          (fun (frontier, closure) edge ->
+            match edge with
+            | Eps target when not (Int_set.mem target closure) ->
+              (target :: frontier, Int_set.add target closure)
+            | Eps _ | Tok _ -> (frontier, closure))
+          (rest, closure) nfa.transitions.(s)
+      in
+      go frontier closure
+  in
+  go (Int_set.elements states) states
+
+let step nfa states token =
+  Int_set.fold
+    (fun s acc ->
+      List.fold_left
+        (fun acc edge ->
+          match edge with
+          | Tok (test, target) when test token -> Int_set.add target acc
+          | Tok _ | Eps _ -> acc)
+        acc nfa.transitions.(s))
+    states Int_set.empty
+
+let matches_asns t asn_list =
+  let tokens = List.map Asn.to_int asn_list in
+  let nfa = t.nfa in
+  let inject states =
+    if t.anchored_start then states else Int_set.add nfa.start states
+  in
+  let initial = eps_closure nfa (Int_set.singleton nfa.start) in
+  let accepts states = Int_set.mem nfa.accept states in
+  let rec walk states tokens =
+    (* Accept mid-input only when the end is not anchored. *)
+    if (not t.anchored_end) && accepts states then true
+    else
+      match tokens with
+      | [] -> accepts states
+      | token :: rest ->
+        let states = eps_closure nfa (inject states) in
+        let after = eps_closure nfa (step nfa states token) in
+        walk after rest
+  in
+  walk initial tokens
+
+let matches t path = matches_asns t (As_path.asns path)

@@ -1,0 +1,47 @@
+(** Regular expressions over AS-paths.
+
+    RPA path signatures identify path sets with expressions such as
+    ["as_path_regex=^12345"] (Section 4.3): match AS-paths starting with ASN
+    12345 regardless of length. This module implements a small, dependency
+    free regex engine that operates on the *token* level — each token is an
+    ASN — mirroring how router vendors match AS-path regular expressions.
+
+    Supported syntax:
+    - an integer literal matches that ASN;
+    - ['.'] matches any single ASN;
+    - ['_'] is a token separator and matches nothing (accepted for
+      familiarity with string-based AS-path regexes);
+    - [( … | … )] grouping and alternation;
+    - postfix ['*'], ['+'], ['?'], and bounded repetition [{m}], [{m,}],
+      [{m,n}];
+    - [\[100-200\]] an inclusive ASN range, [\[100,200,300\]] an ASN set
+      (ranges and single ASNs can be mixed, comma separated); [\[^ … \]]
+      negates the class (matches any ASN outside it);
+    - a leading ['^'] anchors at the beginning of the path, a trailing ['$']
+      anchors at the end. Without anchors the pattern matches any
+      contiguous sub-path. ["^$"] matches only the empty path.
+
+    Tokens may be separated by spaces or ['_']. *)
+
+type t
+(** A compiled pattern. *)
+
+val compile : string -> (t, string) result
+
+val compile_exn : string -> t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val source : t -> string
+(** The original pattern string. *)
+
+val matches : t -> As_path.t -> bool
+(** [matches re path] tests [re] against the flattened ASN sequence of
+    [path]. *)
+
+val matches_asns : t -> Asn.t list -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!source}. *)
+
+val equal : t -> t -> bool
+(** Source-string equality (used for RPA signature caching). *)

@@ -1,0 +1,24 @@
+type device = int
+
+type t = {
+  prefix : Prefix.t;
+  attr : Attr.t;
+  learned_from : device;
+}
+
+let make ~prefix ~attr ~learned_from = { prefix; attr; learned_from }
+
+let next_hop t = t.learned_from
+
+let compare a b =
+  let c = Prefix.compare a.prefix b.prefix in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.learned_from b.learned_from in
+    if c <> 0 then c else Attr.compare a.attr b.attr
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a via %d %a@]" Prefix.pp t.prefix t.learned_from
+    Attr.pp t.attr

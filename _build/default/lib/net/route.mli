@@ -1,0 +1,24 @@
+(** Routes: a destination prefix with attributes and the peer it came from.
+
+    In a Clos data center the BGP next hop of a route learned over a session
+    is the directly connected peer, so we identify next hops with abstract
+    peer/device identifiers (integers assigned by the topology layer). *)
+
+type device = int
+(** Abstract device identifier; assigned by [Topology]. *)
+
+type t = {
+  prefix : Prefix.t;
+  attr : Attr.t;
+  learned_from : device;
+      (** The peer the route was received from; doubles as the forwarding
+          next hop. Locally originated routes use the device's own id. *)
+}
+
+val make : prefix:Prefix.t -> attr:Attr.t -> learned_from:device -> t
+
+val next_hop : t -> device
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/openr/lsa.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/openr/lsa.mli: Format

@@ -1,0 +1,1 @@
+lib/openr/network.ml: Dsim Float Hashtbl List Lsa Printf Spf Topology

@@ -1,0 +1,1 @@
+lib/openr/network.mli: Spf Topology

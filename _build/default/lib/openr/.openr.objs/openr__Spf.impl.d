@@ -1,0 +1,1 @@
+lib/openr/spf.ml: Float Hashtbl Int List Option Set

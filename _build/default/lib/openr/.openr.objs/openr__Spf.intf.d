@@ -1,0 +1,1 @@
+lib/openr/spf.mli: Hashtbl

@@ -1,0 +1,15 @@
+type t = {
+  originator : int;
+  sequence : int;
+  adjacencies : (int * float) list;
+}
+
+let make ~originator ~sequence ~adjacencies =
+  { originator; sequence; adjacencies = List.sort compare adjacencies }
+
+let newer a ~than = a.originator = than.originator && a.sequence > than.sequence
+
+let pp ppf t =
+  Format.fprintf ppf "LSA(%d seq=%d adj=[%s])" t.originator t.sequence
+    (String.concat "; "
+       (List.map (fun (n, m) -> Printf.sprintf "%d:%.1f" n m) t.adjacencies))

@@ -1,0 +1,21 @@
+(** Link-state advertisements for the Open/R-style protocol.
+
+    Open/R routes Meta's {e infrastructure} prefixes: device connectivity,
+    management and diagnostics (Section 2 and Appendix A.2 of the paper).
+    Each node originates an LSA describing its live adjacencies; LSAs are
+    flooded network-wide and sequence numbers resolve staleness. *)
+
+type t = {
+  originator : int;       (** device id *)
+  sequence : int;         (** monotonically increasing per originator *)
+  adjacencies : (int * float) list;
+      (** (neighbor, metric) pairs for live links, sorted by neighbor *)
+}
+
+val make : originator:int -> sequence:int -> adjacencies:(int * float) list -> t
+
+val newer : t -> than:t -> bool
+(** [newer a ~than:b] when both describe the same originator and [a] has a
+    strictly higher sequence number. *)
+
+val pp : Format.formatter -> t -> unit

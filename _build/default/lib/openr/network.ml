@@ -1,0 +1,121 @@
+type node_state = {
+  device : int;
+  lsdb : (int, Lsa.t) Hashtbl.t;  (* originator -> freshest LSA *)
+  mutable own_sequence : int;
+}
+
+type t = {
+  topo : Topology.Graph.t;
+  queue : Dsim.Event_queue.t;
+  rng : Dsim.Rng.t;
+  nodes : (int, node_state) Hashtbl.t;
+}
+
+let latency t = 0.0001 +. Dsim.Rng.exponential t.rng ~mean:0.0005
+
+let state t device =
+  match Hashtbl.find_opt t.nodes device with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Openr: unknown device %d" device)
+
+let live_adjacencies t device =
+  Topology.Graph.neighbors t.topo device
+  |> List.map (fun ((n : Topology.Node.t), (link : Topology.Graph.link)) ->
+         (n.Topology.Node.id, 1.0 /. Float.max link.Topology.Graph.capacity 1e-9))
+
+(* Floods [lsa] from [device] to all live neighbors except [except]. *)
+let rec flood t device ~except lsa =
+  List.iter
+    (fun ((n : Topology.Node.t), _) ->
+      let neighbor = n.Topology.Node.id in
+      if neighbor <> except then
+        Dsim.Event_queue.schedule t.queue ~delay:(latency t) (fun () ->
+            (* Deliver only if the link is still up. *)
+            match Topology.Graph.find_link t.topo device neighbor with
+            | Some link when link.Topology.Graph.up -> receive t neighbor ~from:device lsa
+            | Some _ | None -> ()))
+    (Topology.Graph.neighbors t.topo device)
+
+and receive t device ~from lsa =
+  let s = state t device in
+  let fresh =
+    match Hashtbl.find_opt s.lsdb lsa.Lsa.originator with
+    | None -> true
+    | Some existing -> Lsa.newer lsa ~than:existing
+  in
+  if fresh then begin
+    Hashtbl.replace s.lsdb lsa.Lsa.originator lsa;
+    flood t device ~except:from lsa
+  end
+
+let originate t device =
+  let s = state t device in
+  s.own_sequence <- s.own_sequence + 1;
+  let lsa =
+    Lsa.make ~originator:device ~sequence:s.own_sequence
+      ~adjacencies:(live_adjacencies t device)
+  in
+  Hashtbl.replace s.lsdb device lsa;
+  flood t device ~except:(-1) lsa
+
+let create ?(seed = 17) topo =
+  let t =
+    {
+      topo;
+      queue = Dsim.Event_queue.create ();
+      rng = Dsim.Rng.create seed;
+      nodes = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (n : Topology.Node.t) ->
+      Hashtbl.replace t.nodes n.Topology.Node.id
+        { device = n.Topology.Node.id; lsdb = Hashtbl.create 64; own_sequence = 0 })
+    (Topology.Graph.nodes topo);
+  Hashtbl.iter (fun device _ -> originate t device) t.nodes;
+  t
+
+let converge ?(max_events = 2_000_000) t =
+  let executed = Dsim.Event_queue.run ~max_events t.queue in
+  if not (Dsim.Event_queue.is_empty t.queue) then
+    failwith "Openr.Network.converge: no quiescence";
+  executed
+
+let link_event t a b ~up =
+  ignore up;
+  Dsim.Event_queue.schedule t.queue ~delay:0.0 (fun () ->
+      originate t a;
+      originate t b)
+
+let routes_from t device =
+  let s = state t device in
+  let adjacency n =
+    match Hashtbl.find_opt s.lsdb n with
+    | Some lsa -> lsa.Lsa.adjacencies
+    | None -> []
+  in
+  let nodes = Hashtbl.fold (fun originator _ acc -> originator :: acc) s.lsdb [] in
+  Spf.compute ~source:device ~adjacency ~nodes
+
+let reachable t ~src ~dst = Spf.reachable (routes_from t src) dst
+
+let first_hops t ~src ~dst = Spf.first_hops (routes_from t src) dst
+
+let lsdb_size t device = Hashtbl.length (state t device).lsdb
+
+let converged t =
+  let canonical = ref None in
+  let digest s =
+    Hashtbl.fold (fun k lsa acc -> (k, lsa.Lsa.sequence, lsa.Lsa.adjacencies) :: acc) s.lsdb []
+    |> List.sort compare
+  in
+  Hashtbl.fold
+    (fun _ s ok ->
+      ok
+      &&
+      match !canonical with
+      | None ->
+        canonical := Some (digest s);
+        true
+      | Some d -> d = digest s)
+    t.nodes true

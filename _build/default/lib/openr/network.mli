@@ -1,0 +1,37 @@
+(** An event-driven network of Open/R-style link-state nodes.
+
+    Each device floods an LSA describing its live adjacencies; every node
+    maintains a full LSDB and computes SPF routes from it. In the paper's
+    deployment this protocol is the resilient out-of-band management plane:
+    the Centralium controller reaches switches over Open/R routes, with no
+    circular dependency on the BGP state it manipulates (Appendix A.2).
+
+    The module shares the topology graph with {!Bgp.Network} but runs its
+    own event queue: the two protocols run concurrently on every layer and
+    converge independently, as in production. *)
+
+type t
+
+val create : ?seed:int -> Topology.Graph.t -> t
+(** Originates and floods initial LSAs; call {!converge}. *)
+
+val converge : ?max_events:int -> t -> int
+
+val link_event : t -> int -> int -> up:bool -> unit
+(** Notifies both endpoints that the link changed; they re-originate and
+    re-flood. (The graph itself is shared with the BGP network, so bring
+    the link down there — or via {!Topology.Graph.set_link_up} — first.)
+    Schedule-only; call {!converge}. *)
+
+val routes_from : t -> int -> Spf.routes
+(** SPF routes computed on the device's own LSDB. *)
+
+val reachable : t -> src:int -> dst:int -> bool
+
+val first_hops : t -> src:int -> dst:int -> int list
+
+val lsdb_size : t -> int -> int
+(** Number of LSAs the device holds. *)
+
+val converged : t -> bool
+(** All devices hold identical LSDBs. *)

@@ -1,0 +1,62 @@
+type routes = {
+  distance : (int, float) Hashtbl.t;
+  next_hops : (int, int list) Hashtbl.t;
+}
+
+(* A small binary heap of (distance, node) pairs would be overkill at the
+   scales simulated here; a sorted-module Set gives O(log n) extraction and
+   stays simple. *)
+module Frontier = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let bidirectional adjacency a b =
+  List.exists (fun (n, _) -> n = a) (adjacency b)
+
+let compute ~source ~adjacency ~nodes =
+  let distance = Hashtbl.create 64 in
+  let next_hops = Hashtbl.create 64 in
+  ignore nodes;
+  Hashtbl.replace distance source 0.0;
+  Hashtbl.replace next_hops source [];
+  let frontier = ref (Frontier.singleton (0.0, source)) in
+  while not (Frontier.is_empty !frontier) do
+    let ((d, u) as elt) = Frontier.min_elt !frontier in
+    frontier := Frontier.remove elt !frontier;
+    let settled = Hashtbl.find_opt distance u = Some d in
+    if settled then
+      List.iter
+        (fun (v, metric) ->
+          if metric >= 0.0 && bidirectional adjacency u v then begin
+            let alt = d +. metric in
+            let hops_via_u =
+              if u = source then [ v ]
+              else Option.value (Hashtbl.find_opt next_hops u) ~default:[]
+            in
+            match Hashtbl.find_opt distance v with
+            | Some best when alt > best +. 1e-12 -> ()
+            | Some best when Float.abs (alt -. best) <= 1e-12 ->
+              (* Equal cost: merge first hops. *)
+              let merged =
+                List.sort_uniq Int.compare
+                  (hops_via_u
+                   @ Option.value (Hashtbl.find_opt next_hops v) ~default:[])
+              in
+              Hashtbl.replace next_hops v merged
+            | Some _ | None ->
+              Hashtbl.replace distance v alt;
+              Hashtbl.replace next_hops v (List.sort_uniq Int.compare hops_via_u);
+              frontier := Frontier.add (alt, v) !frontier
+          end)
+        (adjacency u)
+  done;
+  { distance; next_hops }
+
+let reachable routes node = Hashtbl.mem routes.distance node
+
+let distance routes node = Hashtbl.find_opt routes.distance node
+
+let first_hops routes node =
+  Option.value (Hashtbl.find_opt routes.next_hops node) ~default:[]

@@ -1,0 +1,24 @@
+(** Shortest-path-first computation over a link-state database.
+
+    Dijkstra with equal-cost multipath: the route to each destination keeps
+    every first hop that lies on some shortest path, matching Open/R's
+    SPF-based routing. The LSDB is given as an adjacency function; an edge
+    is used only if both endpoints advertise it (bidirectional check, as in
+    real link-state protocols). *)
+
+type routes = {
+  distance : (int, float) Hashtbl.t;
+  next_hops : (int, int list) Hashtbl.t;
+      (** destination -> first hops on shortest paths, sorted *)
+}
+
+val compute :
+  source:int -> adjacency:(int -> (int * float) list) -> nodes:int list -> routes
+(** [adjacency n] lists [n]'s advertised (neighbor, metric) pairs;
+    unadvertised nodes contribute nothing. *)
+
+val reachable : routes -> int -> bool
+
+val distance : routes -> int -> float option
+
+val first_hops : routes -> int -> int list

@@ -1,0 +1,229 @@
+type step_kind =
+  | Config_push
+  | Rpa_push
+  | Rpa_slow_roll of float
+  | Physical_work of float
+  | Drain_op
+
+type step = { label : string; kind : step_kind }
+
+type migration_plan = { steps : step list }
+
+let push_cadence_days = 21.0
+
+let step_days = function
+  | Config_push -> push_cadence_days
+  | Rpa_push -> 0.02 (* tens of minutes including checks *)
+  | Rpa_slow_roll days -> days
+  | Physical_work days -> days
+  | Drain_op -> 0.04 (* an hour *)
+
+let step_count plan = List.length plan.steps
+
+let duration_days plan =
+  List.fold_left (fun acc s -> acc +. step_days s.kind) 0.0 plan.steps
+
+type comparison = {
+  category : Topology.Migration.category;
+  without_rpa : migration_plan;
+  with_rpa : migration_plan;
+  rpa_loc : int;
+}
+
+let step label kind = { label; kind }
+
+(* ------------------------------------------------------------------ *)
+(* Representative RPAs per category, built from the real application
+   compilers so the LOC numbers are measured, not asserted. *)
+
+let asn i = Net.Asn.of_int (65000 + i)
+
+let destination_group i =
+  Centralium.Destination.Tagged (Net.Community.make 65100 (100 + i))
+
+let representative_rpa category =
+  let open Centralium in
+  match category with
+  | Topology.Migration.Routing_system_evolution ->
+    (* A routing-design overhaul re-expresses path selection for the full
+       catalog of destination intents: tens of destination groups, each
+       with primary and fallback path sets. *)
+    let statements =
+      List.init 36 (fun i ->
+          Path_selection.statement
+            ~name:(Printf.sprintf "group-%d" i)
+            ~path_sets:
+              [
+                Path_selection.path_set ~name:"preferred"
+                  (Signature.make ~origin_asn:(asn i)
+                     ~communities:[ Net.Community.make 65100 (100 + i) ]
+                     ());
+                Path_selection.path_set ~name:"fallback"
+                  ~min_next_hop:(Path_selection.Count 2)
+                  (Signature.make
+                     ~as_path_regex:(Printf.sprintf ".* %d$" (65000 + i))
+                     ());
+              ]
+            (destination_group i))
+    in
+    Rpa.make
+      ~path_selection:[ Path_selection.make ~name:"routing-evolution" statements ]
+      ()
+  | Topology.Migration.Incremental_capacity_scaling ->
+    (* Expansion protection: equalize old and new fabric paths for the
+       production destination groups, plus funneling guards. *)
+    let equalize =
+      List.init 18 (fun i ->
+          Path_selection.statement
+            ~name:(Printf.sprintf "equalize-%d" i)
+            ~path_sets:
+              [
+                Path_selection.path_set ~name:"same-origin"
+                  (Signature.make ~origin_asn:(asn i) ());
+              ]
+            (destination_group i))
+    in
+    let guards =
+      List.init 10 (fun i ->
+          Path_selection.statement
+            ~name:(Printf.sprintf "guard-%d" i)
+            ~path_sets:[]
+            ~bgp_native_min_next_hop:(Path_selection.Fraction 0.75)
+            ~keep_fib_warm_if_mnh_violated:true (destination_group i))
+    in
+    Rpa.make
+      ~path_selection:
+        [ Path_selection.make ~name:"capacity-scaling" (equalize @ guards) ]
+      ()
+  | Topology.Migration.Differential_traffic_distribution ->
+    (* Pin a handful of anycast/service destination groups. *)
+    let statements =
+      List.init 6 (fun i ->
+          Path_selection.statement
+            ~name:(Printf.sprintf "pin-%d" i)
+            ~path_sets:
+              [
+                Path_selection.path_set ~name:"stable"
+                  (Signature.make ~origin_asn:(asn i) ());
+              ]
+            (destination_group i))
+    in
+    Rpa.make
+      ~path_selection:[ Path_selection.make ~name:"differential" statements ]
+      ()
+  | Topology.Migration.Routing_policy_transitions ->
+    (* Conditional primary/backup preferences for ~10 service groups. *)
+    let statements =
+      List.init 10 (fun i ->
+          Path_selection.statement
+            ~name:(Printf.sprintf "pref-%d" i)
+            ~path_sets:
+              [
+                Path_selection.path_set ~name:"primary"
+                  ~min_next_hop:(Path_selection.Count 2)
+                  (Signature.make ~neighbor_asn:(asn i) ());
+                Path_selection.path_set ~name:"backup"
+                  (Signature.make ~neighbor_asn:(asn (i + 50)) ());
+              ]
+            (destination_group i))
+    in
+    Rpa.make
+      ~path_selection:[ Path_selection.make ~name:"policy-transition" statements ]
+      ()
+  | Topology.Migration.Traffic_drain_for_maintenance ->
+    (* A single funneling guard around the drain. *)
+    Apps.Min_next_hop_guard.rpa ~destination:Destination.backbone_default
+      ~threshold:(Path_selection.Fraction 0.5) ~keep_fib_warm:true
+
+(* ------------------------------------------------------------------ *)
+(* Step sequences. Without RPA, every transitory behaviour change is a
+   policy (config) push riding the 3-week cadence, and each push that must
+   land before the next can start sits on the critical path. *)
+
+let plans category =
+  match category with
+  | Topology.Migration.Routing_system_evolution ->
+    ( {
+        steps =
+          [
+            step "push new routing policy fleet-wide" Config_push;
+            step "push cleanup of transition knobs" Config_push;
+          ];
+      },
+      { steps = [ step "deploy routing-evolution RPAs" Rpa_push ] } )
+  | Topology.Migration.Incremental_capacity_scaling ->
+    ( {
+        steps =
+          [
+            step "push AS-path padding policy on SSWs" Config_push;
+            step "stage-1 wiring of new layer" Config_push;
+            step "push policy update admitting new layer" Config_push;
+            step "stage-2 wiring" Config_push;
+            step "push policy rebalance" Config_push;
+            step "stage-3 wiring / removal of old layer" Config_push;
+            step "push removal of padding (risk: re-funnel)" Config_push;
+            step "push cleanup of transitory policies" Config_push;
+            step "push final topology policy" Config_push;
+          ];
+      },
+      {
+        steps =
+          [
+            step "deploy path-equalize + guard RPAs" Rpa_push;
+            step "physical build-out (all stages, protected)" (Physical_work 21.0);
+            step "remove RPAs top-down" Rpa_push;
+          ];
+      } )
+  | Topology.Migration.Differential_traffic_distribution ->
+    ( {
+        steps =
+          [
+            step "push service-specific policy" Config_push;
+            step "push preference adjustment after validation" Config_push;
+            step "push cleanup" Config_push;
+          ];
+      },
+      {
+        steps =
+          [ step "slow-roll differential RPAs per pod" (Rpa_slow_roll 7.0) ];
+      } )
+  | Topology.Migration.Routing_policy_transitions ->
+    ( {
+        steps =
+          [
+            step "push backup policy scaffolding" Config_push;
+            step "push primary preference change" Config_push;
+            step "push dependent-layer adjustment" Config_push;
+            step "push verification knobs" Config_push;
+            step "push cleanup" Config_push;
+          ];
+      },
+      {
+        steps =
+          [
+            step "deploy backup-preference RPAs" Rpa_push;
+            step "coordinated base-policy push" Config_push;
+            step "remove transition RPAs" Rpa_push;
+          ];
+      } )
+  | Topology.Migration.Traffic_drain_for_maintenance ->
+    ( {
+        steps =
+          [
+            step "drain devices" Drain_op;
+            step "verify and hold" Drain_op;
+            step "undrain devices" Drain_op;
+          ];
+      },
+      { steps = [ step "guard-protected drain via controller" Rpa_push ] } )
+
+let compare_category category =
+  let without_rpa, with_rpa = plans category in
+  {
+    category;
+    without_rpa;
+    with_rpa;
+    rpa_loc = Centralium.Rpa.loc (representative_rpa category);
+  }
+
+let table3 () = List.map compare_category Topology.Migration.all_categories

@@ -1,0 +1,1 @@
+lib/te/maxflow.ml: Array Float Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/te/maxflow.mli:

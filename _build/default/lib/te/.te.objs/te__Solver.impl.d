@@ -1,0 +1,1 @@
+lib/te/solver.ml: Float Hashtbl List Maxflow Option Printf

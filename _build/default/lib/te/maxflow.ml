@@ -1,0 +1,143 @@
+let epsilon = 1e-9
+
+(* Edges are stored flat; [adj.(v)] lists edge indices out of [v] (forward
+   and residual). Edge [i] and its reverse are paired as [i lxor 1]; forward
+   edges have even indices. [orig] keeps the pristine capacities so
+   [max_flow] can be re-run from scratch. *)
+type t = {
+  nodes : int;
+  mutable dst_of : int array;
+  mutable cap : float array;
+  mutable orig : float array;
+  mutable edge_count : int;
+  adj : int list array;
+}
+
+let create ~nodes =
+  {
+    nodes;
+    dst_of = Array.make 16 0;
+    cap = Array.make 16 0.0;
+    orig = Array.make 16 0.0;
+    edge_count = 0;
+    adj = Array.make nodes [];
+  }
+
+let ensure_capacity t =
+  if t.edge_count + 2 > Array.length t.cap then begin
+    let n = 2 * Array.length t.cap in
+    let dst_of = Array.make n 0 and cap = Array.make n 0.0
+    and orig = Array.make n 0.0 in
+    Array.blit t.dst_of 0 dst_of 0 t.edge_count;
+    Array.blit t.cap 0 cap 0 t.edge_count;
+    Array.blit t.orig 0 orig 0 t.edge_count;
+    t.dst_of <- dst_of;
+    t.cap <- cap;
+    t.orig <- orig
+  end
+
+let add_edge t ~src ~dst ~capacity =
+  if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes then
+    invalid_arg "Maxflow.add_edge: node out of range";
+  if capacity < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  ensure_capacity t;
+  let e = t.edge_count in
+  t.dst_of.(e) <- dst;
+  t.cap.(e) <- capacity;
+  t.orig.(e) <- capacity;
+  t.dst_of.(e + 1) <- src;
+  t.cap.(e + 1) <- 0.0;
+  t.orig.(e + 1) <- 0.0;
+  t.edge_count <- t.edge_count + 2;
+  t.adj.(src) <- e :: t.adj.(src);
+  t.adj.(dst) <- (e + 1) :: t.adj.(dst)
+
+let max_flow t ~source ~sink =
+  Array.blit t.orig 0 t.cap 0 t.edge_count;
+  let level = Array.make t.nodes (-1) in
+  let iter = Array.make t.nodes [] in
+  let bfs () =
+    Array.fill level 0 t.nodes (-1);
+    level.(source) <- 0;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun e ->
+          let w = t.dst_of.(e) in
+          if t.cap.(e) > epsilon && level.(w) < 0 then begin
+            level.(w) <- level.(v) + 1;
+            Queue.add w queue
+          end)
+        t.adj.(v)
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs v limit =
+    if v = sink then limit
+    else begin
+      let rec try_edges () =
+        match iter.(v) with
+        | [] -> 0.0
+        | e :: rest ->
+          let w = t.dst_of.(e) in
+          if t.cap.(e) > epsilon && level.(w) = level.(v) + 1 then begin
+            let pushed = dfs w (Float.min limit t.cap.(e)) in
+            if pushed > epsilon then begin
+              t.cap.(e) <- t.cap.(e) -. pushed;
+              t.cap.(e lxor 1) <- t.cap.(e lxor 1) +. pushed;
+              pushed
+            end
+            else begin
+              iter.(v) <- rest;
+              try_edges ()
+            end
+          end
+          else begin
+            iter.(v) <- rest;
+            try_edges ()
+          end
+      in
+      try_edges ()
+    end
+  in
+  let flow = ref 0.0 in
+  while bfs () do
+    for v = 0 to t.nodes - 1 do
+      iter.(v) <- t.adj.(v)
+    done;
+    let continue = ref true in
+    while !continue do
+      let pushed = dfs source infinity in
+      if pushed > epsilon then flow := !flow +. pushed else continue := false
+    done
+  done;
+  !flow
+
+let flow_on t ~src ~dst =
+  (* Flow on a forward edge equals the capacity accumulated on its reverse
+     edge. *)
+  let total = ref 0.0 in
+  List.iter
+    (fun e ->
+      if e land 1 = 0 && t.dst_of.(e) = dst then
+        total := !total +. t.cap.(e lxor 1))
+    t.adj.(src);
+  !total
+
+let out_flows t v =
+  let per_dst = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if e land 1 = 0 then begin
+        let f = t.cap.(e lxor 1) in
+        if f > epsilon then begin
+          let dst = t.dst_of.(e) in
+          let cur = Option.value (Hashtbl.find_opt per_dst dst) ~default:0.0 in
+          Hashtbl.replace per_dst dst (cur +. f)
+        end
+      end)
+    t.adj.(v);
+  Hashtbl.fold (fun dst f acc -> (dst, f) :: acc) per_dst []
+  |> List.sort compare

@@ -1,0 +1,26 @@
+(** Dinic's maximum-flow algorithm on directed graphs with float
+    capacities.
+
+    Substrate for the ideal-WCMP comparator of Figure 13: the minimum
+    achievable maximum-link-utilization is found by binary search over a
+    utilization bound, each step checked with one max-flow computation. *)
+
+type t
+
+val create : nodes:int -> t
+(** Nodes are [0 .. nodes-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:float -> unit
+(** Parallel edges are allowed and treated independently. Raises
+    [Invalid_argument] on out-of-range endpoints or negative capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> float
+(** Computes the max flow; the flow assignment is retained for {!flow_on}
+    and {!out_flows}. Calling it again resets previous flow. *)
+
+val flow_on : t -> src:int -> dst:int -> float
+(** Total flow currently assigned on edges [src -> dst]. *)
+
+val out_flows : t -> int -> (int * float) list
+(** Positive outgoing flows of a node as (dst, flow), aggregated over
+    parallel edges. *)

@@ -1,0 +1,1 @@
+lib/topology/clos.ml: Array Graph List Node Printf

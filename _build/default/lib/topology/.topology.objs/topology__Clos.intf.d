@@ -1,0 +1,1 @@
+lib/topology/clos.mli: Graph

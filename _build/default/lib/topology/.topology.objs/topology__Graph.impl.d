@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Format Hashtbl Int List Net Node Printf

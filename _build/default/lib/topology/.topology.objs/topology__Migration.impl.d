@@ -1,0 +1,1 @@
+lib/topology/migration.ml: Dsim Format Hashtbl List Node

@@ -1,0 +1,1 @@
+lib/topology/migration.mli: Dsim Format Node

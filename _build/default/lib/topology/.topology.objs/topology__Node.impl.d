@@ -1,0 +1,1 @@
+lib/topology/node.ml: Format Int Net String

@@ -1,0 +1,163 @@
+type category =
+  | Routing_system_evolution
+  | Incremental_capacity_scaling
+  | Differential_traffic_distribution
+  | Routing_policy_transitions
+  | Traffic_drain_for_maintenance
+
+let all_categories =
+  [
+    Routing_system_evolution;
+    Incremental_capacity_scaling;
+    Differential_traffic_distribution;
+    Routing_policy_transitions;
+    Traffic_drain_for_maintenance;
+  ]
+
+let category_label = function
+  | Routing_system_evolution -> "Routing System Evolution"
+  | Incremental_capacity_scaling -> "Incremental Capacity Scaling"
+  | Differential_traffic_distribution -> "Differential Traffic Distribution"
+  | Routing_policy_transitions -> "Routing Policy Transitions"
+  | Traffic_drain_for_maintenance -> "Traffic Drain For Maintenance"
+
+let category_letter = function
+  | Routing_system_evolution -> "a"
+  | Incremental_capacity_scaling -> "b"
+  | Differential_traffic_distribution -> "c"
+  | Routing_policy_transitions -> "d"
+  | Traffic_drain_for_maintenance -> "e"
+
+type frequency = Per_year of int | Daily
+
+type scope = Multi_dc | Sub_dc
+
+type row = {
+  category : category;
+  frequency : frequency;
+  scope : scope;
+  typical_duration_days : float;
+}
+
+let table1 =
+  [
+    { category = Routing_system_evolution; frequency = Per_year 10;
+      scope = Multi_dc; typical_duration_days = 45.0 };
+    { category = Incremental_capacity_scaling; frequency = Per_year 10;
+      scope = Multi_dc; typical_duration_days = 180.0 };
+    { category = Differential_traffic_distribution; frequency = Per_year 10;
+      scope = Sub_dc; typical_duration_days = 60.0 };
+    { category = Routing_policy_transitions; frequency = Per_year 10;
+      scope = Multi_dc; typical_duration_days = 90.0 };
+    { category = Traffic_drain_for_maintenance; frequency = Daily;
+      scope = Multi_dc; typical_duration_days = 1.0 /. 24.0 };
+  ]
+
+let pp_frequency ppf = function
+  | Per_year n -> Format.fprintf ppf "%d+/year" n
+  | Daily -> Format.pp_print_string ppf "Daily"
+
+let pp_scope ppf = function
+  | Multi_dc -> Format.pp_print_string ppf "Multi-DC"
+  | Sub_dc -> Format.pp_print_string ppf "Sub-DC"
+
+type fleet_spec = {
+  dcs : int;
+  pods_per_dc : int;
+  rsws_per_pod : int;
+  fsws_per_pod : int;
+  ssws_per_plane : int;
+  grids_per_dc : int;
+  fauus_per_grid : int;
+}
+
+let default_fleet =
+  {
+    dcs = 6;
+    pods_per_dc = 64;
+    rsws_per_pod = 48;
+    fsws_per_pod = 4;
+    ssws_per_plane = 36;
+    grids_per_dc = 4;
+    fauus_per_grid = 9;
+  }
+
+let per_dc_counts spec =
+  let rsw = spec.pods_per_dc * spec.rsws_per_pod in
+  let fsw = spec.pods_per_dc * spec.fsws_per_pod in
+  let ssw = spec.fsws_per_pod * spec.ssws_per_plane in
+  (* SSW n of every plane connects to FADU n of every grid, so a grid hosts
+     [ssws_per_plane] FADUs. *)
+  let fadu = spec.grids_per_dc * spec.ssws_per_plane in
+  let fauu = spec.grids_per_dc * spec.fauus_per_grid in
+  [ (Node.Rsw, rsw); (Node.Fsw, fsw); (Node.Ssw, ssw);
+    (Node.Fadu, fadu); (Node.Fauu, fauu) ]
+
+let layer_counts spec =
+  List.map (fun (layer, n) -> (layer, n * spec.dcs)) (per_dc_counts spec)
+
+let scale factor counts =
+  List.map (fun (layer, n) -> (layer, int_of_float (float_of_int n *. factor)))
+    counts
+
+let zero_layer layer counts =
+  List.map
+    (fun (l, n) -> if Node.layer_equal l layer then (l, 0) else (l, n))
+    counts
+
+let switches_involved ~rng spec category =
+  let dc = per_dc_counts spec in
+  match category with
+  | Routing_system_evolution ->
+    (* Fleet-wide policy/binary update. *)
+    layer_counts spec
+  | Incremental_capacity_scaling ->
+    (* Topology overhaul of a subset of DCs (at least two, "Multi-DC"). *)
+    let affected = 2 + Dsim.Rng.int rng (max 1 (spec.dcs - 1)) in
+    let affected = min affected spec.dcs in
+    List.map (fun (l, n) -> (l, n * affected)) dc
+  | Differential_traffic_distribution ->
+    (* A service footprint: a fraction of one DC's pods plus the spine
+       planes they ride on; FA layers untouched. *)
+    let pods = 1 + Dsim.Rng.int rng spec.pods_per_dc in
+    let frac = float_of_int pods /. float_of_int spec.pods_per_dc in
+    dc
+    |> List.map (fun (l, n) ->
+           match l with
+           | Node.Rsw | Node.Fsw ->
+             (l, int_of_float (float_of_int n *. frac))
+           | Node.Ssw -> (l, n)
+           | Node.Fadu | Node.Fauu -> (l, 0)
+           | Node.Fa | Node.Edge | Node.Dmag | Node.Eb | Node.Other _ -> (l, n))
+  | Routing_policy_transitions ->
+    (* Multi-DC, fabric switches and above; racks keep their policy. *)
+    let affected = 2 + Dsim.Rng.int rng (max 1 (spec.dcs - 1)) in
+    let affected = min affected spec.dcs in
+    List.map (fun (l, n) -> (l, n * affected)) dc |> zero_layer Node.Rsw
+  | Traffic_drain_for_maintenance ->
+    (* One spine plane of one DC plus the FADUs it connects to: every SSW
+       of the plane reaches one FADU per grid. *)
+    scale 0.0 dc
+    |> List.map (fun (l, n) ->
+           match l with
+           | Node.Ssw -> (l, spec.ssws_per_plane)
+           | Node.Fadu -> (l, spec.grids_per_dc * spec.ssws_per_plane)
+           | Node.Rsw | Node.Fsw | Node.Fauu | Node.Fa | Node.Edge
+           | Node.Dmag | Node.Eb | Node.Other _ -> (l, n))
+
+let average_switches_per_layer ?(samples = 100) ~rng spec category =
+  let totals = Hashtbl.create 8 in
+  let order = ref [] in
+  for _ = 1 to samples do
+    List.iter
+      (fun (layer, n) ->
+        if not (Hashtbl.mem totals layer) then begin
+          Hashtbl.replace totals layer 0.0;
+          order := layer :: !order
+        end;
+        Hashtbl.replace totals layer (Hashtbl.find totals layer +. float_of_int n))
+      (switches_involved ~rng spec category)
+  done;
+  List.rev_map
+    (fun layer -> (layer, Hashtbl.find totals layer /. float_of_int samples))
+    !order

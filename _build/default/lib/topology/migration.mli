@@ -1,0 +1,72 @@
+(** Migration taxonomy and scale quantification (Table 1, Figure 3).
+
+    The paper characterizes five categories of production migrations. This
+    module carries the taxonomy's published constants and a generator that
+    instantiates migrations against a synthetic fleet to quantify how many
+    switches each category touches per layer. *)
+
+type category =
+  | Routing_system_evolution          (** (a) *)
+  | Incremental_capacity_scaling      (** (b) *)
+  | Differential_traffic_distribution (** (c) *)
+  | Routing_policy_transitions        (** (d) *)
+  | Traffic_drain_for_maintenance     (** (e) *)
+
+val all_categories : category list
+val category_label : category -> string
+val category_letter : category -> string
+
+type frequency = Per_year of int | Daily
+
+type scope = Multi_dc | Sub_dc
+
+type row = {
+  category : category;
+  frequency : frequency;
+  scope : scope;
+  typical_duration_days : float;
+}
+
+val table1 : row list
+(** The published characterization (Table 1). *)
+
+val pp_frequency : Format.formatter -> frequency -> unit
+val pp_scope : Format.formatter -> scope -> unit
+
+(** A synthetic fleet, described arithmetically (the Figure 3 numbers only
+    need per-layer switch counts, not wired graphs). *)
+type fleet_spec = {
+  dcs : int;
+  pods_per_dc : int;
+  rsws_per_pod : int;
+  fsws_per_pod : int;  (** also the number of spine planes *)
+  ssws_per_plane : int;
+  grids_per_dc : int;
+  fauus_per_grid : int;
+}
+
+val default_fleet : fleet_spec
+(** Sized so fleet-wide migrations involve tens of thousands of switches,
+    matching the paper's quantification. *)
+
+val layer_counts : fleet_spec -> (Node.layer * int) list
+(** Total switches per layer for one DC times [dcs]. *)
+
+(** How each category selects switches, following Section 3.1:
+    - Routing System Evolution: fleet-wide policy update — every switch of
+      every DC;
+    - Incremental Capacity Scaling: topology overhaul of a subset of DCs —
+      all layers of the affected DCs;
+    - Differential Traffic Distribution: sub-DC — the pods of one DC that
+      host the service, plus the spine planes they ride on;
+    - Routing Policy Transitions: multi-DC, fabric layers and above (RSWs
+      keep their policy);
+    - Traffic Drain for Maintenance: one spine plane of one DC plus the
+      FADUs it connects to (hundreds of switches). *)
+val switches_involved :
+  rng:Dsim.Rng.t -> fleet_spec -> category -> (Node.layer * int) list
+
+val average_switches_per_layer :
+  ?samples:int -> rng:Dsim.Rng.t -> fleet_spec -> category ->
+  (Node.layer * float) list
+(** Monte-Carlo average over migration instances (Figure 3 bars). *)

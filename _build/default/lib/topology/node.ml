@@ -1,0 +1,60 @@
+type layer =
+  | Rsw
+  | Fsw
+  | Ssw
+  | Fadu
+  | Fauu
+  | Fa
+  | Edge
+  | Dmag
+  | Eb
+  | Other of string
+
+let layer_to_string = function
+  | Rsw -> "RSW"
+  | Fsw -> "FSW"
+  | Ssw -> "SSW"
+  | Fadu -> "FADU"
+  | Fauu -> "FAUU"
+  | Fa -> "FA"
+  | Edge -> "EDGE"
+  | Dmag -> "DMAG"
+  | Eb -> "EB"
+  | Other s -> s
+
+let layer_rank = function
+  | Rsw -> 0
+  | Fsw -> 1
+  | Ssw -> 2
+  | Fadu -> 3
+  | Fauu -> 4
+  | Fa -> 5
+  | Edge -> 6
+  | Dmag -> 7
+  | Eb -> 8
+  | Other _ -> 9
+
+let layer_equal a b =
+  match (a, b) with
+  | Other x, Other y -> String.equal x y
+  | (Rsw | Fsw | Ssw | Fadu | Fauu | Fa | Edge | Dmag | Eb | Other _), _ ->
+    a = b
+
+type t = {
+  id : Net.Route.device;
+  name : string;
+  layer : layer;
+  asn : Net.Asn.t;
+  pod : int;
+  plane : int;
+  grid : int;
+}
+
+let make ~id ~name ~layer ?(pod = -1) ?(plane = -1) ?(grid = -1) () =
+  { id; name; layer; asn = Net.Asn.of_int (64512 + id); pod; plane; grid }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(#%d,%s)" t.name t.id (layer_to_string t.layer)
+
+let compare a b = Int.compare a.id b.id
+let equal a b = Int.equal a.id b.id

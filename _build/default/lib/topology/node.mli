@@ -1,0 +1,48 @@
+(** Switches and their place in the data-center hierarchy.
+
+    Layers follow Figure 1 of the paper (bottom to top): RSW, FSW, SSW,
+    FADU, FAUU; FAUUs connect to backbone devices (EB). [Fa] stands for a
+    combined Fabric Aggregate node used by the older topologies of
+    Figures 2 and 10; [Dmag] is the backup aggregation layer of Figure 10;
+    [Edge] the legacy layer being replaced in Figure 2. [Other] supports
+    ad-hoc experiment topologies (e.g. R1–R6 of Figure 9). *)
+
+type layer =
+  | Rsw
+  | Fsw
+  | Ssw
+  | Fadu
+  | Fauu
+  | Fa
+  | Edge
+  | Dmag
+  | Eb
+  | Other of string
+
+val layer_to_string : layer -> string
+
+val layer_rank : layer -> int
+(** Bottom-to-top position used by deployment sequencing (Section 5.3.2):
+    RSW = 0 … EB = 8. [Other] layers rank above everything. *)
+
+val layer_equal : layer -> layer -> bool
+
+type t = {
+  id : Net.Route.device;  (** unique within a topology *)
+  name : string;
+  layer : layer;
+  asn : Net.Asn.t;        (** every switch runs eBGP in its own AS *)
+  pod : int;              (** logical grouping; [-1] when not applicable *)
+  plane : int;
+  grid : int;
+}
+
+val make :
+  id:int -> name:string -> layer:layer -> ?pod:int -> ?plane:int -> ?grid:int ->
+  unit -> t
+(** The node's ASN is derived as [64512 + id] (private 16-bit range grows
+    into 4-byte space for large fleets). *)
+
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool

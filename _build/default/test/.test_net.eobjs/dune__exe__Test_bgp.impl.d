@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest As_path Asn Attr Bgp Centralium Community Dataplane Int List Net Prefix Printf Topology

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Bgp Dataplane Float Hashtbl Int List Net Option

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Dsim Event_queue Float Fun Int List Rng Stats

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest As_path Asn Attr Community List Net Option Path_regex Prefix Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_openr.ml: Alcotest Bgp Centralium Float Fun List Openr Printf QCheck QCheck_alcotest String Topology

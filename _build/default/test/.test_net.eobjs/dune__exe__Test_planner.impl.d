@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Float List Planner Printf Topology

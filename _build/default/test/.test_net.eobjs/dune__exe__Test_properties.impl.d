@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bgp Centralium Dataplane Dsim Format Int List Net Printf QCheck QCheck_alcotest String Te Topology

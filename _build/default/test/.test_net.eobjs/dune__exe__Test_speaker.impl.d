@@ -1,0 +1,1 @@
+test/test_speaker.ml: Alcotest As_path Asn Attr Bgp List Net Prefix Printf Topology

@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Float List Printf Te

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Clos Dsim Graph Hashtbl Int List Migration Node Printf Queue Topology

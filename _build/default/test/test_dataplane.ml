@@ -1,0 +1,279 @@
+(* Tests for lib/dataplane: traffic propagation, metrics, next-hop groups. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let entries list =
+  Bgp.Speaker.Entries
+    (List.map
+       (fun (next_hop, weight) -> { Bgp.Speaker.next_hop; session = 0; weight })
+       list)
+
+let fib_of assoc =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (d, s) -> Hashtbl.replace table d s) assoc;
+  Hashtbl.find_opt table
+
+(* ---------------- Traffic ---------------- *)
+
+let test_traffic_delivery () =
+  (* 0 -> 1 -> 2(local) *)
+  let lookup =
+    fib_of [ (0, entries [ (1, 1) ]); (1, entries [ (2, 1) ]); (2, Bgp.Speaker.Local) ]
+  in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 4.0) ] () in
+  check_float "delivered" 4.0 r.Dataplane.Traffic.delivered;
+  check_float "dropped" 0.0 r.Dataplane.Traffic.dropped;
+  check_float "looped" 0.0 r.Dataplane.Traffic.looped;
+  check_float "transit at 1" 4.0
+    (Option.value (Hashtbl.find_opt r.Dataplane.Traffic.transit 1) ~default:0.0)
+
+let test_traffic_weighted_split () =
+  (* 0 splits 3:1 between 1 and 2, both local. *)
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 3); (2, 1) ]); (1, Bgp.Speaker.Local);
+        (2, Bgp.Speaker.Local) ]
+  in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 8.0) ] () in
+  check_float "to 1" 6.0
+    (Option.value (Hashtbl.find_opt r.Dataplane.Traffic.link_load (0, 1)) ~default:0.0);
+  check_float "to 2" 2.0
+    (Option.value (Hashtbl.find_opt r.Dataplane.Traffic.link_load (0, 2)) ~default:0.0);
+  check_float "delivered at 1" 6.0
+    (Option.value (Hashtbl.find_opt r.Dataplane.Traffic.delivered_at 1) ~default:0.0)
+
+let test_traffic_blackhole () =
+  let lookup = fib_of [ (0, entries [ (1, 1) ]) ] in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 2.0) ] () in
+  check_float "dropped at 1" 2.0 r.Dataplane.Traffic.dropped;
+  check_float "nothing delivered" 0.0 r.Dataplane.Traffic.delivered
+
+let test_traffic_loop_detected () =
+  (* 0 -> 1 -> 0: circulating volume classified as looped. *)
+  let lookup = fib_of [ (0, entries [ (1, 1) ]); (1, entries [ (0, 1) ]) ] in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 1.0) ] () in
+  check_float "looped" 1.0 r.Dataplane.Traffic.looped;
+  check_float "delivered" 0.0 r.Dataplane.Traffic.delivered
+
+let test_traffic_partial_loop () =
+  (* One source feeds a pure loop, the other a working path. *)
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 1) ]); (1, entries [ (0, 1) ]);
+        (5, entries [ (6, 1) ]); (6, Bgp.Speaker.Local) ]
+  in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 1.0); (5, 1.0) ] () in
+  check_float "delivered" 1.0 r.Dataplane.Traffic.delivered;
+  check_float "looped" 1.0 r.Dataplane.Traffic.looped
+
+let test_traffic_leaky_loop_drains () =
+  (* A loop with an exit: the fluid model drains it almost entirely within
+     the round budget (each pass leaks half), like TTL-bounded packets. *)
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 1); (2, 1) ]); (1, entries [ (0, 1) ]);
+        (2, Bgp.Speaker.Local) ]
+  in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 2.0) ] () in
+  check_bool "almost all delivered" true (r.Dataplane.Traffic.delivered > 1.9);
+  check_bool "loop inflates transit" true
+    (Option.value (Hashtbl.find_opt r.Dataplane.Traffic.transit 1) ~default:0.0
+     > 1.0)
+
+(* ---------------- Metrics ---------------- *)
+
+let test_funneling_metric () =
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 1) ]); (3, entries [ (1, 1) ]);
+        (1, entries [ (9, 1) ]); (9, Bgp.Speaker.Local) ]
+  in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 1.0); (3, 1.0) ] () in
+  check_float "all through 1" 1.0
+    (Dataplane.Metrics.funneling r ~members:[ 1; 2 ] ~total:2.0);
+  check_float "share of 2 is 0" 0.0
+    (Dataplane.Metrics.transit_share r ~device:2 ~total:2.0)
+
+let test_loss_fractions () =
+  let lookup = fib_of [ (0, entries [ (1, 1) ]) ] in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 4.0) ] () in
+  check_float "loss" 1.0 (Dataplane.Metrics.loss_fraction r ~total:4.0);
+  check_float "blackholed" 1.0 (Dataplane.Metrics.blackholed_fraction r ~total:4.0);
+  check_float "looped" 0.0 (Dataplane.Metrics.looped_fraction r ~total:4.0)
+
+let test_find_loops () =
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 1) ]); (1, entries [ (2, 1) ]); (2, entries [ (1, 1) ]) ]
+  in
+  let loops =
+    Dataplane.Metrics.find_forwarding_loops ~lookup ~devices:[ 0; 1; 2 ]
+  in
+  check_int "one loop" 1 (List.length loops);
+  (match loops with
+   | [ cycle ] ->
+     Alcotest.(check (list int)) "cycle 1-2" [ 1; 2 ] (List.sort Int.compare cycle)
+   | _ -> Alcotest.fail "expected one cycle");
+  let acyclic = fib_of [ (0, entries [ (1, 1) ]); (1, Bgp.Speaker.Local) ] in
+  check_int "acyclic" 0
+    (List.length
+       (Dataplane.Metrics.find_forwarding_loops ~lookup:acyclic ~devices:[ 0; 1 ]))
+
+let test_max_link_utilization () =
+  let lookup =
+    fib_of [ (0, entries [ (1, 1); (2, 1) ]); (1, Bgp.Speaker.Local);
+             (2, Bgp.Speaker.Local) ]
+  in
+  let r = Dataplane.Traffic.route ~lookup ~demands:[ (0, 10.0) ] () in
+  let capacity (a, b) = if (a, b) = (0, 1) then 10.0 else 2.0 in
+  check_float "max util" 2.5 (Dataplane.Metrics.max_link_utilization r ~capacity)
+
+(* ---------------- Nhg ---------------- *)
+
+let e nh session weight = { Bgp.Speaker.next_hop = nh; session; weight }
+
+let test_nhg_canonicalization () =
+  let a = Dataplane.Nhg.of_entries [ e 1 0 2; e 2 0 4 ] in
+  let b = Dataplane.Nhg.of_entries [ e 2 0 2; e 1 0 1 ] in
+  check_bool "gcd + order normalized" true (Dataplane.Nhg.equal a b);
+  let c = Dataplane.Nhg.of_entries [ e 1 0 1; e 2 0 3 ] in
+  check_bool "different ratios differ" false (Dataplane.Nhg.equal a c);
+  let d = Dataplane.Nhg.of_entries [ e 1 1 2; e 2 0 4 ] in
+  check_bool "sessions distinguish" false (Dataplane.Nhg.equal a d)
+
+let test_nhg_distinct_count () =
+  let p i = Net.Prefix.v4 10 i 0 0 24 in
+  let fib =
+    [
+      (p 1, entries [ (1, 1); (2, 1) ]);
+      (p 2, entries [ (2, 1); (1, 1) ]);  (* same group *)
+      (p 3, entries [ (1, 1) ]);          (* different *)
+      (p 4, Bgp.Speaker.Local);           (* no group *)
+    ]
+  in
+  check_int "two distinct" 2 (Dataplane.Nhg.distinct_count fib)
+
+let test_nhg_timeline_from_trace () =
+  let trace = Bgp.Trace.create () in
+  let p1 = Net.Prefix.v4 10 1 0 0 24 and p2 = Net.Prefix.v4 10 2 0 0 24 in
+  let fc time prefix state =
+    Bgp.Trace.record trace
+      (Bgp.Trace.Fib_change { time; device = 7; prefix; state })
+  in
+  fc 1.0 p1 (Some (entries [ (1, 1) ]));
+  fc 2.0 p2 (Some (entries [ (2, 1) ]));  (* now 2 distinct groups *)
+  fc 3.0 p2 (Some (entries [ (1, 1) ]));  (* collapses to 1 *)
+  fc 4.0 p1 None;
+  check_int "max" 2 (Dataplane.Nhg.max_on_device trace ~device:7);
+  let timeline = Dataplane.Nhg.timeline_on_device trace ~device:7 in
+  Alcotest.(check (list int)) "counts" [ 1; 2; 1; 1 ] (List.map snd timeline)
+
+let test_nhg_other_device_ignored () =
+  let trace = Bgp.Trace.create () in
+  Bgp.Trace.record trace
+    (Bgp.Trace.Fib_change
+       { time = 1.0; device = 3; prefix = Net.Prefix.default_v4;
+         state = Some (entries [ (1, 1) ]) });
+  check_int "device filter" 0 (Dataplane.Nhg.max_on_device trace ~device:7)
+
+(* ---------------- Flowsim ---------------- *)
+
+let test_flowsim_delivery () =
+  let lookup =
+    fib_of [ (0, entries [ (1, 1) ]); (1, entries [ (2, 1) ]); (2, Bgp.Speaker.Local) ]
+  in
+  let flows = List.init 100 (fun i -> (0, i)) in
+  let r = Dataplane.Flowsim.run ~lookup ~flows () in
+  check_int "all delivered" 100 r.Dataplane.Flowsim.delivered;
+  check_int "no drops" 0 (r.Dataplane.Flowsim.dropped_no_route + r.Dataplane.Flowsim.dropped_ttl);
+  Alcotest.(check (list (pair int int))) "all took 2 hops" [ (2, 100) ]
+    r.Dataplane.Flowsim.hop_counts
+
+let test_flowsim_weighted_hashing () =
+  (* Weights 3:1 over many flows: the hash split approximates the ratio. *)
+  let n = 4000 in
+  let to_1 = ref 0 in
+  for flow = 0 to n - 1 do
+    let entry =
+      Dataplane.Flowsim.next_hop_of ~flow ~device:0 [ e 1 0 3; e 2 0 1 ]
+    in
+    if entry.Bgp.Speaker.next_hop = 1 then incr to_1
+  done;
+  let share = float_of_int !to_1 /. float_of_int n in
+  check_bool "split near 3:1" true (Float.abs (share -. 0.75) < 0.05)
+
+let test_flowsim_deterministic_paths () =
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 1); (2, 1) ]); (1, Bgp.Speaker.Local);
+        (2, Bgp.Speaker.Local) ]
+  in
+  let flows = List.init 50 (fun i -> (0, i)) in
+  let a = Dataplane.Flowsim.run ~lookup ~flows () in
+  let b = Dataplane.Flowsim.run ~lookup ~flows () in
+  check_bool "same outcome every run" true (a = b)
+
+let test_flowsim_ttl_drops_in_loop () =
+  (* 0 -> 1 -> 0 forever: every flow dies of TTL, none by no-route. *)
+  let lookup = fib_of [ (0, entries [ (1, 1) ]); (1, entries [ (0, 1) ]) ] in
+  let flows = List.init 20 (fun i -> (0, i)) in
+  let r = Dataplane.Flowsim.run ~ttl:16 ~lookup ~flows () in
+  check_int "all ttl-dropped" 20 r.Dataplane.Flowsim.dropped_ttl;
+  check_int "none delivered" 0 r.Dataplane.Flowsim.delivered;
+  check_bool "loss is total" true (Dataplane.Flowsim.loss_fraction r = 1.0)
+
+let test_flowsim_partial_loop_loses_bouncers () =
+  (* Half-exit loop: flows that keep hashing into the loop side die of
+     TTL; with deterministic per-(flow, device) hashing a flow either
+     exits immediately or bounces forever. *)
+  let lookup =
+    fib_of
+      [ (0, entries [ (1, 1); (2, 1) ]); (1, entries [ (0, 1) ]);
+        (2, Bgp.Speaker.Local) ]
+  in
+  let flows = List.init 200 (fun i -> (0, i)) in
+  let r = Dataplane.Flowsim.run ~ttl:32 ~lookup ~flows () in
+  check_bool "some delivered" true (r.Dataplane.Flowsim.delivered > 50);
+  check_bool "some ttl-dropped" true (r.Dataplane.Flowsim.dropped_ttl > 20);
+  check_int "accounted" 200
+    (r.Dataplane.Flowsim.delivered + r.Dataplane.Flowsim.dropped_ttl
+     + r.Dataplane.Flowsim.dropped_no_route)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dataplane"
+    [
+      ( "traffic",
+        [
+          quick "delivery" test_traffic_delivery;
+          quick "weighted split" test_traffic_weighted_split;
+          quick "blackhole" test_traffic_blackhole;
+          quick "loop detected" test_traffic_loop_detected;
+          quick "partial loop" test_traffic_partial_loop;
+          quick "leaky loop drains" test_traffic_leaky_loop_drains;
+        ] );
+      ( "metrics",
+        [
+          quick "funneling" test_funneling_metric;
+          quick "loss fractions" test_loss_fractions;
+          quick "find loops" test_find_loops;
+          quick "max link utilization" test_max_link_utilization;
+        ] );
+      ( "flowsim",
+        [
+          quick "delivery" test_flowsim_delivery;
+          quick "weighted hashing" test_flowsim_weighted_hashing;
+          quick "deterministic" test_flowsim_deterministic_paths;
+          quick "ttl drops in loop" test_flowsim_ttl_drops_in_loop;
+          quick "partial loop" test_flowsim_partial_loop_loses_bouncers;
+        ] );
+      ( "nhg",
+        [
+          quick "canonicalization" test_nhg_canonicalization;
+          quick "distinct count" test_nhg_distinct_count;
+          quick "timeline from trace" test_nhg_timeline_from_trace;
+          quick "other device ignored" test_nhg_other_device_ignored;
+        ] );
+    ]

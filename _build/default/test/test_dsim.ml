@@ -1,0 +1,219 @@
+(* Tests for lib/dsim: RNG determinism, event queue semantics, statistics. *)
+
+open Dsim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let seq rng = List.init 20 (fun _ -> Rng.int rng 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (seq a) (seq b)
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let seq rng = List.init 20 (fun _ -> Rng.int rng 1000000) in
+  check_bool "different seeds differ" false (seq a = seq b)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of bounds";
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  let a = List.init 10 (fun _ -> Rng.int parent 1000) in
+  let b = List.init 10 (fun _ -> Rng.int child 1000) in
+  check_bool "streams differ" false (a = b)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 3 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean close to 2" true (Float.abs (mean -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 11 in
+  let sample = Rng.sample_without_replacement rng 5 (List.init 20 Fun.id) in
+  check_int "size" 5 (List.length sample);
+  check_int "distinct" 5 (List.length (List.sort_uniq Int.compare sample));
+  let all = Rng.sample_without_replacement rng 100 [ 1; 2; 3 ] in
+  check_int "clamped" 3 (List.length all)
+
+(* ---------------- Event_queue ---------------- *)
+
+let test_queue_time_order () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~delay:3.0 (fun () -> log := 3 :: !log);
+  Event_queue.schedule q ~delay:1.0 (fun () -> log := 1 :: !log);
+  Event_queue.schedule q ~delay:2.0 (fun () -> log := 2 :: !log);
+  ignore (Event_queue.run q);
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 3.0 (Event_queue.now q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Event_queue.schedule q ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Event_queue.run q);
+  Alcotest.(check (list int)) "fifo among ties" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_queue_nested_scheduling () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~delay:1.0 (fun () ->
+      log := "a" :: !log;
+      Event_queue.schedule q ~delay:1.0 (fun () -> log := "c" :: !log));
+  Event_queue.schedule q ~delay:1.5 (fun () -> log := "b" :: !log);
+  ignore (Event_queue.run q);
+  Alcotest.(check (list string)) "nested" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_queue_negative_delay_clamped () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  Event_queue.schedule q ~delay:5.0 (fun () ->
+      Event_queue.schedule q ~delay:(-3.0) (fun () -> fired := true));
+  ignore (Event_queue.run q);
+  check_bool "fired" true !fired;
+  check_float "clock not rewound" 5.0 (Event_queue.now q)
+
+let test_queue_run_until () =
+  let q = Event_queue.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> Event_queue.schedule q ~delay:d (fun () -> incr count))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  let executed = Event_queue.run_until q ~time:2.5 in
+  check_int "ran two" 2 executed;
+  check_float "clock advanced to time" 2.5 (Event_queue.now q);
+  check_int "pending" 2 (Event_queue.pending q);
+  ignore (Event_queue.run q);
+  check_int "all ran" 4 !count
+
+let test_queue_max_events () =
+  let q = Event_queue.create () in
+  (* Self-perpetuating event chain. *)
+  let rec reschedule () = Event_queue.schedule q ~delay:1.0 reschedule in
+  reschedule ();
+  let executed = Event_queue.run ~max_events:50 q in
+  check_int "bounded" 50 executed;
+  check_bool "still pending" false (Event_queue.is_empty q)
+
+let test_queue_heap_stress () =
+  (* Many random-ordered events must come out sorted. *)
+  let q = Event_queue.create () in
+  let rng = Rng.create 123 in
+  let times = ref [] in
+  for _ = 1 to 500 do
+    let d = Rng.float rng 100.0 in
+    Event_queue.schedule q ~delay:d (fun () -> times := Event_queue.now q :: !times)
+  done;
+  ignore (Event_queue.run q);
+  let observed = List.rev !times in
+  let sorted = List.sort Float.compare observed in
+  check_bool "monotone" true (observed = sorted);
+  check_int "count" 500 (List.length observed)
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_percentiles () =
+  let samples = List.init 100 (fun i -> float_of_int (i + 1)) in
+  let s = Stats.summarize samples in
+  check_int "count" 100 s.Stats.count;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 100.0 s.Stats.max;
+  check_bool "p50 near middle" true (Float.abs (s.Stats.p50 -. 50.5) < 1.0);
+  check_bool "p99 high" true (s.Stats.p99 > 98.0);
+  check_bool "ordered" true
+    (s.Stats.p50 <= s.Stats.p90 && s.Stats.p90 <= s.Stats.p95
+     && s.Stats.p95 <= s.Stats.p99)
+
+let test_stats_single_sample () =
+  let s = Stats.summarize [ 7.0 ] in
+  check_float "all equal" 7.0 s.Stats.p50;
+  check_float "mean" 7.0 s.Stats.mean
+
+let test_stats_cdf () =
+  let samples = List.init 1000 (fun i -> float_of_int i) in
+  let cdf = Stats.cdf ~points:10 samples in
+  check_int "points" 10 (List.length cdf);
+  (match List.rev cdf with
+   | (v, f) :: _ ->
+     check_float "last fraction" 1.0 f;
+     check_float "last value" 999.0 v
+   | [] -> Alcotest.fail "empty cdf");
+  let fracs = List.map snd cdf in
+  check_bool "monotone fractions" true
+    (List.sort Float.compare fracs = fracs)
+
+let test_stats_cdf_empty () = Alcotest.(check int) "empty" 0 (List.length (Stats.cdf []))
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:[ 1.0; 2.0; 5.0 ] [ 0.5; 1.5; 1.7; 3.0; 99.0 ] in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets"
+    [ (1.0, 1); (2.0, 2); (5.0, 2) ]
+    h
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  check_bool "spread" true (Stats.stddev [ 0.0; 10.0 ] > 4.9)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dsim"
+    [
+      ( "rng",
+        [
+          quick "deterministic" test_rng_deterministic;
+          quick "seeds differ" test_rng_seeds_differ;
+          quick "bounds" test_rng_bounds;
+          quick "split independent" test_rng_split_independent;
+          quick "exponential mean" test_rng_exponential_mean;
+          quick "shuffle permutation" test_rng_shuffle_permutation;
+          quick "sample without replacement" test_rng_sample_without_replacement;
+        ] );
+      ( "event_queue",
+        [
+          quick "time order" test_queue_time_order;
+          quick "fifo ties" test_queue_fifo_ties;
+          quick "nested scheduling" test_queue_nested_scheduling;
+          quick "negative delay clamped" test_queue_negative_delay_clamped;
+          quick "run_until" test_queue_run_until;
+          quick "max events" test_queue_max_events;
+          quick "heap stress" test_queue_heap_stress;
+        ] );
+      ( "stats",
+        [
+          quick "percentiles" test_stats_percentiles;
+          quick "single sample" test_stats_single_sample;
+          quick "cdf" test_stats_cdf;
+          quick "cdf empty" test_stats_cdf_empty;
+          quick "histogram" test_stats_histogram;
+          quick "stddev" test_stats_stddev;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Tests for lib/net: prefixes, ASNs, communities, AS-paths, path regex,
+   attributes. *)
+
+open Net
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------------- Prefix ---------------- *)
+
+let test_prefix_v4_roundtrip () =
+  List.iter
+    (fun s -> check_string s s (Prefix.to_string (Prefix.of_string_exn s)))
+    [ "0.0.0.0/0"; "10.0.0.0/8"; "192.168.1.0/24"; "255.255.255.255/32";
+      "172.16.0.0/12" ]
+
+let test_prefix_v6_roundtrip () =
+  List.iter
+    (fun s -> check_string s s (Prefix.to_string (Prefix.of_string_exn s)))
+    [ "::/0"; "2001:db8::/32"; "fe80::/10"; "2001:db8:0:1::/64" ]
+
+let test_prefix_canonical_host_bits () =
+  check_bool "host bits cleared" true
+    (Prefix.equal (Prefix.v4 10 1 2 3 8) (Prefix.v4 10 0 0 0 8));
+  check_string "prints cleared" "10.0.0.0/8"
+    (Prefix.to_string (Prefix.v4 10 99 5 1 8))
+
+let test_prefix_families_distinct () =
+  check_bool "v4 default <> v6 default" false
+    (Prefix.equal Prefix.default_v4 Prefix.default_v6);
+  check_bool "no cross-family contains" false
+    (Prefix.contains Prefix.default_v4 (Prefix.of_string_exn "2001:db8::/32"))
+
+let test_prefix_contains () =
+  let p8 = Prefix.of_string_exn "10.0.0.0/8" in
+  let p24 = Prefix.of_string_exn "10.1.2.0/24" in
+  let other = Prefix.of_string_exn "11.0.0.0/24" in
+  check_bool "8 contains 24" true (Prefix.contains p8 p24);
+  check_bool "24 not contains 8" false (Prefix.contains p24 p8);
+  check_bool "not contains other" false (Prefix.contains p8 other);
+  check_bool "contains self" true (Prefix.contains p8 p8);
+  check_bool "default contains all v4" true
+    (Prefix.contains Prefix.default_v4 other)
+
+let test_prefix_subdivide () =
+  let p = Prefix.of_string_exn "10.0.0.0/8" in
+  let left, right = Prefix.subdivide p in
+  check_string "left" "10.0.0.0/9" (Prefix.to_string left);
+  check_string "right" "10.128.0.0/9" (Prefix.to_string right);
+  check_bool "parent contains left" true (Prefix.contains p left);
+  check_bool "parent contains right" true (Prefix.contains p right);
+  let v6 = Prefix.of_string_exn "2001:db8::/32" in
+  let l6, r6 = Prefix.subdivide v6 in
+  check_bool "v6 children differ" false (Prefix.equal l6 r6);
+  check_bool "v6 parent contains children" true
+    (Prefix.contains v6 l6 && Prefix.contains v6 r6)
+
+let test_prefix_subdivide_deep_v6 () =
+  (* Crossing the 64-bit word boundary. *)
+  let p = Prefix.of_string_exn "2001:db8::/64" in
+  let left, right = Prefix.subdivide p in
+  check_bool "distinct" false (Prefix.equal left right);
+  check_int "len" 65 (Prefix.mask_length left);
+  check_bool "contained" true (Prefix.contains p right)
+
+let test_prefix_errors () =
+  check_bool "bad octet" true (Result.is_error (Prefix.of_string "256.0.0.0/8"));
+  check_bool "bad len" true (Result.is_error (Prefix.of_string "10.0.0.0/33"));
+  check_bool "no len" true (Result.is_error (Prefix.of_string "10.0.0.0"));
+  check_bool "bad v6 len" true (Result.is_error (Prefix.of_string "::/129"));
+  check_bool "garbage" true (Result.is_error (Prefix.of_string "foo/8"))
+
+let test_prefix_compare_total_order () =
+  let ps =
+    List.map Prefix.of_string_exn
+      [ "0.0.0.0/0"; "10.0.0.0/8"; "10.0.0.0/16"; "192.168.0.0/16"; "::/0";
+        "2001:db8::/32" ]
+  in
+  let sorted = List.sort Prefix.compare ps in
+  check_int "sort stable size" (List.length ps) (List.length sorted);
+  (* v4 sorts before v6 *)
+  (match (List.nth sorted 0, List.nth sorted (List.length sorted - 1)) with
+   | first, last ->
+     check_bool "v4 first" true (Prefix.family first = Prefix.V4);
+     check_bool "v6 last" true (Prefix.family last = Prefix.V6))
+
+let prefix_qcheck =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun a b (c, len) -> Prefix.v4 a b c 0 (len mod 25))
+        (int_bound 255) (int_bound 255)
+        (pair (int_bound 255) (int_bound 255)))
+  in
+  let arb = QCheck.make ~print:Prefix.to_string gen in
+  [
+    QCheck.Test.make ~name:"v4 parse/print roundtrip" ~count:500 arb (fun p ->
+        Prefix.equal p (Prefix.of_string_exn (Prefix.to_string p)));
+    QCheck.Test.make ~name:"subdivide children partition parent" ~count:500 arb
+      (fun p ->
+        QCheck.assume (Prefix.mask_length p < 32);
+        let l, r = Prefix.subdivide p in
+        Prefix.contains p l && Prefix.contains p r
+        && (not (Prefix.contains l r))
+        && not (Prefix.contains r l));
+  ]
+
+(* ---------------- Community ---------------- *)
+
+let test_community_roundtrip () =
+  let c = Community.make 65100 42 in
+  check_string "to_string" "65100:42" (Community.to_string c);
+  check_bool "parse" true
+    (Community.equal c (Community.of_string_exn "65100:42"));
+  check_int "high" 65100 (Community.high c);
+  check_int "low" 42 (Community.low c)
+
+let test_community_errors () =
+  check_bool "range" true (Result.is_error (Community.of_string "70000:1"));
+  check_bool "format" true (Result.is_error (Community.of_string "1:2:3"));
+  check_bool "make range" true
+    (try
+       ignore (Community.make (-1) 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_well_known_distinct () =
+  let all =
+    Community.Well_known.
+      [ backbone_default_route; anycast_load_bearing; rack_origin;
+        infrastructure; drained ]
+  in
+  check_int "distinct" (List.length all)
+    (List.length (List.sort_uniq Community.compare all))
+
+(* ---------------- As_path ---------------- *)
+
+let asn = Asn.of_int
+
+let test_as_path_basics () =
+  let p = As_path.of_asns [ asn 1; asn 2; asn 3 ] in
+  check_int "length" 3 (As_path.length p);
+  check_bool "mem" true (As_path.mem (asn 2) p);
+  check_bool "not mem" false (As_path.mem (asn 9) p);
+  check Alcotest.(option int) "origin"
+    (Some 3)
+    (Option.map Asn.to_int (As_path.origin_asn p));
+  check Alcotest.(option int) "first"
+    (Some 1)
+    (Option.map Asn.to_int (As_path.first_asn p))
+
+let test_as_path_prepend () =
+  let p = As_path.of_asns [ asn 2 ] in
+  let p = As_path.prepend (asn 1) p in
+  check_int "len" 2 (As_path.length p);
+  check Alcotest.(option int) "first"
+    (Some 1)
+    (Option.map Asn.to_int (As_path.first_asn p));
+  let padded = As_path.prepend_n 3 (asn 7) p in
+  check_int "padded len" 5 (As_path.length padded);
+  check_string "padded" "7 7 7 1 2" (As_path.to_string padded)
+
+let test_as_path_set_counts_one () =
+  let p = As_path.of_segments [ As_path.Seq [ asn 1 ]; As_path.Set [ asn 2; asn 3 ] ] in
+  check_int "set counts 1" 2 (As_path.length p);
+  check_bool "mem in set" true (As_path.mem (asn 3) p)
+
+let test_as_path_empty () =
+  check_int "empty len" 0 (As_path.length As_path.empty);
+  check Alcotest.(option int) "empty origin" None
+    (Option.map Asn.to_int (As_path.origin_asn As_path.empty));
+  check_bool "of_asns [] is empty" true
+    (As_path.equal As_path.empty (As_path.of_asns []))
+
+(* ---------------- Path_regex ---------------- *)
+
+let matches re asns =
+  Path_regex.matches_asns (Path_regex.compile_exn re) (List.map asn asns)
+
+let test_regex_literal () =
+  check_bool "literal hit" true (matches "2" [ 1; 2; 3 ]);
+  check_bool "literal miss" false (matches "9" [ 1; 2; 3 ]);
+  check_bool "sequence" true (matches "1 2" [ 1; 2; 3 ]);
+  check_bool "sequence order" false (matches "2 1" [ 1; 2; 3 ])
+
+let test_regex_anchors () =
+  check_bool "^ hit" true (matches "^1" [ 1; 2; 3 ]);
+  check_bool "^ miss" false (matches "^2" [ 1; 2; 3 ]);
+  check_bool "$ hit" true (matches "3$" [ 1; 2; 3 ]);
+  check_bool "$ miss" false (matches "2$" [ 1; 2; 3 ]);
+  check_bool "^$ empty" true (matches "^$" []);
+  check_bool "^$ nonempty" false (matches "^$" [ 1 ]);
+  check_bool "^1 2 3$ exact" true (matches "^1 2 3$" [ 1; 2; 3 ]);
+  check_bool "^1 2$ not exact" false (matches "^1 2$" [ 1; 2; 3 ])
+
+let test_regex_metachars () =
+  check_bool "dot" true (matches "^. 2" [ 1; 2 ]);
+  check_bool "star zero" true (matches "^1 5* 2$" [ 1; 2 ]);
+  check_bool "star many" true (matches "^1 5* 2$" [ 1; 5; 5; 5; 2 ]);
+  check_bool "plus needs one" false (matches "^1 5+ 2$" [ 1; 2 ]);
+  check_bool "plus ok" true (matches "^1 5+ 2$" [ 1; 5; 2 ]);
+  check_bool "opt zero" true (matches "^1 5? 2$" [ 1; 2 ]);
+  check_bool "opt one" true (matches "^1 5? 2$" [ 1; 5; 2 ]);
+  check_bool "opt two" false (matches "^1 5? 2$" [ 1; 5; 5; 2 ])
+
+let test_regex_alternation_class () =
+  check_bool "alt left" true (matches "^(1|2) 9$" [ 1; 9 ]);
+  check_bool "alt right" true (matches "^(1|2) 9$" [ 2; 9 ]);
+  check_bool "alt miss" false (matches "^(1|2) 9$" [ 3; 9 ]);
+  check_bool "class range" true (matches "^[100-200]$" [ 150 ]);
+  check_bool "class range miss" false (matches "^[100-200]$" [ 201 ]);
+  check_bool "class set" true (matches "^[1,5,9]$" [ 5 ]);
+  check_bool "class mixed" true (matches "^[1-3,7]$" [ 7 ])
+
+let test_regex_paper_example () =
+  (* "as_path_regex=^12345 matches AS_Paths starting with ASN 12345
+     regardless of their lengths" *)
+  check_bool "short" true (matches "^12345" [ 12345 ]);
+  check_bool "long" true (matches "^12345" [ 12345; 1; 2; 3; 4 ]);
+  check_bool "not first" false (matches "^12345" [ 1; 12345 ])
+
+let test_regex_dot_star () =
+  check_bool "any path" true (matches ".*" [ 1; 2; 3 ]);
+  check_bool "any empty" true (matches ".*" []);
+  check_bool "ends with" true (matches ".* 65000$" [ 5; 65000 ]);
+  check_bool "whole with infix" true (matches "^1 .* 4$" [ 1; 2; 3; 4 ])
+
+let test_regex_errors () =
+  List.iter
+    (fun src ->
+      check_bool src true (Result.is_error (Path_regex.compile src)))
+    [ "("; "[1"; "[3-1]"; ")"; "1 ^ 2"; "abc" ]
+
+let test_regex_underscore_separator () =
+  check_bool "underscores" true (matches "^1_2_3$" [ 1; 2; 3 ])
+
+let test_regex_bounded_repetition () =
+  check_bool "{2} exact" true (matches "^7{2}$" [ 7; 7 ]);
+  check_bool "{2} too few" false (matches "^7{2}$" [ 7 ]);
+  check_bool "{2} too many" false (matches "^7{2}$" [ 7; 7; 7 ]);
+  check_bool "{1,3} low" true (matches "^7{1,3}$" [ 7 ]);
+  check_bool "{1,3} high" true (matches "^7{1,3}$" [ 7; 7; 7 ]);
+  check_bool "{1,3} above" false (matches "^7{1,3}$" [ 7; 7; 7; 7 ]);
+  check_bool "{2,} open" true (matches "^7{2,}$" [ 7; 7; 7; 7; 7 ]);
+  check_bool "{2,} below" false (matches "^7{2,}$" [ 7 ]);
+  (* Detecting AS-path padding: three or more consecutive repeats. *)
+  check_bool "padding detector" true (matches "9{3,}" [ 1; 9; 9; 9; 2 ]);
+  check_bool "no padding" false (matches "9{3,}" [ 1; 9; 9; 2 ]);
+  check_bool "descending bound rejected" true
+    (Result.is_error (Path_regex.compile "7{3,1}"))
+
+let test_regex_negated_class () =
+  check_bool "outside" true (matches "^[^100-200]$" [ 99 ]);
+  check_bool "inside" false (matches "^[^100-200]$" [ 150 ]);
+  check_bool "set negation" true (matches "^[^1,2,3]$" [ 4 ]);
+  check_bool "set negation miss" false (matches "^[^1,2,3]$" [ 2 ]);
+  (* Paths avoiding a backbone ASN entirely. *)
+  check_bool "avoids asn" true (matches "^[^65000]{3}$" [ 1; 2; 3 ]);
+  check_bool "contains asn" false (matches "^[^65000]{3}$" [ 1; 65000; 3 ])
+
+let regex_qcheck =
+  let path_gen = QCheck.Gen.(list_size (int_bound 6) (int_range 1 50)) in
+  let arb = QCheck.make ~print:(fun l -> String.concat " " (List.map string_of_int l)) path_gen in
+  [
+    QCheck.Test.make ~name:"exact anchored self-match" ~count:300 arb (fun p ->
+        QCheck.assume (p <> []);
+        let src = "^" ^ String.concat " " (List.map string_of_int p) ^ "$" in
+        matches src p);
+    QCheck.Test.make ~name:"dot-star matches everything" ~count:300 arb
+      (fun p -> matches ".*" p);
+    QCheck.Test.make ~name:"first-asn anchor" ~count:300 arb (fun p ->
+        QCheck.assume (p <> []);
+        match p with
+        | first :: _ -> matches (Printf.sprintf "^%d" first) p
+        | [] -> true);
+  ]
+
+(* ---------------- Attr ---------------- *)
+
+let test_attr_defaults () =
+  let a = Attr.make () in
+  check_int "local pref" 100 a.Attr.local_pref;
+  check_int "med" 0 a.Attr.med;
+  check_bool "no lbw" true (a.Attr.link_bandwidth = None)
+
+let test_attr_prepend_and_communities () =
+  let a = Attr.make ~as_path:(As_path.of_asns [ asn 2 ]) () in
+  let a = Attr.with_prepended (asn 1) a in
+  check_int "len" 2 (As_path.length a.Attr.as_path);
+  let c = Community.make 65100 7 in
+  let a = Attr.add_community c a in
+  check_bool "has community" true (Attr.has_community c a);
+  check_bool "not other" false (Attr.has_community (Community.make 65100 8) a)
+
+let test_attr_origin_rank () =
+  check_bool "igp < egp" true (Attr.origin_rank Attr.Igp < Attr.origin_rank Attr.Egp);
+  check_bool "egp < incomplete" true
+    (Attr.origin_rank Attr.Egp < Attr.origin_rank Attr.Incomplete)
+
+let test_attr_equal () =
+  let a = Attr.make ~local_pref:200 () in
+  let b = Attr.make ~local_pref:200 () in
+  check_bool "equal" true (Attr.equal a b);
+  check_bool "not equal" false (Attr.equal a (Attr.make ~local_pref:100 ()))
+
+(* ---------------- Suite ---------------- *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "net"
+    [
+      ( "prefix",
+        [
+          quick "v4 roundtrip" test_prefix_v4_roundtrip;
+          quick "v6 roundtrip" test_prefix_v6_roundtrip;
+          quick "canonical host bits" test_prefix_canonical_host_bits;
+          quick "families distinct" test_prefix_families_distinct;
+          quick "contains" test_prefix_contains;
+          quick "subdivide" test_prefix_subdivide;
+          quick "subdivide deep v6" test_prefix_subdivide_deep_v6;
+          quick "errors" test_prefix_errors;
+          quick "compare order" test_prefix_compare_total_order;
+        ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) prefix_qcheck );
+      ( "community",
+        [
+          quick "roundtrip" test_community_roundtrip;
+          quick "errors" test_community_errors;
+          quick "well-known distinct" test_well_known_distinct;
+        ] );
+      ( "as_path",
+        [
+          quick "basics" test_as_path_basics;
+          quick "prepend" test_as_path_prepend;
+          quick "set counts one" test_as_path_set_counts_one;
+          quick "empty" test_as_path_empty;
+        ] );
+      ( "path_regex",
+        [
+          quick "literal" test_regex_literal;
+          quick "anchors" test_regex_anchors;
+          quick "metachars" test_regex_metachars;
+          quick "alternation and class" test_regex_alternation_class;
+          quick "paper example" test_regex_paper_example;
+          quick "dot star" test_regex_dot_star;
+          quick "errors" test_regex_errors;
+          quick "underscore separator" test_regex_underscore_separator;
+          quick "bounded repetition" test_regex_bounded_repetition;
+          quick "negated class" test_regex_negated_class;
+        ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) regex_qcheck );
+      ( "attr",
+        [
+          quick "defaults" test_attr_defaults;
+          quick "prepend and communities" test_attr_prepend_and_communities;
+          quick "origin rank" test_attr_origin_rank;
+          quick "equal" test_attr_equal;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Tests for lib/openr: LSAs, SPF, flooding, and management-plane
+   integration with the switch agent. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let node id = Topology.Node.make ~id ~name:(Printf.sprintf "n%d" id)
+    ~layer:(Topology.Node.Other "R") ()
+
+let graph_of edges n =
+  let g = Topology.Graph.create () in
+  for i = 0 to n - 1 do
+    Topology.Graph.add_node g (node i)
+  done;
+  List.iter (fun (a, b) -> Topology.Graph.add_link g a b) edges;
+  g
+
+(* ---------------- Lsa ---------------- *)
+
+let test_lsa_newer () =
+  let a = Openr.Lsa.make ~originator:1 ~sequence:2 ~adjacencies:[] in
+  let b = Openr.Lsa.make ~originator:1 ~sequence:1 ~adjacencies:[] in
+  let c = Openr.Lsa.make ~originator:2 ~sequence:9 ~adjacencies:[] in
+  check_bool "higher seq newer" true (Openr.Lsa.newer a ~than:b);
+  check_bool "not older" false (Openr.Lsa.newer b ~than:a);
+  check_bool "different originator never newer" false (Openr.Lsa.newer c ~than:a)
+
+(* ---------------- Spf ---------------- *)
+
+let test_spf_line () =
+  let adjacency = function
+    | 0 -> [ (1, 1.0) ]
+    | 1 -> [ (0, 1.0); (2, 1.0) ]
+    | 2 -> [ (1, 1.0) ]
+    | _ -> []
+  in
+  let routes = Openr.Spf.compute ~source:0 ~adjacency ~nodes:[ 0; 1; 2 ] in
+  check_bool "2 reachable" true (Openr.Spf.reachable routes 2);
+  Alcotest.(check (option (float 1e-9))) "distance" (Some 2.0)
+    (Openr.Spf.distance routes 2);
+  Alcotest.(check (list int)) "first hop" [ 1 ] (Openr.Spf.first_hops routes 2)
+
+let test_spf_ecmp () =
+  (* Diamond 0-{1,2}-3: two equal-cost first hops. *)
+  let adjacency = function
+    | 0 -> [ (1, 1.0); (2, 1.0) ]
+    | 1 -> [ (0, 1.0); (3, 1.0) ]
+    | 2 -> [ (0, 1.0); (3, 1.0) ]
+    | 3 -> [ (1, 1.0); (2, 1.0) ]
+    | _ -> []
+  in
+  let routes = Openr.Spf.compute ~source:0 ~adjacency ~nodes:[ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int)) "both first hops" [ 1; 2 ]
+    (Openr.Spf.first_hops routes 3)
+
+let test_spf_bidirectional_check () =
+  (* 0 advertises 0->1 but 1 does not advertise back: edge unusable. *)
+  let adjacency = function 0 -> [ (1, 1.0) ] | _ -> [] in
+  let routes = Openr.Spf.compute ~source:0 ~adjacency ~nodes:[ 0; 1 ] in
+  check_bool "one-way link unusable" false (Openr.Spf.reachable routes 1)
+
+let test_spf_prefers_cheap_path () =
+  (* 0-1 metric 10; 0-2-1 metric 1+1. *)
+  let adjacency = function
+    | 0 -> [ (1, 10.0); (2, 1.0) ]
+    | 1 -> [ (0, 10.0); (2, 1.0) ]
+    | 2 -> [ (0, 1.0); (1, 1.0) ]
+    | _ -> []
+  in
+  let routes = Openr.Spf.compute ~source:0 ~adjacency ~nodes:[ 0; 1; 2 ] in
+  Alcotest.(check (option (float 1e-9))) "cheap path" (Some 2.0)
+    (Openr.Spf.distance routes 1);
+  Alcotest.(check (list int)) "via 2" [ 2 ] (Openr.Spf.first_hops routes 1)
+
+(* ---------------- Network ---------------- *)
+
+let test_flooding_converges () =
+  let g = graph_of [ (0, 1); (1, 2); (2, 3); (3, 0) ] 4 in
+  let net = Openr.Network.create ~seed:1 g in
+  ignore (Openr.Network.converge net);
+  check_bool "converged" true (Openr.Network.converged net);
+  for d = 0 to 3 do
+    check_int "full lsdb" 4 (Openr.Network.lsdb_size net d)
+  done;
+  check_bool "all pairs reachable" true
+    (List.for_all
+       (fun src ->
+         List.for_all
+           (fun dst -> Openr.Network.reachable net ~src ~dst)
+           [ 0; 1; 2; 3 ])
+       [ 0; 1; 2; 3 ])
+
+let test_link_failure_reroutes () =
+  let g = graph_of [ (0, 1); (1, 2); (2, 3); (3, 0) ] 4 in
+  let net = Openr.Network.create ~seed:1 g in
+  ignore (Openr.Network.converge net);
+  Alcotest.(check (list int)) "two hops around the ring" [ 1; 3 ]
+    (Openr.Network.first_hops net ~src:0 ~dst:2);
+  Topology.Graph.set_link_up g 0 1 false;
+  Openr.Network.link_event net 0 1 ~up:false;
+  ignore (Openr.Network.converge net);
+  Alcotest.(check (list int)) "non-shortest path survives" [ 3 ]
+    (Openr.Network.first_hops net ~src:0 ~dst:2);
+  check_bool "still reachable" true (Openr.Network.reachable net ~src:0 ~dst:2)
+
+let test_partition_detected () =
+  let g = graph_of [ (0, 1); (2, 3) ] 4 in
+  let net = Openr.Network.create ~seed:1 g in
+  ignore (Openr.Network.converge net);
+  check_bool "cross partition unreachable" false
+    (Openr.Network.reachable net ~src:0 ~dst:3);
+  check_bool "same side reachable" true (Openr.Network.reachable net ~src:0 ~dst:1)
+
+let test_capacity_weights_metrics () =
+  (* Link metric is 1/capacity: a fat two-hop path beats a thin direct
+     link. *)
+  let g = Topology.Graph.create () in
+  List.iter (fun i -> Topology.Graph.add_node g (node i)) [ 0; 1; 2 ];
+  Topology.Graph.add_link ~capacity:1.0 g 0 1;
+  Topology.Graph.add_link ~capacity:10.0 g 0 2;
+  Topology.Graph.add_link ~capacity:10.0 g 2 1;
+  let net = Openr.Network.create ~seed:2 g in
+  ignore (Openr.Network.converge net);
+  Alcotest.(check (list int)) "fat path wins" [ 2 ]
+    (Openr.Network.first_hops net ~src:0 ~dst:1)
+
+let test_fabric_management_reachability () =
+  (* The controller host (a rack switch) reaches every device in the
+     fabric over Open/R. *)
+  let f = Topology.Clos.fabric ~pods:2 ~rsws_per_pod:2 () in
+  let net = Openr.Network.create ~seed:3 f.Topology.Clos.graph in
+  ignore (Openr.Network.converge net);
+  let host = List.nth f.Topology.Clos.rsws 0 in
+  List.iter
+    (fun (n : Topology.Node.t) ->
+      check_bool
+        (Printf.sprintf "reach %s" n.Topology.Node.name)
+        true
+        (n.Topology.Node.id = host
+         || Openr.Network.reachable net ~src:host ~dst:n.Topology.Node.id))
+    (Topology.Graph.nodes f.Topology.Clos.graph)
+
+let test_switch_agent_uses_management_plane () =
+  let f = Topology.Clos.fabric ~pods:2 ~rsws_per_pod:2 () in
+  let bgp_net = Bgp.Network.create ~seed:4 f.Topology.Clos.graph in
+  let openr_net = Openr.Network.create ~seed:5 f.Topology.Clos.graph in
+  ignore (Openr.Network.converge openr_net);
+  let agent = Centralium.Switch_agent.create ~seed:6 bgp_net in
+  let host = List.nth f.Topology.Clos.rsws 0 in
+  Centralium.Switch_agent.attach_management_network agent openr_net
+    ~controller_host:host;
+  let target = List.nth f.Topology.Clos.ssws 0 in
+  let rpa =
+    Centralium.Apps.Min_next_hop_guard.rpa
+      ~destination:Centralium.Destination.backbone_default
+      ~threshold:(Centralium.Path_selection.Count 1) ~keep_fib_warm:false
+  in
+  Centralium.Switch_agent.set_intended agent ~device:target rpa;
+  check_bool "reachable over openr" true
+    (Centralium.Switch_agent.reconcile_device agent target = `Applied);
+  (* Cut the target off the management plane entirely. *)
+  List.iter
+    (fun ((n : Topology.Node.t), _) ->
+      Topology.Graph.set_link_up f.Topology.Clos.graph target n.Topology.Node.id false;
+      Openr.Network.link_event openr_net target n.Topology.Node.id ~up:false)
+    (Topology.Graph.all_neighbors f.Topology.Clos.graph target);
+  ignore (Openr.Network.converge openr_net);
+  Centralium.Switch_agent.set_intended agent ~device:target Centralium.Rpa.empty;
+  check_bool "partitioned device unreachable" true
+    (Centralium.Switch_agent.reconcile_device agent target = `Unreachable);
+  check_bool "operator alerted" true
+    (List.mem target (Centralium.Switch_agent.unexpected_unreachable agent));
+  Centralium.Switch_agent.set_maintenance agent ~device:target true;
+  check_bool "maintenance suppresses the alert" false
+    (List.mem target (Centralium.Switch_agent.unexpected_unreachable agent))
+
+let spf_qcheck =
+  (* SPF distances satisfy the triangle inequality over direct edges. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 4 10)
+        (pair (int_bound 7) (int_bound 7)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun l ->
+        String.concat ","
+          (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) l))
+      gen
+  in
+  [
+    QCheck.Test.make ~name:"spf distances respect edges" ~count:200 arb
+      (fun raw_edges ->
+        let edges =
+          List.filter (fun (a, b) -> a <> b) raw_edges
+          |> List.map (fun (a, b) -> (min a b, max a b))
+          |> List.sort_uniq compare
+        in
+        let adjacency n =
+          List.concat_map
+            (fun (a, b) ->
+              if a = n then [ (b, 1.0) ]
+              else if b = n then [ (a, 1.0) ]
+              else [])
+            edges
+        in
+        let routes =
+          Openr.Spf.compute ~source:0 ~adjacency ~nodes:(List.init 8 Fun.id)
+        in
+        List.for_all
+          (fun (a, b) ->
+            match (Openr.Spf.distance routes a, Openr.Spf.distance routes b) with
+            | Some da, Some db -> Float.abs (da -. db) <= 1.0 +. 1e-9
+            | None, None -> true
+            | Some _, None | None, Some _ ->
+              false (* an edge between reachable and unreachable is absurd *))
+          edges);
+  ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "openr"
+    [
+      ("lsa", [ quick "newer" test_lsa_newer ]);
+      ( "spf",
+        [
+          quick "line" test_spf_line;
+          quick "ecmp" test_spf_ecmp;
+          quick "bidirectional check" test_spf_bidirectional_check;
+          quick "prefers cheap path" test_spf_prefers_cheap_path;
+        ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) spf_qcheck );
+      ( "network",
+        [
+          quick "flooding converges" test_flooding_converges;
+          quick "link failure reroutes" test_link_failure_reroutes;
+          quick "partition detected" test_partition_detected;
+          quick "capacity metrics" test_capacity_weights_metrics;
+          quick "fabric reachability" test_fabric_management_reachability;
+          quick "switch agent integration" test_switch_agent_uses_management_plane;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for lib/planner: Table 3 shapes. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rows () = Planner.table3 ()
+
+let test_all_categories_present () =
+  check_int "five rows" 5 (List.length (rows ()));
+  let categories = List.map (fun r -> r.Planner.category) (rows ()) in
+  check_bool "in taxonomy order" true
+    (categories = Topology.Migration.all_categories)
+
+let test_rpa_reduces_steps () =
+  List.iter
+    (fun r ->
+      check_bool
+        (Topology.Migration.category_label r.Planner.category)
+        true
+        (Planner.step_count r.Planner.with_rpa
+         < Planner.step_count r.Planner.without_rpa))
+    (rows ())
+
+let test_rpa_reduces_days () =
+  List.iter
+    (fun r ->
+      check_bool
+        (Topology.Migration.category_label r.Planner.category)
+        true
+        (Planner.duration_days r.Planner.with_rpa
+         <= Planner.duration_days r.Planner.without_rpa))
+    (rows ())
+
+let find category =
+  List.find (fun r -> r.Planner.category = category) (rows ())
+
+(* The published Table 3 step counts and day totals. *)
+let test_published_step_counts () =
+  let expect category steps_without steps_with =
+    let r = find category in
+    check_int "w/o" steps_without (Planner.step_count r.Planner.without_rpa);
+    check_int "w/" steps_with (Planner.step_count r.Planner.with_rpa)
+  in
+  expect Topology.Migration.Routing_system_evolution 2 1;
+  expect Topology.Migration.Incremental_capacity_scaling 9 3;
+  expect Topology.Migration.Differential_traffic_distribution 3 1;
+  expect Topology.Migration.Routing_policy_transitions 5 3;
+  expect Topology.Migration.Traffic_drain_for_maintenance 3 1
+
+let test_published_day_totals () =
+  let close a b = Float.abs (a -. b) < 1.5 in
+  let expect category days_without days_with =
+    let r = find category in
+    check_bool "days w/o" true
+      (close (Planner.duration_days r.Planner.without_rpa) days_without);
+    check_bool "days w/" true
+      (close (Planner.duration_days r.Planner.with_rpa) days_with)
+  in
+  expect Topology.Migration.Routing_system_evolution 42.0 0.0;
+  expect Topology.Migration.Incremental_capacity_scaling 189.0 21.0;
+  expect Topology.Migration.Differential_traffic_distribution 63.0 7.0;
+  expect Topology.Migration.Routing_policy_transitions 105.0 21.0;
+  expect Topology.Migration.Traffic_drain_for_maintenance 0.12 0.02
+
+let test_rpa_loc_ranges () =
+  (* The paper's Table 3 LOC bands, measured on our generated RPAs. *)
+  let in_range category lo hi =
+    let r = find category in
+    check_bool
+      (Printf.sprintf "%s loc=%d in [%d, %d]"
+         (Topology.Migration.category_label category)
+         r.Planner.rpa_loc lo hi)
+      true
+      (r.Planner.rpa_loc >= lo && r.Planner.rpa_loc <= hi)
+  in
+  in_range Topology.Migration.Routing_system_evolution 300 1000;
+  in_range Topology.Migration.Incremental_capacity_scaling 200 300;
+  in_range Topology.Migration.Differential_traffic_distribution 50 100;
+  in_range Topology.Migration.Routing_policy_transitions 100 200;
+  in_range Topology.Migration.Traffic_drain_for_maintenance 1 50
+
+let test_cadence_dominates_config_pushes () =
+  check_bool "config push costs a cadence" true
+    (Planner.step_days Planner.Config_push = Planner.push_cadence_days);
+  check_bool "rpa push is sub-day" true (Planner.step_days Planner.Rpa_push < 1.0)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "planner"
+    [
+      ( "table3",
+        [
+          quick "categories present" test_all_categories_present;
+          quick "rpa reduces steps" test_rpa_reduces_steps;
+          quick "rpa reduces days" test_rpa_reduces_days;
+          quick "published step counts" test_published_step_counts;
+          quick "published day totals" test_published_day_totals;
+          quick "rpa loc ranges" test_rpa_loc_ranges;
+          quick "cadence constants" test_cadence_dominates_config_pushes;
+        ] );
+    ]

@@ -1,0 +1,431 @@
+(* Cross-cutting property tests (qcheck): invariants of the decision
+   process, the RPA engine, network convergence, deployment sequencing and
+   the TE solver that must hold for arbitrary inputs, not just the paper's
+   scenarios. *)
+
+let asn = Net.Asn.of_int
+
+(* ---------------- generators ---------------- *)
+
+let path_gen =
+  QCheck.Gen.(
+    let* peer = int_range 1 6 in
+    let* session = int_range 0 1 in
+    let* local_pref = oneofl [ 50; 100; 100; 100; 200 ] in
+    let* med = int_range 0 3 in
+    let* len = int_range 1 5 in
+    let* asns = list_repeat len (int_range 60000 60010) in
+    return
+      (Bgp.Path.make ~peer ~session
+         ~attr:
+           (Net.Attr.make ~local_pref ~med
+              ~as_path:(Net.As_path.of_asns (List.map asn asns))
+              ())))
+
+let print_path p = Format.asprintf "%a" Bgp.Path.pp p
+
+let paths_arb n =
+  QCheck.make
+    ~print:(fun l -> String.concat " | " (List.map print_path l))
+    QCheck.Gen.(list_size (int_range 1 n) path_gen)
+
+(* ---------------- decision process ---------------- *)
+
+let preference_total_order =
+  QCheck.Test.make ~name:"preference_compare is a total order" ~count:300
+    (QCheck.pair (paths_arb 4) (paths_arb 4))
+    (fun (xs, ys) ->
+      let all = xs @ ys in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let ab = Bgp.Decision.preference_compare a b in
+              let ba = Bgp.Decision.preference_compare b a in
+              (* antisymmetry *)
+              (ab <= 0 || ba <= 0)
+              && ((ab <> 0 || ba = 0)
+                  &&
+                  (* transitivity over every c *)
+                  List.for_all
+                    (fun c ->
+                      let bc = Bgp.Decision.preference_compare b c in
+                      let ac = Bgp.Decision.preference_compare a c in
+                      not (ab <= 0 && bc <= 0) || ac <= 0)
+                    all))
+            all)
+        all)
+
+let select_invariants =
+  QCheck.Test.make ~name:"select: subset, best membership, equal cost"
+    ~count:500 (paths_arb 8) (fun candidates ->
+      let selected, best = Bgp.Decision.select ~multipath:true candidates in
+      match best with
+      | None -> candidates = []
+      | Some b ->
+        List.memq b selected
+        && List.for_all (fun p -> List.memq p candidates) selected
+        && List.for_all (Bgp.Decision.equal_cost b) selected
+        && List.for_all
+             (fun p ->
+               List.memq p selected || not (Bgp.Decision.equal_cost b p))
+             candidates)
+
+let least_favorable_is_maximum =
+  QCheck.Test.make ~name:"least_favorable is the preference maximum" ~count:500
+    (paths_arb 8) (fun paths ->
+      match Bgp.Decision.least_favorable paths with
+      | None -> paths = []
+      | Some worst ->
+        List.memq worst paths
+        && List.for_all
+             (fun p -> Bgp.Decision.preference_compare p worst <= 0)
+             paths)
+
+(* ---------------- path regex vs reference matcher ---------------- *)
+
+(* A brute-force reference for the anchored subset ^(lit | .)* with
+   optional star on each atom: tiny recursive matcher, obviously correct. *)
+type ref_atom = R_lit of int | R_any
+type ref_item = { atom : ref_atom; starred : bool }
+
+let ref_matches items tokens =
+  let atom_ok atom token =
+    match atom with R_lit n -> token = n | R_any -> true
+  in
+  let rec go items tokens =
+    match (items, tokens) with
+    | [], [] -> true
+    | [], _ :: _ -> false
+    | { atom; starred = false } :: rest_items, token :: rest_tokens ->
+      atom_ok atom token && go rest_items rest_tokens
+    | { starred = false; _ } :: _, [] -> false
+    | ({ atom; starred = true } :: rest_items as all), tokens ->
+      go rest_items tokens
+      || (match tokens with
+          | token :: rest_tokens -> atom_ok atom token && go all rest_tokens
+          | [] -> false)
+  in
+  go items tokens
+
+let ref_to_source items =
+  "^"
+  ^ String.concat " "
+      (List.map
+         (fun { atom; starred } ->
+           (match atom with R_lit n -> string_of_int n | R_any -> ".")
+           ^ if starred then "*" else "")
+         items)
+  ^ "$"
+
+let regex_differential =
+  let item_gen =
+    QCheck.Gen.(
+      let* starred = bool in
+      let* atom =
+        oneof [ return R_any; map (fun n -> R_lit n) (int_range 1 4) ]
+      in
+      return { atom; starred })
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (items, tokens) ->
+        Printf.sprintf "%s vs [%s]" (ref_to_source items)
+          (String.concat " " (List.map string_of_int tokens)))
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 0 5) item_gen)
+          (list_size (int_range 0 6) (int_range 1 4)))
+  in
+  QCheck.Test.make ~name:"NFA engine agrees with reference matcher" ~count:2000
+    arb
+    (fun (items, tokens) ->
+      let re = Net.Path_regex.compile_exn (ref_to_source items) in
+      Net.Path_regex.matches_asns re (List.map asn tokens)
+      = ref_matches items tokens)
+
+(* ---------------- engine ---------------- *)
+
+let bb = Net.Community.Well_known.backbone_default_route
+
+let tagged p =
+  { p with
+    Bgp.Path.attr =
+      Net.Attr.add_community bb p.Bgp.Path.attr }
+
+let engine_ctx =
+  {
+    Bgp.Rib_policy.device = 0;
+    prefix = Net.Prefix.default_v4;
+    now = 0.0;
+    peer_layer = (fun _ -> Some (Topology.Node.Other "R"));
+    live_peers_in_layer = (fun _ -> 6);
+  }
+
+let random_engine_gen =
+  (* A random path-selection RPA: 1-2 path sets with assorted signatures. *)
+  QCheck.Gen.(
+    let* use_regex = bool in
+    let* mnh = oneofl [ None; Some (Centralium.Path_selection.Count 2) ] in
+    let signature =
+      if use_regex then Centralium.Signature.make ~as_path_regex:".* 60005" ()
+      else Centralium.Signature.make ~neighbor_asns:[ asn 60001; asn 60002 ] ()
+    in
+    (* A catch-all final set guarantees some path set matches, so the
+       dissemination rule (advertise the least favorable selected path)
+       always applies — native fallback would advertise the best instead. *)
+    let sets =
+      [
+        Centralium.Path_selection.path_set ~name:"first" ?min_next_hop:mnh
+          signature;
+        Centralium.Path_selection.path_set ~name:"catch-all"
+          Centralium.Signature.any;
+      ]
+    in
+    return
+      (Centralium.Engine.create
+         (Centralium.Rpa.make
+            ~path_selection:
+              [
+                Centralium.Path_selection.make
+                  [
+                    Centralium.Path_selection.statement ~path_sets:sets
+                      (Centralium.Destination.Tagged bb);
+                  ];
+              ]
+            ())))
+
+let engine_paths_arb =
+  QCheck.make
+    ~print:(fun (_, l) -> String.concat " | " (List.map print_path l))
+    QCheck.Gen.(
+      pair random_engine_gen
+        (map (List.map tagged) (list_size (int_range 1 8) path_gen)))
+
+let engine_selection_invariants =
+  QCheck.Test.make ~name:"engine: selected subset, advertise in selected"
+    ~count:500 engine_paths_arb (fun (engine, candidates) ->
+      let native = Bgp.Decision.select ~multipath:true candidates in
+      let sel =
+        Centralium.Engine.evaluate_selection engine ~ctx:engine_ctx ~candidates
+          ~native
+      in
+      List.for_all (fun p -> List.memq p candidates) sel.Bgp.Rib_policy.selected
+      &&
+      match sel.Bgp.Rib_policy.advertise with
+      | None -> true
+      | Some adv -> List.memq adv sel.Bgp.Rib_policy.selected)
+
+let engine_advertises_least_favorable =
+  QCheck.Test.make
+    ~name:"engine: advertised path is least favorable of selected" ~count:500
+    engine_paths_arb (fun (engine, candidates) ->
+      let native = Bgp.Decision.select ~multipath:true candidates in
+      let sel =
+        Centralium.Engine.evaluate_selection engine ~ctx:engine_ctx ~candidates
+          ~native
+      in
+      match (sel.Bgp.Rib_policy.advertise, sel.Bgp.Rib_policy.selected) with
+      | Some adv, (_ :: _ as selected) ->
+        List.for_all
+          (fun p -> Bgp.Decision.preference_compare p adv <= 0)
+          selected
+      | Some _, [] -> false
+      | None, _ -> true)
+
+let engine_cache_transparent =
+  QCheck.Test.make ~name:"engine: cache does not change decisions" ~count:300
+    engine_paths_arb (fun (engine, candidates) ->
+      let uncached =
+        Centralium.Engine.create ~cache:false (Centralium.Engine.rpa engine)
+      in
+      let native = Bgp.Decision.select ~multipath:true candidates in
+      let a =
+        Centralium.Engine.evaluate_selection engine ~ctx:engine_ctx ~candidates
+          ~native
+      in
+      let a' =
+        Centralium.Engine.evaluate_selection engine ~ctx:engine_ctx ~candidates
+          ~native
+      in
+      let b =
+        Centralium.Engine.evaluate_selection uncached ~ctx:engine_ctx
+          ~candidates ~native
+      in
+      a = a' && a = b)
+
+(* ---------------- network convergence ---------------- *)
+
+let fabric_arb =
+  QCheck.make
+    ~print:(fun (pods, seed) -> Printf.sprintf "pods=%d seed=%d" pods seed)
+    QCheck.Gen.(pair (int_range 1 3) (int_range 0 1000))
+
+let convergence_loop_free =
+  QCheck.Test.make ~name:"converged fabric is loop-free with full reachability"
+    ~count:20 fabric_arb (fun (pods, seed) ->
+      let f = Topology.Clos.fabric ~pods ~rsws_per_pod:2 ~grids:2 () in
+      let net = Bgp.Network.create ~seed f.Topology.Clos.graph in
+      List.iter
+        (fun eb ->
+          Bgp.Network.originate net eb Net.Prefix.default_v4 (Net.Attr.make ()))
+        f.Topology.Clos.ebs;
+      ignore (Bgp.Network.converge net);
+      let devices =
+        List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes f.Topology.Clos.graph)
+      in
+      let loops =
+        Dataplane.Metrics.find_forwarding_loops
+          ~lookup:(fun d -> Bgp.Network.fib net d Net.Prefix.default_v4)
+          ~devices
+      in
+      loops = []
+      && List.for_all
+           (fun d -> Bgp.Network.fib net d Net.Prefix.default_v4 <> None)
+           devices)
+
+let convergence_deterministic =
+  QCheck.Test.make ~name:"same seed, same converged state" ~count:10 fabric_arb
+    (fun (pods, seed) ->
+      let run () =
+        let f = Topology.Clos.fabric ~pods ~rsws_per_pod:2 () in
+        let net = Bgp.Network.create ~seed f.Topology.Clos.graph in
+        List.iter
+          (fun eb ->
+            Bgp.Network.originate net eb Net.Prefix.default_v4 (Net.Attr.make ()))
+          f.Topology.Clos.ebs;
+        ignore (Bgp.Network.converge net);
+        Bgp.Network.fib_snapshot net Net.Prefix.default_v4
+      in
+      run () = run ())
+
+let churn_consistency =
+  (* Failure injection: a random sequence of link flaps and drains, with
+     events landing mid-convergence. After quiescence, the forwarding state
+     must be loop-free and every device physically connected to the origin
+     must hold a route. *)
+  QCheck.Test.make ~name:"random churn converges to consistent state" ~count:15
+    (QCheck.make
+       ~print:(fun (seed, flips) ->
+         Printf.sprintf "seed=%d flips=%d" seed flips)
+       QCheck.Gen.(pair (int_range 0 1000) (int_range 1 8)))
+    (fun (seed, flips) ->
+      let f = Topology.Clos.fabric ~pods:2 ~rsws_per_pod:2 () in
+      let g = f.Topology.Clos.graph in
+      let net = Bgp.Network.create ~seed g in
+      let origin = List.nth f.Topology.Clos.ebs 0 in
+      Bgp.Network.originate net origin Net.Prefix.default_v4 (Net.Attr.make ());
+      let rng = Dsim.Rng.create (seed + 7) in
+      let links = Topology.Graph.links g in
+      (* Schedule overlapping flaps: down then up while other updates are
+         still in flight. *)
+      for k = 1 to flips do
+        let link = Dsim.Rng.pick rng links in
+        let delay = Dsim.Rng.float rng 0.01 in
+        Bgp.Network.set_link ~delay net link.Topology.Graph.a
+          link.Topology.Graph.b ~up:false;
+        Bgp.Network.set_link ~delay:(delay +. Dsim.Rng.float rng 0.01) net
+          link.Topology.Graph.a link.Topology.Graph.b ~up:true;
+        if k mod 3 = 0 then begin
+          let victim = Dsim.Rng.pick rng f.Topology.Clos.fadus in
+          Bgp.Network.drain_device ~delay net victim;
+          Bgp.Network.undrain_device ~delay:(delay +. 0.02) net victim
+        end
+      done;
+      ignore (Bgp.Network.converge net);
+      let devices =
+        List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes g)
+      in
+      let loops =
+        Dataplane.Metrics.find_forwarding_loops
+          ~lookup:(fun d -> Bgp.Network.fib net d Net.Prefix.default_v4)
+          ~devices
+      in
+      loops = []
+      && List.for_all
+           (fun d -> Bgp.Network.fib net d Net.Prefix.default_v4 <> None)
+           devices)
+
+(* ---------------- deployment ---------------- *)
+
+let deployment_phases_partition =
+  QCheck.Test.make ~name:"phases partition targets and are safe" ~count:50
+    (QCheck.make
+       ~print:(fun n -> string_of_int n)
+       QCheck.Gen.(int_range 1 3))
+    (fun pods ->
+      let f = Topology.Clos.fabric ~pods ~rsws_per_pod:2 () in
+      let targets = f.Topology.Clos.fsws @ f.Topology.Clos.ssws @ f.Topology.Clos.fadus in
+      let phases =
+        Centralium.Deployment.phases f.Topology.Clos.graph ~targets
+          ~origination_layer:Topology.Node.Eb Centralium.Deployment.Install
+      in
+      List.sort Int.compare (List.concat phases)
+      = List.sort Int.compare targets
+      && Centralium.Deployment.is_safe_order f.Topology.Clos.graph
+           ~origination_layer:Topology.Node.Eb Centralium.Deployment.Install
+           phases)
+
+(* ---------------- TE solver ---------------- *)
+
+let te_instance_arb =
+  QCheck.make
+    ~print:(fun (caps, demand) ->
+      Printf.sprintf "caps=[%s] demand=%.1f"
+        (String.concat ";" (List.map string_of_float caps))
+        demand)
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 2 5) (map float_of_int (int_range 1 9)))
+        (map (fun d -> float_of_int d /. 2.0) (int_range 1 10)))
+
+let te_optimal_beats_ecmp =
+  QCheck.Test.make ~name:"optimal max-util <= ecmp max-util" ~count:100
+    te_instance_arb (fun (caps, demand) ->
+      (* A star: source 0, uplink i to node i+1, all draining to sink. *)
+      let n = List.length caps in
+      let sink = n + 1 in
+      let edges =
+        List.concat (List.mapi (fun i c -> [ (0, i + 1, c); (i + 1, sink, c) ]) caps)
+      in
+      let instance =
+        { Te.Solver.node_count = n + 2; edges; demands = [ (0, demand) ];
+          destination = sink }
+      in
+      let u_opt, weights = Te.Solver.optimal instance in
+      let u_ecmp =
+        Te.Solver.max_utilization instance (Te.Solver.ecmp_weights instance)
+      in
+      (* The binary search stops within 1e-4 relative tolerance, so the
+         extracted optimum may exceed a coinciding ECMP optimum by that
+         margin. *)
+      u_opt <= (u_ecmp *. 1.001) +. 1e-9
+      && Te.Solver.max_utilization instance weights <= u_opt +. 1e-9)
+
+(* ---------------- suite ---------------- *)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "decision",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ preference_total_order; select_invariants; least_favorable_is_maximum ] );
+      ( "regex",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) [ regex_differential ] );
+      ( "engine",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            engine_selection_invariants;
+            engine_advertises_least_favorable;
+            engine_cache_transparent;
+          ] );
+      ( "network",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ convergence_loop_free; convergence_deterministic; churn_consistency ] );
+      ( "deployment",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ deployment_phases_partition ] );
+      ( "te",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ te_optimal_beats_ecmp ] );
+    ]

@@ -1,0 +1,252 @@
+(* Direct unit tests of Bgp.Speaker: the state machine in isolation, with
+   hand-fed messages and asserted outboxes (no event queue). *)
+
+open Net
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p10 = Prefix.of_string_exn "10.0.0.0/8"
+let env = { Bgp.Speaker.now = 0.0; peer_layer = (fun _ -> None) }
+
+let node id = Topology.Node.make ~id ~name:(Printf.sprintf "r%d" id)
+    ~layer:(Topology.Node.Other "R") ()
+
+let speaker ?config ?hooks id peers =
+  let sp = Bgp.Speaker.create ?config ?hooks (node id) in
+  List.iter (fun peer -> Bgp.Speaker.add_peer sp ~peer ~sessions:1) peers;
+  sp
+
+let update ?(lp = 100) ?(asns = [ 99 ]) prefix =
+  Bgp.Msg.Update
+    {
+      prefix;
+      attr =
+        Attr.make ~local_pref:lp
+          ~as_path:(As_path.of_asns (List.map Asn.of_int asns))
+          ();
+    }
+
+let msgs_to peer outbox = List.filter (fun (p, _, _) -> p = peer) outbox
+
+let is_update = function
+  | _, _, Bgp.Msg.Update _ -> true
+  | _, _, Bgp.Msg.Withdraw _ -> false
+
+(* ---------------- origination ---------------- *)
+
+let test_originate_advertises_to_all_peers () =
+  let sp = speaker 0 [ 1; 2; 3 ] in
+  let out = Bgp.Speaker.originate sp env p10 (Attr.make ()) in
+  check_int "three updates" 3 (List.length out);
+  check_bool "all updates" true (List.for_all is_update out);
+  (* The advertised path carries the originator's ASN. *)
+  List.iter
+    (fun (_, _, msg) ->
+      match msg with
+      | Bgp.Msg.Update { attr; _ } ->
+        check_int "one hop" 1 (As_path.length attr.Attr.as_path);
+        check_bool "own asn first" true
+          (As_path.first_asn attr.Attr.as_path = Some (Bgp.Speaker.asn sp))
+      | Bgp.Msg.Withdraw _ -> Alcotest.fail "unexpected withdraw")
+    out;
+  match Bgp.Speaker.fib_lookup sp p10 with
+  | Some Bgp.Speaker.Local -> ()
+  | Some (Bgp.Speaker.Entries _) | None -> Alcotest.fail "origin not Local"
+
+let test_withdraw_origin_sends_withdraws () =
+  let sp = speaker 0 [ 1; 2 ] in
+  ignore (Bgp.Speaker.originate sp env p10 (Attr.make ()));
+  let out = Bgp.Speaker.withdraw_origin sp env p10 in
+  check_int "two withdraws" 2 (List.length out);
+  check_bool "all withdraws" true (List.for_all (fun m -> not (is_update m)) out);
+  check_bool "fib empty" true (Bgp.Speaker.fib_lookup sp p10 = None)
+
+(* ---------------- propagation, split horizon, dedup ---------------- *)
+
+let test_receive_propagates_with_split_horizon () =
+  let sp = speaker 5 [ 1; 2 ] in
+  let out = Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10) in
+  (* Advertised to peer 2 but never back to peer 1. *)
+  check_int "to peer 2" 1 (List.length (msgs_to 2 out));
+  check_int "not to peer 1" 0 (List.length (msgs_to 1 out))
+
+let test_duplicate_update_is_silent () =
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  let out = Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10) in
+  check_int "no re-advertisement" 0 (List.length out)
+
+let test_better_route_triggers_readvertisement () =
+  let sp = speaker 5 [ 1; 2; 3 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update ~asns:[ 7; 8 ] p10));
+  (* A shorter path from peer 2 becomes best: peers (except 2) learn it;
+     peer 2 gets a withdraw of the previously advertised peer-1 path
+     (split horizon forbids echoing its own path back). *)
+  let out = Bgp.Speaker.receive sp env ~peer:2 ~session:0 (update ~asns:[ 9 ] p10) in
+  check_bool "peer 3 told" true (List.exists is_update (msgs_to 3 out));
+  check_bool "peer 2 never told its own path" true
+    (List.for_all (fun m -> not (is_update m)) (msgs_to 2 out))
+
+let test_own_asn_in_path_rejected () =
+  let sp = speaker 5 [ 1 ] in
+  let own = Asn.to_int (Bgp.Speaker.asn sp) in
+  let out =
+    Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update ~asns:[ 7; own; 8 ] p10)
+  in
+  check_int "nothing happens" 0 (List.length out);
+  check_bool "not installed" true (Bgp.Speaker.fib_lookup sp p10 = None)
+
+let test_withdraw_removes_and_propagates () =
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  let out =
+    Bgp.Speaker.receive sp env ~peer:1 ~session:0 (Bgp.Msg.Withdraw { prefix = p10 })
+  in
+  check_bool "fib cleared" true (Bgp.Speaker.fib_lookup sp p10 = None);
+  check_int "withdraw forwarded to peer 2" 1 (List.length (msgs_to 2 out));
+  check_bool "it is a withdraw" true
+    (List.for_all (fun m -> not (is_update m)) (msgs_to 2 out))
+
+let test_failover_between_peers () =
+  let sp = speaker 5 [ 1; 2; 3 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update ~asns:[ 9 ] p10));
+  ignore (Bgp.Speaker.receive sp env ~peer:2 ~session:0 (update ~asns:[ 8; 9 ] p10));
+  (* Best (peer 1) withdrawn: falls over to peer 2's longer path and
+     re-advertises it. *)
+  let out =
+    Bgp.Speaker.receive sp env ~peer:1 ~session:0 (Bgp.Msg.Withdraw { prefix = p10 })
+  in
+  (match Bgp.Speaker.fib_lookup sp p10 with
+   | Some (Bgp.Speaker.Entries [ e ]) -> check_int "via peer 2" 2 e.Bgp.Speaker.next_hop
+   | Some (Bgp.Speaker.Entries _) | Some Bgp.Speaker.Local | None ->
+     Alcotest.fail "expected failover entry");
+  check_bool "peer 3 re-advertised" true
+    (List.exists is_update (msgs_to 3 out))
+
+(* ---------------- session lifecycle ---------------- *)
+
+let test_session_down_flushes_routes () =
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  let out = Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:false in
+  check_bool "fib cleared" true (Bgp.Speaker.fib_lookup sp p10 = None);
+  check_bool "withdraw sent to peer 2" true
+    (List.exists (fun m -> not (is_update m)) (msgs_to 2 out))
+
+let test_session_up_resends_table () =
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.originate sp env p10 (Attr.make ()));
+  ignore (Bgp.Speaker.set_session sp env ~peer:2 ~session:0 ~up:false);
+  let out = Bgp.Speaker.set_session sp env ~peer:2 ~session:0 ~up:true in
+  check_bool "table resent" true (List.exists is_update (msgs_to 2 out))
+
+let test_peers_reports_live_sessions () =
+  let sp = speaker 5 [ 1; 2 ] in
+  check_int "two peers" 2 (List.length (Bgp.Speaker.peers sp));
+  ignore (Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:false);
+  check_int "one live peer" 1 (List.length (Bgp.Speaker.peers sp))
+
+(* ---------------- policy interaction ---------------- *)
+
+let test_ingress_policy_reject_blocks_install () =
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.set_ingress_policy sp env ~peer:1 Bgp.Policy.reject_all);
+  let out = Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10) in
+  check_bool "not installed" true (Bgp.Speaker.fib_lookup sp p10 = None);
+  check_int "nothing advertised" 0 (List.length out)
+
+let test_egress_policy_change_triggers_withdraw () =
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  check_int "advertised to 2" 1
+    (List.length (Bgp.Speaker.advertised_to sp ~peer:2));
+  let out = Bgp.Speaker.set_egress_policy sp env ~peer:2 Bgp.Policy.reject_all in
+  check_bool "withdraw to 2" true
+    (List.exists (fun m -> not (is_update m)) (msgs_to 2 out));
+  check_int "rib-out cleared" 0
+    (List.length (Bgp.Speaker.advertised_to sp ~peer:2))
+
+let test_advertised_attr_shape () =
+  (* Advertised attributes: own ASN prepended, local-pref reset (eBGP does
+     not propagate it), link bandwidth absent without wcmp. *)
+  let sp = speaker 5 [ 1; 2 ] in
+  let out =
+    Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update ~lp:300 ~asns:[ 9 ] p10)
+  in
+  match msgs_to 2 out with
+  | [ (_, _, Bgp.Msg.Update { attr; _ }) ] ->
+    check_int "length grew" 2 (As_path.length attr.Attr.as_path);
+    check_int "local pref reset" 100 attr.Attr.local_pref;
+    check_bool "no link bandwidth" true (attr.Attr.link_bandwidth = None)
+  | _ -> Alcotest.fail "expected exactly one update to peer 2"
+
+let test_wcmp_advertises_total_capacity () =
+  let config = { Bgp.Speaker.default_config with wcmp = true } in
+  let sp = speaker ~config 5 [ 1; 2; 3 ] in
+  ignore
+    (Bgp.Speaker.receive sp env ~peer:1 ~session:0
+       (Bgp.Msg.Update
+          { prefix = p10;
+            attr = Attr.make ~link_bandwidth:3 ~as_path:(As_path.of_asns [ Asn.of_int 9 ]) () }));
+  let out =
+    Bgp.Speaker.receive sp env ~peer:2 ~session:0
+      (Bgp.Msg.Update
+         { prefix = p10;
+           attr = Attr.make ~link_bandwidth:5 ~as_path:(As_path.of_asns [ Asn.of_int 8 ]) () })
+  in
+  (* Total capacity 3 + 5 = 8 advertised downstream. *)
+  match msgs_to 3 out with
+  | [ (_, _, Bgp.Msg.Update { attr; _ }) ] ->
+    check_bool "aggregated capacity" true (attr.Attr.link_bandwidth = Some 8)
+  | _ -> Alcotest.fail "expected update to peer 3"
+
+(* ---------------- longest prefix match ---------------- *)
+
+let test_fib_longest_match () =
+  let sp = speaker 5 [ 1 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update Prefix.default_v4));
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  let host = Prefix.v4 10 1 2 3 32 in
+  (match Bgp.Speaker.fib_longest_match sp host with
+   | Some (matched, _) -> check_bool "specific wins" true (Prefix.equal matched p10)
+   | None -> Alcotest.fail "no match");
+  let other = Prefix.v4 11 0 0 1 32 in
+  match Bgp.Speaker.fib_longest_match sp other with
+  | Some (matched, _) ->
+    check_bool "default catches the rest" true (Prefix.equal matched Prefix.default_v4)
+  | None -> Alcotest.fail "no default match"
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "speaker"
+    [
+      ( "origination",
+        [
+          quick "advertises to all" test_originate_advertises_to_all_peers;
+          quick "withdraw origin" test_withdraw_origin_sends_withdraws;
+        ] );
+      ( "propagation",
+        [
+          quick "split horizon" test_receive_propagates_with_split_horizon;
+          quick "duplicate silent" test_duplicate_update_is_silent;
+          quick "better route re-advertised" test_better_route_triggers_readvertisement;
+          quick "own asn rejected" test_own_asn_in_path_rejected;
+          quick "withdraw propagates" test_withdraw_removes_and_propagates;
+          quick "failover" test_failover_between_peers;
+        ] );
+      ( "sessions",
+        [
+          quick "down flushes" test_session_down_flushes_routes;
+          quick "up resends" test_session_up_resends_table;
+          quick "peers live" test_peers_reports_live_sessions;
+        ] );
+      ( "policy",
+        [
+          quick "ingress reject" test_ingress_policy_reject_blocks_install;
+          quick "egress change withdraws" test_egress_policy_change_triggers_withdraw;
+          quick "advertised attr shape" test_advertised_attr_shape;
+          quick "wcmp capacity aggregation" test_wcmp_advertises_total_capacity;
+        ] );
+      ("fib", [ quick "longest match" test_fib_longest_match ]);
+    ]

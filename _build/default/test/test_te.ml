@@ -1,0 +1,180 @@
+(* Tests for lib/te: max-flow and the min-max-utilization TE solver. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-4))
+
+(* ---------------- Maxflow ---------------- *)
+
+let test_maxflow_single_edge () =
+  let mf = Te.Maxflow.create ~nodes:2 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:5.0;
+  check_float "flow" 5.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:1)
+
+let test_maxflow_bottleneck () =
+  (* 0 -> 1 -> 2 with capacities 10 and 3. *)
+  let mf = Te.Maxflow.create ~nodes:3 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:10.0;
+  Te.Maxflow.add_edge mf ~src:1 ~dst:2 ~capacity:3.0;
+  check_float "bottleneck" 3.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:2)
+
+let test_maxflow_parallel_paths () =
+  (* Diamond: 0 -> {1, 2} -> 3 with capacities 2 and 3. *)
+  let mf = Te.Maxflow.create ~nodes:4 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:2.0;
+  Te.Maxflow.add_edge mf ~src:0 ~dst:2 ~capacity:3.0;
+  Te.Maxflow.add_edge mf ~src:1 ~dst:3 ~capacity:2.0;
+  Te.Maxflow.add_edge mf ~src:2 ~dst:3 ~capacity:3.0;
+  check_float "sum" 5.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:3)
+
+let test_maxflow_classic () =
+  (* A classic augmenting-path trap needing the residual edge. *)
+  let mf = Te.Maxflow.create ~nodes:4 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:1.0;
+  Te.Maxflow.add_edge mf ~src:0 ~dst:2 ~capacity:1.0;
+  Te.Maxflow.add_edge mf ~src:1 ~dst:2 ~capacity:1.0;
+  Te.Maxflow.add_edge mf ~src:1 ~dst:3 ~capacity:1.0;
+  Te.Maxflow.add_edge mf ~src:2 ~dst:3 ~capacity:1.0;
+  check_float "classic" 2.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:3)
+
+let test_maxflow_disconnected () =
+  let mf = Te.Maxflow.create ~nodes:3 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:1.0;
+  check_float "no path" 0.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:2)
+
+let test_maxflow_rerun_resets () =
+  let mf = Te.Maxflow.create ~nodes:2 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:4.0;
+  check_float "first" 4.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:1);
+  check_float "second identical" 4.0 (Te.Maxflow.max_flow mf ~source:0 ~sink:1)
+
+let test_maxflow_flow_extraction () =
+  let mf = Te.Maxflow.create ~nodes:4 in
+  Te.Maxflow.add_edge mf ~src:0 ~dst:1 ~capacity:2.0;
+  Te.Maxflow.add_edge mf ~src:0 ~dst:2 ~capacity:3.0;
+  Te.Maxflow.add_edge mf ~src:1 ~dst:3 ~capacity:2.0;
+  Te.Maxflow.add_edge mf ~src:2 ~dst:3 ~capacity:3.0;
+  ignore (Te.Maxflow.max_flow mf ~source:0 ~sink:3);
+  check_float "flow on 0-1" 2.0 (Te.Maxflow.flow_on mf ~src:0 ~dst:1);
+  check_float "flow on 0-2" 3.0 (Te.Maxflow.flow_on mf ~src:0 ~dst:2);
+  let out = Te.Maxflow.out_flows mf 0 in
+  Alcotest.(check int) "two outflows" 2 (List.length out)
+
+(* ---------------- Solver ---------------- *)
+
+(* Asymmetric diamond: source 0, destination 3, uplinks 2.0 and 6.0. ECMP
+   splits demand evenly and overloads the thin link; optimal WCMP splits
+   1:3. *)
+let asymmetric_diamond demand =
+  {
+    Te.Solver.node_count = 4;
+    edges = [ (0, 1, 2.0); (0, 2, 6.0); (1, 3, 2.0); (2, 3, 6.0) ];
+    demands = [ (0, demand) ];
+    destination = 3;
+  }
+
+let test_solver_ecmp_overloads_thin_link () =
+  let inst = asymmetric_diamond 4.0 in
+  let u = Te.Solver.max_utilization inst (Te.Solver.ecmp_weights inst) in
+  check_float "ecmp max util" 1.0 u (* 2.0 on the 2.0-capacity link *)
+
+let test_solver_optimal_balances () =
+  let inst = asymmetric_diamond 4.0 in
+  let u, weights = Te.Solver.optimal inst in
+  check_bool "optimal close to 0.5" true (Float.abs (u -. 0.5) < 0.01);
+  let u_check = Te.Solver.max_utilization inst weights in
+  check_bool "weights attain it" true (u_check <= u +. 1e-6)
+
+let test_solver_ordering_holds () =
+  (* ideal <= quantized <= ecmp across several demand levels. *)
+  List.iter
+    (fun demand ->
+      let inst = asymmetric_diamond demand in
+      let u_opt, w_opt = Te.Solver.optimal inst in
+      let u_quant =
+        Te.Solver.max_utilization inst (Te.Solver.quantize w_opt)
+      in
+      let u_ecmp = Te.Solver.max_utilization inst (Te.Solver.ecmp_weights inst) in
+      check_bool "opt <= quant" true (u_opt <= u_quant +. 1e-6);
+      check_bool "quant <= ecmp" true (u_quant <= u_ecmp +. 1e-6))
+    [ 1.0; 2.0; 4.0; 7.9 ]
+
+let test_solver_effective_capacity () =
+  let inst = asymmetric_diamond 4.0 in
+  let u_opt, _ = Te.Solver.optimal inst in
+  let cap = Te.Solver.effective_capacity inst ~max_util:u_opt in
+  check_bool "optimal effective capacity near 8" true (Float.abs (cap -. 8.0) < 0.2);
+  let u_ecmp = Te.Solver.max_utilization inst (Te.Solver.ecmp_weights inst) in
+  let cap_ecmp = Te.Solver.effective_capacity inst ~max_util:u_ecmp in
+  check_bool "ecmp effective capacity near 4" true (Float.abs (cap_ecmp -. 4.0) < 0.2)
+
+let test_solver_quantize_ratios () =
+  (* At link-bandwidth granularity (64 levels) ratios survive rounding. *)
+  let weights _ = [ (1, 0.25); (2, 0.75) ] in
+  match Te.Solver.quantize ~levels:64 weights 0 with
+  | [ (1, a); (2, b) ] ->
+    check_bool "ratio preserved" true (Float.abs ((b /. a) -. 3.0) < 0.1)
+  | _ -> Alcotest.fail "expected two weights"
+
+let test_solver_quantize_drops_tiny () =
+  let weights _ = [ (1, 0.001); (2, 1.0) ] in
+  match Te.Solver.quantize ~levels:8 weights 0 with
+  | [ (2, _) ] -> ()
+  | other ->
+    Alcotest.fail
+      (Printf.sprintf "expected tiny weight dropped, got %d entries"
+         (List.length other))
+
+let test_solver_multi_source () =
+  (* Two sources with different demands; a shared bottleneck. *)
+  let inst =
+    {
+      Te.Solver.node_count = 4;
+      edges = [ (0, 2, 4.0); (1, 2, 4.0); (2, 3, 6.0) ];
+      demands = [ (0, 2.0); (1, 4.0) ];
+      destination = 3;
+    }
+  in
+  let u, _ = Te.Solver.optimal inst in
+  check_float "bottleneck util" 1.0 u
+
+let test_solver_infeasible_direction () =
+  let inst =
+    {
+      Te.Solver.node_count = 2;
+      edges = [];
+      demands = [ (0, 1.0) ];
+      destination = 1;
+    }
+  in
+  check_bool "unreachable raises" true
+    (try
+       ignore (Te.Solver.optimal inst);
+       false
+     with Failure _ -> true)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "te"
+    [
+      ( "maxflow",
+        [
+          quick "single edge" test_maxflow_single_edge;
+          quick "bottleneck" test_maxflow_bottleneck;
+          quick "parallel paths" test_maxflow_parallel_paths;
+          quick "classic residual" test_maxflow_classic;
+          quick "disconnected" test_maxflow_disconnected;
+          quick "rerun resets" test_maxflow_rerun_resets;
+          quick "flow extraction" test_maxflow_flow_extraction;
+        ] );
+      ( "solver",
+        [
+          quick "ecmp overloads thin link" test_solver_ecmp_overloads_thin_link;
+          quick "optimal balances" test_solver_optimal_balances;
+          quick "ordering holds" test_solver_ordering_holds;
+          quick "effective capacity" test_solver_effective_capacity;
+          quick "quantize ratios" test_solver_quantize_ratios;
+          quick "quantize drops tiny" test_solver_quantize_drops_tiny;
+          quick "multi source" test_solver_multi_source;
+          quick "infeasible" test_solver_infeasible_direction;
+        ] );
+    ]
