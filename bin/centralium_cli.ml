@@ -163,13 +163,31 @@ let simulate_cmd =
        pf "black-holed: knob on %.0f%%, knob off %.0f%%\n"
          (100.0 *. r.Experiments.Scenarios.Fig14.blackholed_with_knob)
          (100.0 *. r.blackholed_without_knob)
-     | other -> pf "unknown scenario %S (fig2 fig4 fig5 fig9 fig10 fig13 fig14)\n" other);
+     | "faulted" ->
+       let r = Experiments.Scenarios.Faulted.run ~seed () in
+       pf "fault schedule:\n";
+       List.iter
+         (fun a ->
+           pf "  %s\n" (Format.asprintf "%a" Dsim.Fault.pp_action a))
+         r.Experiments.Scenarios.Faulted.schedule;
+       pf "events %d, dropped %d, restarts %d\n" r.events_executed
+         r.messages_dropped r.speaker_restarts;
+       pf "transient violations: %d" (List.length r.transient_violations);
+       List.iter (fun (t, kind) -> pf " [%.3fs %s]" t kind)
+         r.transient_violations;
+       pf "\nfinal violations: %d" (List.length r.final_violations);
+       List.iter (fun (_, _, kind) -> pf " [%s]" kind) r.final_violations;
+       pf "\n"
+     | other ->
+       pf "unknown scenario %S (fig2 fig4 fig5 fig9 fig10 fig13 fig14 faulted)\n"
+         other);
     0
   in
   let scenario =
     Arg.(
       value & pos 0 string "fig2"
-      & info [] ~docv:"SCENARIO" ~doc:"fig2 | fig4 | fig5 | fig9 | fig10 | fig13 | fig14")
+      & info [] ~docv:"SCENARIO"
+          ~doc:"fig2 | fig4 | fig5 | fig9 | fig10 | fig13 | fig14 | faulted")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")

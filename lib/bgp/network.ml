@@ -11,6 +11,7 @@ type t = {
   (* (src, dst, session) -> last scheduled delivery time, for FIFO order *)
   channels : (int * int * int, float ref) Hashtbl.t;
   trace_log : Trace.t;
+  mutable fault : Dsim.Fault.t option;
 }
 
 let graph t = t.topo
@@ -44,6 +45,7 @@ let create ?(seed = 42) ?(config = Speaker.default_config)
       speakers = Hashtbl.create 64;
       channels = Hashtbl.create 256;
       trace_log = Trace.create ();
+      fault = None;
     }
   in
   List.iter
@@ -108,14 +110,31 @@ let rec dispatch t src (outbox : Speaker.outbox) =
     (fun (dst, session, msg) ->
       Trace.record t.trace_log
         (Trace.Message_sent { time = now t; src; dst; session; msg });
+      (* The base latency is drawn before consulting the fault model so the
+         latency stream is identical with and without faults installed —
+         only the fault model's own RNG differs between the two runs. *)
       let delay = t.latency t.rng in
-      let chan = channel t (src, dst, session) in
-      let delivery =
-        Float.max (now t +. delay) (!chan +. 1e-9) (* FIFO within a session *)
+      let fate =
+        match t.fault with
+        | None -> Dsim.Fault.pass
+        | Some f -> Dsim.Fault.fate f
       in
-      chan := delivery;
-      Dsim.Event_queue.schedule_at t.event_queue ~time:delivery (fun () ->
-          deliver t ~src ~dst ~session msg))
+      if fate.Dsim.Fault.dropped then
+        Trace.record t.trace_log
+          (Trace.Message_dropped { time = now t; src; dst; session; msg })
+      else begin
+        let arrival = now t +. delay +. fate.Dsim.Fault.extra_delay in
+        let chan = channel t (src, dst, session) in
+        let delivery =
+          if fate.Dsim.Fault.reorder then
+            (* Allowed to overtake earlier in-flight messages. *)
+            arrival
+          else Float.max arrival (!chan +. 1e-9) (* FIFO within a session *)
+        in
+        chan := Float.max !chan delivery;
+        Dsim.Event_queue.schedule_at t.event_queue ~time:delivery (fun () ->
+            deliver t ~src ~dst ~session msg)
+      end)
     outbox
 
 and deliver t ~src ~dst ~session msg =
@@ -185,6 +204,58 @@ let drain_device ?delay t device = set_egress_policy_all ?delay t device Policy.
 let undrain_device ?delay t device =
   set_egress_policy_all ?delay t device Policy.empty
 
+(* ---------------- Fault injection ---------------- *)
+
+let set_fault t fault = t.fault <- fault
+let fault t = t.fault
+
+let restart_device ?(delay = 0.0) t device ~recovery =
+  schedule ~delay t (fun () ->
+      let sp = speaker t device in
+      let before = fib_assoc sp in
+      (* The crash itself: no goodbye messages, state just vanishes.
+         In-flight messages addressed to the device are discarded on
+         arrival because its sessions are marked down. *)
+      Speaker.reset sp;
+      Trace.record t.trace_log
+        (Trace.Speaker_restarted { time = now t; device });
+      record_fib_diff t device before (fib_assoc sp);
+      let incident = Topology.Graph.all_neighbors t.topo device in
+      (* Peers detect the dead sessions (holdtime expiry, modeled as
+         immediate) and flush routes learned from the device. *)
+      List.iter
+        (fun ((peer : Topology.Node.t), (link : Topology.Graph.link)) ->
+          for session = 0 to link.Topology.Graph.sessions - 1 do
+            transition t peer.Topology.Node.id (fun sp env ->
+                Speaker.set_session sp env ~peer:device ~session ~up:false)
+          done)
+        incident;
+      (* Recovery: re-establish every session whose link is up, both ends,
+         which triggers a full-table resend from the peers and
+         re-origination by the restarted device. *)
+      Dsim.Event_queue.schedule t.event_queue ~delay:recovery (fun () ->
+          List.iter
+            (fun ((peer : Topology.Node.t), (link : Topology.Graph.link)) ->
+              if link.Topology.Graph.up then
+                for session = 0 to link.Topology.Graph.sessions - 1 do
+                  transition t device (fun sp env ->
+                      Speaker.set_session sp env ~peer:peer.Topology.Node.id
+                        ~session ~up:true);
+                  transition t peer.Topology.Node.id (fun sp env ->
+                      Speaker.set_session sp env ~peer:device ~session ~up:true)
+                done)
+            incident))
+
+let apply_schedule t (sched : Dsim.Fault.schedule) =
+  List.iter
+    (function
+      | Dsim.Fault.Flap_link { a; b; at; duration } ->
+        set_link ~delay:at t a b ~up:false;
+        set_link ~delay:(at +. duration) t a b ~up:true
+      | Dsim.Fault.Restart_speaker { device; at; recovery } ->
+        restart_device ~delay:at t device ~recovery)
+    sched
+
 (* ---------------- Running ---------------- *)
 
 let converge ?(max_events = 2_000_000) t =
@@ -211,3 +282,12 @@ let fib_snapshot t prefix =
       | None -> acc)
     t.speakers []
   |> List.sort compare
+
+let known_prefixes t =
+  let set = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ sp ->
+      List.iter (fun p -> Hashtbl.replace set p ()) (Speaker.known_prefixes sp))
+    t.speakers;
+  Hashtbl.fold (fun p () acc -> p :: acc) set []
+  |> List.sort Net.Prefix.compare

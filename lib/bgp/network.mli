@@ -53,6 +53,32 @@ val drain_device : ?delay:float -> t -> int -> unit
 
 val undrain_device : ?delay:float -> t -> int -> unit
 
+(** {1 Fault injection}
+
+    Entirely opt-in: a network without a fault model installed behaves
+    exactly as before (and draws the same latency sequence as a faulty run
+    with the same seed — the fault model uses its own RNG stream). *)
+
+val set_fault : t -> Dsim.Fault.t option -> unit
+(** Installs (or removes) a message-level fault model. Once installed,
+    every transmitted message's fate — dropped, extra-delayed, or allowed
+    to overtake earlier messages of its session — is drawn from the model.
+    Drops are recorded in the trace as {!Trace.Message_dropped}. *)
+
+val fault : t -> Dsim.Fault.t option
+
+val restart_device : ?delay:float -> t -> int -> recovery:float -> unit
+(** Crashes the device's speaker at [delay] from now: its RIBs are cleared
+    ({!Speaker.reset}), peers flush the routes they learned from it, and
+    in-flight messages addressed to it are lost. [recovery] seconds later
+    every session over an up link is re-established on both ends,
+    replaying session establishment (full-table resend, re-origination).
+    Recorded in the trace as {!Trace.Speaker_restarted}. *)
+
+val apply_schedule : t -> Dsim.Fault.schedule -> unit
+(** Schedules every action of a fault schedule: link flaps via {!set_link}
+    down/up pairs, speaker restarts via {!restart_device}. *)
+
 (** {1 Running} *)
 
 val converge : ?max_events:int -> t -> int
@@ -68,6 +94,9 @@ val fib : t -> int -> Net.Prefix.t -> Speaker.fib_state option
 val fib_snapshot : t -> Net.Prefix.t -> (int * Speaker.fib_state) list
 (** FIB state of every device for the prefix (devices without a route are
     omitted). *)
+
+val known_prefixes : t -> Net.Prefix.t list
+(** Union of every speaker's known prefixes, sorted. *)
 
 val env : t -> Speaker.env
 (** The environment handed to speakers (for direct speaker manipulation in

@@ -224,38 +224,62 @@ let total_weight_of_fib = function
     List.fold_left (fun acc e -> acc + e.weight) 0 entries
   | Some Local | None -> 1
 
-let evaluate t env prefix : outbox =
+(* The full desired state for one prefix: what the FIB should hold and what
+   each peer should have been told. Computed without mutating the speaker,
+   so it serves both the state transition (via [commit]) and the runtime
+   invariant checker (via [divergences], which compares it against the
+   installed state). *)
+type desired = {
+  d_fib : fib_state option;
+  d_adverts : (int * Net.Attr.t option) list;
+}
+
+let compute t env prefix : desired =
   let ctx = make_ctx t env prefix in
   match Hashtbl.find_opt t.origin_table prefix with
   | Some origin_attr ->
     (* Locally originated: FIB is Local; advertise to every peer. *)
-    Hashtbl.replace t.fib_table prefix Local;
     let self_path = Path.make ~peer:(id t) ~session:(-1) ~attr:origin_attr in
-    List.concat_map
-      (fun peer ->
-        let desired =
-          desired_advert t ctx prefix ~peer ~adv:(Some self_path) ~total_weight:1
-        in
-        advertise_to t prefix ~peer ~desired)
-      (all_peer_ids t)
+    {
+      d_fib = Some Local;
+      d_adverts =
+        List.map
+          (fun peer ->
+            ( peer,
+              desired_advert t ctx prefix ~peer ~adv:(Some self_path)
+                ~total_weight:1 ))
+          (all_peer_ids t);
+    }
   | None ->
     let cands = post_policy_candidates t env prefix ~use_hooks:true in
     let native = Decision.select ~multipath:t.config.multipath cands in
     let sel = t.hooks.Rib_policy.select ctx ~candidates:cands ~native in
-    (match sel.Rib_policy.selected with
-     | [] -> Hashtbl.remove t.fib_table prefix
-     | selected ->
-       Hashtbl.replace t.fib_table prefix
-         (Entries (weighted_entries t ctx selected)));
-    let total_weight = total_weight_of_fib (Hashtbl.find_opt t.fib_table prefix) in
-    List.concat_map
-      (fun peer ->
-        let desired =
-          desired_advert t ctx prefix ~peer ~adv:sel.Rib_policy.advertise
-            ~total_weight
-        in
-        advertise_to t prefix ~peer ~desired)
-      (all_peer_ids t)
+    let d_fib =
+      match sel.Rib_policy.selected with
+      | [] -> None
+      | selected -> Some (Entries (weighted_entries t ctx selected))
+    in
+    let total_weight = total_weight_of_fib d_fib in
+    {
+      d_fib;
+      d_adverts =
+        List.map
+          (fun peer ->
+            ( peer,
+              desired_advert t ctx prefix ~peer ~adv:sel.Rib_policy.advertise
+                ~total_weight ))
+          (all_peer_ids t);
+    }
+
+let commit t prefix desired : outbox =
+  (match desired.d_fib with
+   | Some state -> Hashtbl.replace t.fib_table prefix state
+   | None -> Hashtbl.remove t.fib_table prefix);
+  List.concat_map
+    (fun (peer, d) -> advertise_to t prefix ~peer ~desired:d)
+    desired.d_adverts
+
+let evaluate t env prefix : outbox = commit t prefix (compute t env prefix)
 
 let known_prefixes t =
   let set = Hashtbl.create 64 in
@@ -270,6 +294,52 @@ let known_prefixes t =
 
 let evaluate_all t env : outbox =
   List.concat_map (evaluate t env) (known_prefixes t)
+
+(* ---------------- Divergence (invariant support) ---------------- *)
+
+type divergence =
+  | Stale_fib of { prefix : Net.Prefix.t }
+  | Stale_advert of { prefix : Net.Prefix.t; peer : int }
+
+let fib_state_equal a b =
+  match (a, b) with
+  | Local, Local -> true
+  | Entries xs, Entries ys -> xs = ys
+  | Local, Entries _ | Entries _, Local -> false
+
+let divergences t env =
+  List.concat_map
+    (fun prefix ->
+      let d = compute t env prefix in
+      let fib_ok =
+        match (d.d_fib, Hashtbl.find_opt t.fib_table prefix) with
+        | None, None -> true
+        | Some a, Some b -> fib_state_equal a b
+        | None, Some _ | Some _, None -> false
+      in
+      let fib_div = if fib_ok then [] else [ Stale_fib { prefix } ] in
+      let advert_divs =
+        List.filter_map
+          (fun (peer, want) ->
+            (* A peer with no open session has had its rib_out forgotten;
+               nothing can be advertised to it, so it cannot be stale. *)
+            if up_sessions t peer = [] then None
+            else
+              let sent =
+                Option.bind (Hashtbl.find_opt t.rib_out peer) (fun table ->
+                    Hashtbl.find_opt table prefix)
+              in
+              let ok =
+                match (sent, want) with
+                | None, None -> true
+                | Some a, Some b -> Net.Attr.equal a b
+                | None, Some _ | Some _, None -> false
+              in
+              if ok then None else Some (Stale_advert { prefix; peer }))
+          d.d_adverts
+      in
+      fib_div @ advert_divs)
+    (known_prefixes t)
 
 (* ---------------- Transitions ---------------- *)
 
@@ -331,6 +401,21 @@ let set_session t env ~peer ~session ~up =
     else outbox
   end
 
+let reset t =
+  Hashtbl.reset t.rib_in;
+  Hashtbl.reset t.rib_out;
+  (* Locally originated prefixes are configuration, not learned state; they
+     survive the crash (and are re-advertised once sessions come back). *)
+  let learned =
+    Hashtbl.fold
+      (fun prefix state acc ->
+        match state with Local -> acc | Entries _ -> prefix :: acc)
+      t.fib_table []
+  in
+  List.iter (Hashtbl.remove t.fib_table) learned;
+  let sessions = Hashtbl.fold (fun k _ acc -> k :: acc) t.session_state [] in
+  List.iter (fun k -> Hashtbl.replace t.session_state k false) sessions
+
 let set_ingress_policy t env ~peer policy =
   Hashtbl.replace t.ingress peer policy;
   evaluate_all t env
@@ -366,6 +451,10 @@ let fib_longest_match t destination =
         | Some _ | None -> Some (prefix, state)
       else best)
     t.fib_table None
+
+let adj_rib_in = raw_routes
+
+let ingress_policy t ~peer = Hashtbl.find_opt t.ingress peer
 
 let rib_in_size t =
   Hashtbl.fold (fun _ table acc -> acc + Hashtbl.length table) t.rib_in 0

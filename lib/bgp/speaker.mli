@@ -63,6 +63,14 @@ val set_session : t -> env -> peer:int -> session:int -> up:bool -> outbox
 (** Session reset: on down, routes learned over the session are flushed; on
     up, the speaker re-advertises its full table over the session. *)
 
+val reset : t -> unit
+(** Crash the speaker: Adj-RIB-Ins, Adj-RIB-Outs, and learned FIB entries
+    are cleared and every session is marked down, without emitting any
+    message (a crash sends no goodbye). Configuration — originated
+    prefixes, policies, hooks — survives. The network layer is responsible
+    for telling the peers their sessions dropped and, later, for
+    re-establishing them. *)
+
 val set_ingress_policy : t -> env -> peer:int -> Policy.t -> outbox
 val set_egress_policy : t -> env -> peer:int -> Policy.t -> outbox
 val set_egress_policy_all : t -> env -> Policy.t -> outbox
@@ -87,3 +95,29 @@ val candidates : t -> Net.Prefix.t -> Path.t list
     as used by the decision process. *)
 
 val originated : t -> (Net.Prefix.t * Net.Attr.t) list
+
+val adj_rib_in : t -> Net.Prefix.t -> (int * int * Net.Attr.t) list
+(** Raw routes held in the Adj-RIB-In for the prefix, as (peer, session,
+    attributes) before any ingress policy, sorted. *)
+
+val ingress_policy : t -> peer:int -> Policy.t option
+(** The ingress policy installed for the peer, if any. *)
+
+val known_prefixes : t -> Net.Prefix.t list
+(** Every prefix present in any RIB (in, origin, FIB, or out), sorted. *)
+
+(** {1 Invariant support}
+
+    A divergence is a prefix whose installed FIB entry or advertised state
+    differs from what the decision process would produce right now — i.e.
+    the speaker has not (yet) converged on its own inputs. *)
+
+type divergence =
+  | Stale_fib of { prefix : Net.Prefix.t }
+  | Stale_advert of { prefix : Net.Prefix.t; peer : int }
+
+val divergences : t -> env -> divergence list
+(** Recomputes the decision process for every known prefix {e without
+    mutating any state} and reports mismatches against the installed FIB
+    and Adj-RIB-Out. An empty list means the speaker is internally
+    converged. *)

@@ -12,6 +12,21 @@ type event =
       session : int;
       msg : Msg.t;
     }
+  | Message_dropped of {
+      time : float;
+      src : int;
+      dst : int;
+      session : int;
+      msg : Msg.t;
+    }
+  | Speaker_restarted of { time : float; device : int }
+  | Violation of {
+      time : float;
+      device : int option;
+      prefix : Net.Prefix.t option;
+      kind : string;
+      detail : string;
+    }
 
 type t = { mutable rev_events : event list; mutable count : int }
 
@@ -28,18 +43,33 @@ let fib_changes t =
     (function
       | Fib_change { time; device; prefix; state } ->
         Some (time, device, prefix, state)
-      | Message_sent _ -> None)
+      | Message_sent _ | Message_dropped _ | Speaker_restarted _ | Violation _
+        ->
+        None)
     (events t)
 
+let count p t = List.length (List.filter p t.rev_events)
+
 let messages_sent t =
-  List.length
-    (List.filter (function Message_sent _ -> true | Fib_change _ -> false)
-       t.rev_events)
+  count (function Message_sent _ -> true | _ -> false) t
+
+let messages_dropped t =
+  count (function Message_dropped _ -> true | _ -> false) t
 
 let fib_change_count t =
-  List.length
-    (List.filter (function Fib_change _ -> true | Message_sent _ -> false)
-       t.rev_events)
+  count (function Fib_change _ -> true | _ -> false) t
+
+let violations t =
+  List.filter_map
+    (function
+      | Violation { time; device; prefix; kind; detail } ->
+        Some (time, device, prefix, kind, detail)
+      | Fib_change _ | Message_sent _ | Message_dropped _ | Speaker_restarted _
+        ->
+        None)
+    (events t)
+
+let violation_count t = count (function Violation _ -> true | _ -> false) t
 
 let clear t =
   t.rev_events <- [];
@@ -55,7 +85,9 @@ let fib_timeline t ~prefix ~initial =
         | Fib_change { time; device; prefix = p; state }
           when Net.Prefix.equal p prefix ->
           Some (time, device, state)
-        | Fib_change _ | Message_sent _ -> None)
+        | Fib_change _ | Message_sent _ | Message_dropped _
+        | Speaker_restarted _ | Violation _ ->
+          None)
       (events t)
   in
   (* Group consecutive changes at the same instant into one snapshot. *)

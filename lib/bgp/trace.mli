@@ -20,6 +20,25 @@ type event =
       session : int;
       msg : Msg.t;
     }
+  | Message_dropped of {
+      time : float;
+      src : int;
+      dst : int;
+      session : int;
+      msg : Msg.t;
+    }  (** the fault model lost the message in transit *)
+  | Speaker_restarted of { time : float; device : int }
+      (** the device's speaker crashed: RIBs cleared, sessions dropped *)
+  | Violation of {
+      time : float;
+      device : int option;
+      prefix : Net.Prefix.t option;
+      kind : string;
+      detail : string;
+    }
+      (** a runtime invariant violation (or an RPA guard firing), stamped
+          with the event-queue time at which it was observed. [kind] is a
+          stable machine-readable tag; [detail] is for humans. *)
 
 type t
 
@@ -34,7 +53,16 @@ val fib_changes : t -> (float * int * Net.Prefix.t * Speaker.fib_state option) l
 
 val messages_sent : t -> int
 
+val messages_dropped : t -> int
+
 val fib_change_count : t -> int
+
+val violations :
+  t -> (float * int option * Net.Prefix.t option * string * string) list
+(** All recorded violations as (time, device, prefix, kind, detail), in
+    recording order. *)
+
+val violation_count : t -> int
 
 val clear : t -> unit
 

@@ -12,6 +12,7 @@ type t = {
   (* signatures indexed by physical identity *)
   signatures : Signature.t array;
   m_stats : mutable_stats;
+  mutable on_withdraw : (prefix:Net.Prefix.t -> statement:string -> unit) option;
 }
 
 (* Collect every signature mentioned by the RPA set, in a stable order, so
@@ -48,9 +49,12 @@ let create ?(cache = true) rpa =
     sig_cache = Hashtbl.create 256;
     signatures = collect_signatures rpa;
     m_stats = { hit_count = 0; miss_count = 0; selection_count = 0 };
+    on_withdraw = None;
   }
 
 let rpa t = t.rpa
+
+let set_on_withdraw t f = t.on_withdraw <- f
 
 type stats = { hits : int; misses : int; selections : int }
 
@@ -135,7 +139,6 @@ let all_path_selection_statements (rpa : Rpa.t) =
 
 let native_fallback t ctx (st : Path_selection.statement)
     ~native:(nat_selected, nat_best) : Bgp.Rib_policy.selection =
-  ignore t;
   match st.Path_selection.bgp_native_min_next_hop with
   | None ->
     { Bgp.Rib_policy.selected = nat_selected; advertise = nat_best;
@@ -144,9 +147,14 @@ let native_fallback t ctx (st : Path_selection.statement)
     if threshold_met ctx mnh ~matching:nat_selected ~reference:nat_selected then
       { Bgp.Rib_policy.selected = nat_selected; advertise = nat_best;
         keep_fib_warm = false }
-    else
+    else begin
       (* Violated with nothing to fall back to: withdraw; optionally keep
          the forwarding entries warm (Figure 14's knob). *)
+      (match t.on_withdraw with
+       | Some f ->
+         f ~prefix:ctx.Bgp.Rib_policy.prefix
+           ~statement:st.Path_selection.st_name
+       | None -> ());
       {
         Bgp.Rib_policy.selected =
           (if st.Path_selection.keep_fib_warm_if_mnh_violated then nat_selected
@@ -154,6 +162,7 @@ let native_fallback t ctx (st : Path_selection.statement)
         advertise = None;
         keep_fib_warm = st.Path_selection.keep_fib_warm_if_mnh_violated;
       }
+    end
 
 let evaluate_selection t ~(ctx : Bgp.Rib_policy.ctx) ~candidates ~native :
     Bgp.Rib_policy.selection =

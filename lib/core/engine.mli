@@ -18,6 +18,13 @@ val create : ?cache:bool -> Rpa.t -> t
 
 val rpa : t -> Rpa.t
 
+val set_on_withdraw :
+  t -> (prefix:Net.Prefix.t -> statement:string -> unit) option -> unit
+(** Callback fired whenever a [BgpNativeMinNextHop] guard forces a
+    withdrawal (the MNH-violated branch of the native fallback). The
+    scenario layer uses it to surface guard firings as trace violations;
+    [None] (the default) disables it. *)
+
 val hooks : t -> Bgp.Rib_policy.hooks
 (** The hooks are backed by this engine's mutable cache; one engine should
     serve one device. *)

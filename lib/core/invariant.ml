@@ -1,0 +1,252 @@
+type kind =
+  | Forwarding_loop
+  | Blackhole
+  | Rib_inconsistency
+  | Dead_next_hop
+  | Unstable
+  | Compiled_mismatch
+
+let kind_name = function
+  | Forwarding_loop -> "forwarding-loop"
+  | Blackhole -> "blackhole"
+  | Rib_inconsistency -> "rib-inconsistency"
+  | Dead_next_hop -> "dead-next-hop"
+  | Unstable -> "unstable"
+  | Compiled_mismatch -> "compiled-mismatch"
+
+type violation = {
+  device : int option;
+  prefix : Net.Prefix.t option;
+  kind : kind;
+  detail : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s]" (kind_name v.kind);
+  Option.iter (fun d -> Format.fprintf ppf " device %d" d) v.device;
+  Option.iter (fun p -> Format.fprintf ppf " %a" Net.Prefix.pp p) v.prefix;
+  Format.fprintf ppf ": %s" v.detail
+
+(* ---------------- Forwarding loops ---------------- *)
+
+let check_forwarding ?prefix ~lookup ~devices () =
+  List.map
+    (fun cycle ->
+      {
+        device = (match cycle with d :: _ -> Some d | [] -> None);
+        prefix;
+        kind = Forwarding_loop;
+        detail =
+          "cycle " ^ String.concat " -> " (List.map string_of_int cycle);
+      })
+    (Dataplane.Metrics.find_forwarding_loops ~lookup ~devices)
+
+(* ---------------- Blackholes ---------------- *)
+
+(* Devices physically connected to any of [origins] over up links. *)
+let reachable_from graph origins =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun d ->
+      Hashtbl.replace seen d ();
+      Queue.push d queue)
+    origins;
+  while not (Queue.is_empty queue) do
+    let d = Queue.pop queue in
+    List.iter
+      (fun ((n : Topology.Node.t), _link) ->
+        if not (Hashtbl.mem seen n.Topology.Node.id) then begin
+          Hashtbl.replace seen n.Topology.Node.id ();
+          Queue.push n.Topology.Node.id queue
+        end)
+      (Topology.Graph.neighbors graph d)
+  done;
+  seen
+
+let check_blackholes net graph devices prefix =
+  let lookup d = Bgp.Network.fib net d prefix in
+  let origins =
+    List.filter
+      (fun d -> match lookup d with Some Bgp.Speaker.Local -> true | _ -> false)
+      devices
+  in
+  if origins = [] then []
+  else begin
+    let reachable = reachable_from graph origins in
+    List.filter_map
+      (fun d ->
+        if
+          Hashtbl.mem reachable d
+          && (not (List.mem d origins))
+          && lookup d = None
+        then
+          Some
+            {
+              device = Some d;
+              prefix = Some prefix;
+              kind = Blackhole;
+              detail =
+                "no route although a physical path to an origin survives";
+            }
+        else None)
+      devices
+  end
+
+(* ---------------- Per-entry RIB / liveness checks ---------------- *)
+
+let check_entries net graph devices prefix =
+  List.concat_map
+    (fun d ->
+      let sp = Bgp.Network.speaker net d in
+      match Bgp.Speaker.fib_lookup sp prefix with
+      | Some Bgp.Speaker.Local | None -> []
+      | Some (Bgp.Speaker.Entries entries) ->
+        let rib = Bgp.Speaker.adj_rib_in sp prefix in
+        List.concat_map
+          (fun (e : Bgp.Speaker.entry) ->
+            let justified =
+              List.exists
+                (fun (peer, session, _) ->
+                  peer = e.Bgp.Speaker.next_hop
+                  && session = e.Bgp.Speaker.session)
+                rib
+            in
+            let rib_v =
+              if justified then []
+              else
+                [ {
+                    device = Some d;
+                    prefix = Some prefix;
+                    kind = Rib_inconsistency;
+                    detail =
+                      Printf.sprintf
+                        "FIB entry via %d session %d has no Adj-RIB-In route"
+                        e.Bgp.Speaker.next_hop e.Bgp.Speaker.session;
+                  } ]
+            in
+            let link_up =
+              match Topology.Graph.find_link graph d e.Bgp.Speaker.next_hop with
+              | Some link -> link.Topology.Graph.up
+              | None -> false
+            in
+            let alive =
+              link_up
+              && Bgp.Speaker.session_up sp ~peer:e.Bgp.Speaker.next_hop
+                   ~session:e.Bgp.Speaker.session
+            in
+            let dead_v =
+              if alive then []
+              else
+                [ {
+                    device = Some d;
+                    prefix = Some prefix;
+                    kind = Dead_next_hop;
+                    detail =
+                      Printf.sprintf
+                        "FIB entry via %d session %d references a dead next \
+                         hop"
+                        e.Bgp.Speaker.next_hop e.Bgp.Speaker.session;
+                  } ]
+            in
+            rib_v @ dead_v)
+          entries)
+    devices
+
+(* ---------------- Stability ---------------- *)
+
+let check_stability net devices =
+  let env = Bgp.Network.env net in
+  List.concat_map
+    (fun d ->
+      let sp = Bgp.Network.speaker net d in
+      List.map
+        (function
+          | Bgp.Speaker.Stale_fib { prefix } ->
+            {
+              device = Some d;
+              prefix = Some prefix;
+              kind = Unstable;
+              detail = "installed FIB differs from decision-process output";
+            }
+          | Bgp.Speaker.Stale_advert { prefix; peer } ->
+            {
+              device = Some d;
+              prefix = Some prefix;
+              kind = Unstable;
+              detail =
+                Printf.sprintf
+                  "advertisement to peer %d differs from decision-process \
+                   output"
+                  peer;
+            })
+        (Bgp.Speaker.divergences sp env))
+    devices
+
+(* ---------------- Entry points ---------------- *)
+
+let check ?prefixes net =
+  let graph = Bgp.Network.graph net in
+  let devices =
+    List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes graph)
+  in
+  let prefixes =
+    match prefixes with
+    | Some ps -> ps
+    | None -> Bgp.Network.known_prefixes net
+  in
+  let per_prefix =
+    List.concat_map
+      (fun prefix ->
+        check_forwarding ~prefix
+          ~lookup:(fun d -> Bgp.Network.fib net d prefix)
+          ~devices ()
+        @ check_blackholes net graph devices prefix
+        @ check_entries net graph devices prefix)
+      prefixes
+  in
+  per_prefix @ check_stability net devices
+
+let check_compiled net (compiled : Fallback_compiler.compiled) =
+  List.filter_map
+    (fun (device, peer, policy) ->
+      let sp = Bgp.Network.speaker net device in
+      match Bgp.Speaker.ingress_policy sp ~peer with
+      | Some installed when installed = policy -> None
+      | Some _ | None ->
+        Some
+          {
+            device = Some device;
+            prefix = None;
+            kind = Compiled_mismatch;
+            detail =
+              Printf.sprintf
+                "compiled ingress policy for peer %d is not installed" peer;
+          })
+    compiled.Fallback_compiler.ingress_policies
+
+let record net violations =
+  let time = Bgp.Network.now net in
+  let trace = Bgp.Network.trace net in
+  List.iter
+    (fun v ->
+      Bgp.Trace.record trace
+        (Bgp.Trace.Violation
+           {
+             time;
+             device = v.device;
+             prefix = v.prefix;
+             kind = kind_name v.kind;
+             detail = v.detail;
+           }))
+    violations
+
+let monitor ?(period = 0.005) ~until net =
+  if period <= 0.0 then invalid_arg "Invariant.monitor: period must be positive";
+  let queue = Bgp.Network.queue net in
+  let rec tick () =
+    record net (check net);
+    if Bgp.Network.now net +. period <= until then
+      Dsim.Event_queue.schedule queue ~delay:period tick
+  in
+  if period <= until then Dsim.Event_queue.schedule queue ~delay:period tick

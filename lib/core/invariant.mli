@@ -1,0 +1,86 @@
+(** Runtime invariant checker for simulated networks.
+
+    The paper's safety argument rests on properties that must hold of the
+    {e programmed} forwarding state — no loops, no blackholes where a
+    physical path survives, FIBs consistent with the RIBs that justify
+    them. This module checks those properties against a live
+    {!Bgp.Network.t}, either once (e.g. after convergence) or periodically
+    through the event queue while faults and migrations are in flight.
+
+    Violations observed {e during} convergence are expected — they are the
+    transient phenomena the paper quantifies. Violations that persist at
+    quiescence are bugs, either in the route plan or in the
+    implementation. Callers distinguish the two by when they run
+    {!check}: {!monitor} samples the transient window, a final {!check}
+    after {!Bgp.Network.converge} judges the steady state. *)
+
+type kind =
+  | Forwarding_loop
+      (** following FIB next hops for a prefix revisits a device *)
+  | Blackhole
+      (** a device has a surviving physical path (over up links) to an
+          origin of the prefix but no FIB entry for it *)
+  | Rib_inconsistency
+      (** a FIB entry references a (next hop, session) with no
+          corresponding route in the Adj-RIB-In — the Loc-RIB is not a
+          subset of what was learned *)
+  | Dead_next_hop
+      (** a FIB entry's next hop is unusable: the session is down or the
+          underlying link is down or gone — an ECMP group referencing a
+          dead member *)
+  | Unstable
+      (** re-running the decision process (through whatever hooks — native
+          or RPA — the speaker currently has) yields a different FIB or
+          advertisement than what is installed; at quiescence the two must
+          agree *)
+  | Compiled_mismatch
+      (** an ingress policy produced by {!Fallback_compiler} is not (or no
+          longer) installed on its device *)
+
+val kind_name : kind -> string
+(** Stable machine-readable tag, e.g. ["forwarding-loop"]. *)
+
+type violation = {
+  device : int option;  (** the device at fault, when attributable *)
+  prefix : Net.Prefix.t option;
+  kind : kind;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Checking} *)
+
+val check : ?prefixes:Net.Prefix.t list -> Bgp.Network.t -> violation list
+(** Runs every network-level check ({!Forwarding_loop}, {!Blackhole},
+    {!Rib_inconsistency}, {!Dead_next_hop}, {!Unstable}) over the given
+    prefixes (default: every prefix any speaker knows). Empty list = all
+    invariants hold right now. *)
+
+val check_forwarding :
+  ?prefix:Net.Prefix.t ->
+  lookup:(int -> Bgp.Speaker.fib_state option) ->
+  devices:int list ->
+  unit ->
+  violation list
+(** The loop check alone, over an arbitrary forwarding function — no
+    network required. Lets tests seed a known-bad FIB directly and assert
+    the checker flags it. *)
+
+val check_compiled :
+  Bgp.Network.t -> Fallback_compiler.compiled -> violation list
+(** Verifies every ingress policy the fallback compiler produced is
+    installed verbatim on its device ({!Compiled_mismatch} otherwise) —
+    the drift check for the paper's "transitory configuration" liability. *)
+
+(** {1 Recording} *)
+
+val record : Bgp.Network.t -> violation list -> unit
+(** Appends each violation to the network's trace as
+    {!Bgp.Trace.Violation}, stamped with the current event-queue time. *)
+
+val monitor : ?period:float -> until:float -> Bgp.Network.t -> unit
+(** Schedules a repeating check every [period] seconds (default 5 ms) of
+    virtual time until [until], recording whatever it finds into the
+    trace. Install before running the event queue; the sampled violations
+    are the transient ones. *)

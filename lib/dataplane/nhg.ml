@@ -62,7 +62,10 @@ let timeline_on_device ?(initial = []) trace ~device =
            Hashtbl.replace current prefix (of_entries entries)
          | Some Bgp.Speaker.Local | None -> Hashtbl.remove current prefix);
         Some (time, count ())
-      | Bgp.Trace.Fib_change _ | Bgp.Trace.Message_sent _ -> None)
+      | Bgp.Trace.Fib_change _ | Bgp.Trace.Message_sent _
+      | Bgp.Trace.Message_dropped _ | Bgp.Trace.Speaker_restarted _
+      | Bgp.Trace.Violation _ ->
+        None)
     (Bgp.Trace.events trace)
 
 let max_on_device ?(initial = []) trace ~device =

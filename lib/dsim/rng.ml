@@ -19,9 +19,20 @@ let split t = { state = int64 t }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 bits so the value always fits OCaml's 63-bit int. *)
-  let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  x mod bound
+  (* Rejection sampling: [x mod bound] over the raw 62-bit draw is biased
+     whenever 2^62 is not a multiple of [bound], so the tail of the draw
+     range is rejected and redrawn. With max_int = 2^62 - 1 the tail size is
+     2^62 mod bound = (max_int mod bound + 1) mod bound, i.e. fewer than
+     [bound] values — the retry probability is negligible for any realistic
+     bound. *)
+  let tail = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - tail in
+  let rec draw () =
+    (* Keep 62 bits so the value always fits OCaml's 63-bit int. *)
+    let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    if x <= cutoff then x mod bound else draw ()
+  in
+  draw ()
 
 let float t bound =
   let x = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in

@@ -78,16 +78,22 @@ let pp_cdf_ascii ?(width = 40) ?(unit_label = "") ppf points =
     points
 
 let histogram ~buckets samples =
-  let counts =
-    List.map
-      (fun upper -> (upper, ref 0))
-      (List.sort_uniq Float.compare buckets)
+  let bounds = Array.of_list (List.sort_uniq Float.compare buckets) in
+  let n = Array.length bounds in
+  let counts = Array.make n 0 in
+  let overflow = ref 0 in
+  (* Binary search for the first bound >= x; [n] means above every bound. *)
+  let bucket_of x =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
   in
-  let last = match List.rev counts with [] -> None | (u, r) :: _ -> Some (u, r) in
   List.iter
     (fun x ->
-      match List.find_opt (fun (upper, _) -> x <= upper) counts with
-      | Some (_, r) -> incr r
-      | None -> (match last with Some (_, r) -> incr r | None -> ()))
+      let i = bucket_of x in
+      if i >= n then incr overflow else counts.(i) <- counts.(i) + 1)
     samples;
-  List.map (fun (upper, r) -> (upper, !r)) counts
+  (List.init n (fun i -> (bounds.(i), counts.(i))), !overflow)

@@ -35,6 +35,9 @@ val pp_cdf_ascii :
   ?width:int -> ?unit_label:string -> Format.formatter -> (float * float) list -> unit
 (** Renders a CDF as an ASCII chart, one row per (value, cumfrac) point. *)
 
-val histogram : buckets:float list -> float list -> (float * int) list
-(** [histogram ~buckets samples] counts samples [<=] each bucket upper
-    bound (the last bucket also absorbs anything larger). *)
+val histogram : buckets:float list -> float list -> (float * int) list * int
+(** [histogram ~buckets samples] is [(counts, overflow)]: per sorted bucket
+    upper bound, the number of samples in ((previous bound, bound]] (found
+    by binary search over the sorted bounds), plus an explicit overflow
+    count of samples above the largest bound. Overflow used to be silently
+    folded into the last in-range bucket, conflating it with real counts. *)

@@ -4,8 +4,26 @@ let tagged_attr () =
   Net.Attr.make ~communities:(Net.Community.Set.singleton backbone_community) ()
 
 let deploy_rpa net device rpa =
-  Bgp.Network.set_hooks net device
-    (Centralium.Engine.hooks (Centralium.Engine.create rpa))
+  let engine = Centralium.Engine.create rpa in
+  (* Guard firings are part of the run's observable history: record each
+     MNH-forced withdrawal in the trace alongside invariant violations. *)
+  Centralium.Engine.set_on_withdraw engine
+    (Some
+       (fun ~prefix ~statement ->
+         Bgp.Trace.record (Bgp.Network.trace net)
+           (Bgp.Trace.Violation
+              {
+                time = Bgp.Network.now net;
+                device = Some device;
+                prefix = Some prefix;
+                kind = "mnh-withdraw";
+                detail =
+                  Printf.sprintf
+                    "BgpNativeMinNextHop guard of statement %S forced a \
+                     withdrawal"
+                    statement;
+              })));
+  Bgp.Network.set_hooks net device (Centralium.Engine.hooks engine)
 
 let deploy_plan net (plan : Centralium.Controller.plan) =
   List.iter
@@ -28,12 +46,20 @@ module Fig2 = struct
     rpa_loss : float;
   }
 
-  let run ?(seed = 42) () =
+  let run ?(seed = 42) ?faults () =
     let default = Net.Prefix.default_v4 in
+    let with_faults net =
+      Option.iter
+        (fun prof ->
+          Bgp.Network.set_fault net
+            (Some (Dsim.Fault.create ~seed:(seed + 100) prof)))
+        faults
+    in
     (* Initial state: FAv1 + Edge only. *)
     let x0 = Topology.Clos.expansion () in
     let demands_of x = List.map (fun f -> (f, 1.0)) x.Topology.Clos.xfsws in
     let net0 = Bgp.Network.create ~seed x0.Topology.Clos.xgraph in
+    with_faults net0;
     Bgp.Network.originate net0 x0.backbone default (tagged_attr ());
     ignore (Bgp.Network.converge net0);
     let baseline_funnel =
@@ -45,6 +71,7 @@ module Fig2 = struct
     let fa_members = x.fav1 @ [ fav2 ] in
     let run_case ~with_rpa =
       let net = Bgp.Network.create ~seed:(seed + 1) x.xgraph in
+      with_faults net;
       if with_rpa then deploy_plan net (Centralium.Apps.Expansion_equalizer.plan x);
       Bgp.Network.originate net x.backbone default (tagged_attr ());
       ignore (Bgp.Network.converge net);
@@ -75,11 +102,16 @@ module Fig4 = struct
 
   let decommissioned_number = 1
 
-  let run_case ~seed ~guard =
+  let run_case ?faults ~seed ~guard () =
     let default = Net.Prefix.default_v4 in
     let run_case' () =
       let d = Topology.Clos.decommission ~planes:4 ~grids:8 ~per:4 () in
       let net = Bgp.Network.create ~seed d.Topology.Clos.dgraph in
+      Option.iter
+        (fun prof ->
+          Bgp.Network.set_fault net
+            (Some (Dsim.Fault.create ~seed:(seed + 100) prof)))
+        faults;
       let ssw1s = Topology.Clos.ssws_numbered d decommissioned_number in
       let fadu1s = Topology.Clos.fadus_numbered d decommissioned_number in
       (match guard with
@@ -119,15 +151,15 @@ module Fig4 = struct
     in
     run_case' ()
 
-  let run ?(seed = 42) () =
-    let steady_share, native_worst_funnel = run_case ~seed ~guard:None in
-    let _, rpa_worst_funnel = run_case ~seed ~guard:(Some 0.75) in
+  let run ?(seed = 42) ?faults () =
+    let steady_share, native_worst_funnel = run_case ?faults ~seed ~guard:None () in
+    let _, rpa_worst_funnel = run_case ?faults ~seed ~guard:(Some 0.75) () in
     { steady_share; native_worst_funnel; rpa_worst_funnel }
 
   let sweep ?(seed = 42) ~thresholds () =
     List.map
       (fun guard ->
-        let _, worst = run_case ~seed ~guard in
+        let _, worst = run_case ~seed ~guard () in
         (guard, worst))
       thresholds
 end
@@ -410,6 +442,76 @@ module Fig14 = struct
       blackholed_with_knob;
       blackholed_without_knob;
       propagated_past_ssw = leaked1 || leaked2;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Faulted = struct
+  type result = {
+    schedule : Dsim.Fault.schedule;
+    events_executed : int;
+    messages_dropped : int;
+    speaker_restarts : int;
+    transient_violations : (float * string) list;
+    final_violations : (int option * Net.Prefix.t option * string) list;
+    trace : Bgp.Trace.event list;
+  }
+
+  let horizon = 0.05
+
+  let run ?(seed = 42) ?(profile = Dsim.Fault.light) ?(flaps = 4)
+      ?(restarts = 1) () =
+    let default = Net.Prefix.default_v4 in
+    let x = Topology.Clos.expansion () in
+    let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
+    (* Independent seeds: the message-fate stream, the control-fault
+       schedule, and the latency stream never share an RNG, so any one can
+       be changed without perturbing the others. *)
+    Bgp.Network.set_fault net
+      (Some (Dsim.Fault.create ~seed:(seed + 1) profile));
+    let links =
+      List.map
+        (fun (l : Topology.Graph.link) -> (l.Topology.Graph.a, l.Topology.Graph.b))
+        (Topology.Graph.links x.xgraph)
+    in
+    let devices =
+      List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes x.xgraph)
+    in
+    let schedule =
+      Dsim.Fault.random_schedule ~seed:(seed + 2) ~links ~devices ~horizon
+        ~flaps ~restarts ()
+    in
+    Bgp.Network.originate net x.backbone default (tagged_attr ());
+    Bgp.Network.apply_schedule net schedule;
+    (* Sample the invariants through the whole fault window (plus slack for
+       the last recoveries to land). *)
+    Centralium.Invariant.monitor ~period:0.005 ~until:(horizon +. 0.03) net;
+    let events_executed = Bgp.Network.converge net in
+    let trace_log = Bgp.Network.trace net in
+    let transient_violations =
+      List.map
+        (fun (time, _, _, kind, _) -> (time, kind))
+        (Bgp.Trace.violations trace_log)
+    in
+    let final_violations =
+      List.map
+        (fun (v : Centralium.Invariant.violation) ->
+          (v.device, v.prefix, Centralium.Invariant.kind_name v.kind))
+        (Centralium.Invariant.check net)
+    in
+    {
+      schedule;
+      events_executed;
+      messages_dropped = Bgp.Trace.messages_dropped trace_log;
+      speaker_restarts =
+        List.length
+          (List.filter
+             (function Bgp.Trace.Speaker_restarted _ -> true | _ -> false)
+             (Bgp.Trace.events trace_log));
+      transient_violations;
+      final_violations;
+      trace = Bgp.Trace.events trace_log;
     }
 end
 

@@ -20,7 +20,9 @@ module Fig2 : sig
     rpa_loss : float;        (** loss fraction under RPA (expect 0) *)
   }
 
-  val run : ?seed:int -> unit -> result
+  val run : ?seed:int -> ?faults:Dsim.Fault.profile -> unit -> result
+  (** [faults] installs a message-level fault model (own RNG stream, seed
+      derived from [seed]) on every network the scenario builds. *)
 end
 
 (** Section 3.3 / Figure 4: last-router problem in decommission. *)
@@ -35,7 +37,7 @@ module Fig4 : sig
         (** same with the BgpNativeMinNextHop guard on SSW-1s *)
   }
 
-  val run : ?seed:int -> unit -> result
+  val run : ?seed:int -> ?faults:Dsim.Fault.profile -> unit -> result
 
   val sweep :
     ?seed:int -> thresholds:float option list -> unit -> (float option * float) list
@@ -109,6 +111,40 @@ module Fig14 : sig
   }
 
   val run : ?seed:int -> unit -> result
+end
+
+(** Fault-injection scenario: a Clos fabric converging while the transport
+    misbehaves (message loss / delay / reorder per {!Dsim.Fault.profile})
+    and a seeded schedule of link flaps and speaker restarts executes, with
+    the {!Centralium.Invariant} checker sampling the network throughout.
+    Everything — fates, schedule, latencies — derives from [seed], so the
+    entire run (including the recorded trace) is reproducible bit for
+    bit. *)
+module Faulted : sig
+  type result = {
+    schedule : Dsim.Fault.schedule;  (** the control faults that executed *)
+    events_executed : int;
+    messages_dropped : int;
+    speaker_restarts : int;
+    transient_violations : (float * string) list;
+        (** (time, kind) of every violation the periodic monitor observed
+            while the network was converging — the paper's transient
+            phenomena, now machine-checked *)
+    final_violations : (int option * Net.Prefix.t option * string) list;
+        (** invariant violations persisting at quiescence; loss of BGP
+            messages can legitimately strand state (no retransmission is
+            modeled), so this reports rather than asserts emptiness *)
+    trace : Bgp.Trace.event list;
+        (** full event trace, for bit-determinism comparisons *)
+  }
+
+  val run :
+    ?seed:int ->
+    ?profile:Dsim.Fault.profile ->
+    ?flaps:int ->
+    ?restarts:int ->
+    unit ->
+    result
 end
 
 (** Section 6.4 / Figure 13: effective capacity of ECMP vs RPA-TE vs ideal

@@ -32,6 +32,10 @@ let advance lx = lx.pos <- lx.pos + 1
 
 let fail msg = raise (Parse_error msg)
 
+(* Largest admitted {m,n} repetition bound (the NFA grows linearly with
+   it). *)
+let max_repetition = 1024
+
 let skip_separators lx =
   let rec go () =
     match peek lx with
@@ -75,6 +79,9 @@ and parse_cat lx =
 
 and parse_rep lx =
   let atom = parse_atom lx in
+  (* Separators between an atom and its quantifier are insignificant, so
+     "123 *" parses like "123*". *)
+  skip_separators lx;
   match peek lx with
   | Some '*' ->
     advance lx;
@@ -91,7 +98,10 @@ and parse_rep lx =
   | Some _ | None -> atom
 
 (* {m}, {m,} and {m,n} expand structurally: m mandatory copies followed by
-   optional ones (or a star for an open bound). *)
+   optional ones (or a star for an open bound). Because the expansion
+   allocates NFA states proportional to the bound, bounds are capped at
+   [max_repetition]: without it ".{1000000}" would build a million-state
+   automaton from 12 bytes of input. *)
 and parse_bounds lx atom =
   skip_separators lx;
   let low = lex_int lx in
@@ -111,6 +121,12 @@ and parse_bounds lx atom =
    | Some '}' -> advance lx
    | Some c -> fail (Printf.sprintf "expected '}', found %c" c)
    | None -> fail "unterminated '{'");
+  if low > max_repetition
+     || (match high with Some h -> h > max_repetition | None -> false)
+  then
+    fail
+      (Printf.sprintf "repetition bound exceeds the maximum of %d"
+         max_repetition);
   let mandatory = List.init low (fun _ -> atom) in
   match high with
   | None -> Cat (mandatory @ [ Star atom ])

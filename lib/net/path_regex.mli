@@ -13,7 +13,8 @@
       familiarity with string-based AS-path regexes);
     - [( … | … )] grouping and alternation;
     - postfix ['*'], ['+'], ['?'], and bounded repetition [{m}], [{m,}],
-      [{m,n}];
+      [{m,n}] — bounds above 1024 are rejected at compile time because the
+      automaton grows linearly with the bound;
     - [\[100-200\]] an inclusive ASN range, [\[100,200,300\]] an ASN set
       (ranges and single ASNs can be mixed, comma separated); [\[^ … \]]
       negates the class (matches any ASN outside it);

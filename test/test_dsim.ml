@@ -60,6 +60,35 @@ let test_rng_sample_without_replacement () =
   let all = Rng.sample_without_replacement rng 100 [ 1; 2; 3 ] in
   check_int "clamped" 3 (List.length all)
 
+let test_rng_int_uniform () =
+  (* Uniformity smoke test: with rejection sampling every residue class is
+     hit an even number of times (3 sigma of binomial fluctuation). *)
+  let rng = Rng.create 17 in
+  let bound = 7 in
+  let draws = 70_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Rng.int rng bound in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let sigma = sqrt (expected *. (1.0 -. (1.0 /. float_of_int bound))) in
+  Array.iteri
+    (fun i c ->
+      if Float.abs (float_of_int c -. expected) > 4.0 *. sigma then
+        Alcotest.failf "residue %d count %d too far from %.0f" i c expected)
+    counts
+
+let test_rng_int_large_bound () =
+  (* Bounds near max_int exercise the rejection path; results must stay in
+     range. *)
+  let rng = Rng.create 23 in
+  let bound = (max_int / 2) + 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng bound in
+    if x < 0 || x >= bound then Alcotest.fail "out of range"
+  done
+
 (* ---------------- Event_queue ---------------- *)
 
 let test_queue_time_order () =
@@ -173,11 +202,50 @@ let test_stats_cdf () =
 let test_stats_cdf_empty () = Alcotest.(check int) "empty" 0 (List.length (Stats.cdf []))
 
 let test_stats_histogram () =
-  let h = Stats.histogram ~buckets:[ 1.0; 2.0; 5.0 ] [ 0.5; 1.5; 1.7; 3.0; 99.0 ] in
+  let counts, overflow =
+    Stats.histogram ~buckets:[ 1.0; 2.0; 5.0 ] [ 0.5; 1.5; 1.7; 3.0; 99.0 ]
+  in
   Alcotest.(check (list (pair (float 1e-9) int)))
     "buckets"
-    [ (1.0, 1); (2.0, 2); (5.0, 2) ]
-    h
+    [ (1.0, 1); (2.0, 2); (5.0, 1) ]
+    counts;
+  check_int "overflow" 1 overflow
+
+let test_stats_histogram_overflow () =
+  (* Samples above the largest bound land in the explicit overflow count,
+     never in an in-range bucket. *)
+  let counts, overflow =
+    Stats.histogram ~buckets:[ 10.0; 20.0 ] [ 20.0; 20.1; 1e9; 5.0 ]
+  in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "in-range counts"
+    [ (10.0, 1); (20.0, 1) ]
+    counts;
+  check_int "overflow" 2 overflow;
+  (* Binary-search bucketing agrees with a linear reference over many
+     samples and duplicate/unsorted bounds. *)
+  let samples = List.init 500 (fun i -> float_of_int (i mod 37) /. 3.0) in
+  let bounds = [ 5.0; 1.0; 9.0; 1.0; 3.5 ] in
+  let counts, overflow = Stats.histogram ~buckets:bounds samples in
+  let sorted = List.sort_uniq Float.compare bounds in
+  let reference =
+    List.map
+      (fun upper ->
+        ( upper,
+          List.length
+            (List.filter
+               (fun x ->
+                 x <= upper
+                 && not
+                      (List.exists (fun u -> u < upper && x <= u) sorted))
+               samples) ))
+      sorted
+  in
+  let ref_overflow =
+    List.length (List.filter (fun x -> x > 9.0) samples)
+  in
+  Alcotest.(check (list (pair (float 1e-9) int))) "vs reference" reference counts;
+  check_int "reference overflow" ref_overflow overflow
 
 let test_stats_stddev () =
   check_float "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
@@ -196,6 +264,8 @@ let () =
           quick "exponential mean" test_rng_exponential_mean;
           quick "shuffle permutation" test_rng_shuffle_permutation;
           quick "sample without replacement" test_rng_sample_without_replacement;
+          quick "int uniform" test_rng_int_uniform;
+          quick "int large bound" test_rng_int_large_bound;
         ] );
       ( "event_queue",
         [
@@ -211,6 +281,7 @@ let () =
         [
           quick "percentiles" test_stats_percentiles;
           quick "single sample" test_stats_single_sample;
+          quick "histogram overflow" test_stats_histogram_overflow;
           quick "cdf" test_stats_cdf;
           quick "cdf empty" test_stats_cdf_empty;
           quick "histogram" test_stats_histogram;

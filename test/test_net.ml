@@ -251,6 +251,29 @@ let test_regex_bounded_repetition () =
   check_bool "descending bound rejected" true
     (Result.is_error (Path_regex.compile "7{3,1}"))
 
+let test_regex_bound_cap () =
+  (* Structural expansion of {m,n} is capped: enormous bounds would
+     otherwise allocate an NFA state per repetition. *)
+  check_bool "huge {m} rejected" true
+    (Result.is_error (Path_regex.compile ".{1000000}"));
+  check_bool "huge {m,n} rejected" true
+    (Result.is_error (Path_regex.compile "7{1,999999}"));
+  check_bool "huge {m,} rejected" true
+    (Result.is_error (Path_regex.compile "7{1000000,}"));
+  check_bool "cap itself accepted" true
+    (Result.is_ok (Path_regex.compile "7{1024}"));
+  check_bool "just above cap rejected" true
+    (Result.is_error (Path_regex.compile "7{1025}"))
+
+let test_regex_spaced_quantifier () =
+  (* Separators before a quantifier are insignificant: "123 *" = "123*". *)
+  check_bool "spaced star" true (matches "^1 5 * 2$" [ 1; 5; 5; 2 ]);
+  check_bool "spaced star zero" true (matches "^1 5 * 2$" [ 1; 2 ]);
+  check_bool "spaced plus" true (matches "^7 +$" [ 7; 7 ]);
+  check_bool "spaced opt" true (matches "^1 5 ? 2$" [ 1; 2 ]);
+  check_bool "spaced braces" true (matches "^7 {2}$" [ 7; 7 ]);
+  check_bool "underscore before star" true (matches "^1_5_*_2$" [ 1; 5; 2 ])
+
 let test_regex_negated_class () =
   check_bool "outside" true (matches "^[^100-200]$" [ 99 ]);
   check_bool "inside" false (matches "^[^100-200]$" [ 150 ]);
@@ -348,6 +371,8 @@ let () =
           quick "errors" test_regex_errors;
           quick "underscore separator" test_regex_underscore_separator;
           quick "bounded repetition" test_regex_bounded_repetition;
+          quick "bound cap" test_regex_bound_cap;
+          quick "spaced quantifier" test_regex_spaced_quantifier;
           quick "negated class" test_regex_negated_class;
         ]
         @ List.map (QCheck_alcotest.to_alcotest ~long:false) regex_qcheck );

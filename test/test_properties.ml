@@ -366,6 +366,124 @@ let deployment_phases_partition =
            ~origination_layer:Topology.Node.Eb Centralium.Deployment.Install
            phases)
 
+(* ---------------- invariant checker ---------------- *)
+
+let has_kind kind vs =
+  List.exists (fun v -> v.Centralium.Invariant.kind = kind) vs
+
+let test_invariant_seeded_loop () =
+  (* A two-node forwarding loop fed straight into the checker. *)
+  let entry nh =
+    Bgp.Speaker.Entries [ { Bgp.Speaker.next_hop = nh; session = 0; weight = 1 } ]
+  in
+  let lookup = function
+    | 0 -> Some (entry 1)
+    | 1 -> Some (entry 0)
+    | _ -> None
+  in
+  let vs =
+    Centralium.Invariant.check_forwarding ~lookup ~devices:[ 0; 1; 2 ] ()
+  in
+  Alcotest.(check bool)
+    "loop flagged" true
+    (has_kind Centralium.Invariant.Forwarding_loop vs);
+  (* Loop-free forwarding over the same devices is not flagged. *)
+  let chain = function 0 -> Some (entry 1) | 1 -> Some (entry 2) | _ -> None in
+  Alcotest.(check int)
+    "chain is clean" 0
+    (List.length
+       (Centralium.Invariant.check_forwarding ~lookup:chain
+          ~devices:[ 0; 1; 2 ] ()))
+
+let test_invariant_catches_network_loop () =
+  (* The Figure 9 ablation: an RPA that advertises its most preferred path
+     (instead of the least favorable, Section 5.3.1) seeds a persistent
+     R5-R6 forwarding loop. The network-level checker must flag it. *)
+  let prefix_d = Net.Prefix.of_string_exn "203.0.113.0/24" in
+  let m = Topology.Clos.mixed_dissemination () in
+  let net = Bgp.Network.create ~seed:42 m.Topology.Clos.mgraph in
+  let r = m.Topology.Clos.r in
+  let asn_of d = (Topology.Graph.node m.mgraph d).Topology.Node.asn in
+  let rpa =
+    Centralium.Rpa.make ~advertise_least_favorable:false
+      ~path_selection:
+        [
+          Centralium.Path_selection.make
+            [
+              Centralium.Path_selection.statement
+                ~path_sets:
+                  [
+                    Centralium.Path_selection.path_set ~name:"r2-r5"
+                      (Centralium.Signature.make
+                         ~neighbor_asns:[ asn_of r.(2); asn_of r.(5) ]
+                         ());
+                  ]
+                (Centralium.Destination.Prefixes [ prefix_d ]);
+            ];
+        ]
+      ()
+  in
+  Bgp.Network.set_hooks net r.(6)
+    (Centralium.Engine.hooks (Centralium.Engine.create rpa));
+  Bgp.Network.originate net m.origin prefix_d (Net.Attr.make ());
+  ignore (Bgp.Network.converge net);
+  let vs = Centralium.Invariant.check ~prefixes:[ prefix_d ] net in
+  Alcotest.(check bool)
+    "network loop flagged" true
+    (has_kind Centralium.Invariant.Forwarding_loop vs);
+  (* The violations land in the trace with the current queue time. *)
+  let trace = Bgp.Network.trace net in
+  let before = Bgp.Trace.violation_count trace in
+  Centralium.Invariant.record net vs;
+  Alcotest.(check int)
+    "violations recorded" (before + List.length vs)
+    (Bgp.Trace.violation_count trace)
+
+let test_invariant_clean_fabric () =
+  (* A converged fabric with no faults satisfies every invariant. *)
+  let f = Topology.Clos.fabric ~pods:2 ~rsws_per_pod:2 () in
+  let net = Bgp.Network.create ~seed:7 f.Topology.Clos.graph in
+  List.iter
+    (fun eb ->
+      Bgp.Network.originate net eb Net.Prefix.default_v4 (Net.Attr.make ()))
+    f.Topology.Clos.ebs;
+  ignore (Bgp.Network.converge net);
+  Alcotest.(check int)
+    "zero violations" 0
+    (List.length (Centralium.Invariant.check net))
+
+let test_invariant_flags_dead_next_hop () =
+  (* Cutting a link under the FIB without letting BGP react leaves entries
+     pointing at a dead next hop; the checker must notice both the dead
+     member and (at quiescence re-evaluation) the staleness. *)
+  let f = Topology.Clos.fabric ~pods:2 ~rsws_per_pod:2 () in
+  let g = f.Topology.Clos.graph in
+  let net = Bgp.Network.create ~seed:7 g in
+  List.iter
+    (fun eb ->
+      Bgp.Network.originate net eb Net.Prefix.default_v4 (Net.Attr.make ()))
+    f.Topology.Clos.ebs;
+  ignore (Bgp.Network.converge net);
+  (* Find a link some FIB entry actually uses, and kill it graph-side only
+     (bypassing Network.set_link, so no session events fire). *)
+  let devices = List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes g) in
+  let used =
+    List.find_map
+      (fun d ->
+        match Bgp.Network.fib net d Net.Prefix.default_v4 with
+        | Some (Bgp.Speaker.Entries (e :: _)) -> Some (d, e.Bgp.Speaker.next_hop)
+        | _ -> None)
+      devices
+  in
+  match used with
+  | None -> Alcotest.fail "no multihop FIB entry found"
+  | Some (a, b) ->
+    Topology.Graph.set_link_up g a b false;
+    Alcotest.(check bool)
+      "dead next hop flagged" true
+      (has_kind Centralium.Invariant.Dead_next_hop
+         (Centralium.Invariant.check ~prefixes:[ Net.Prefix.default_v4 ] net))
+
 (* ---------------- TE solver ---------------- *)
 
 let te_instance_arb =
@@ -425,6 +543,17 @@ let () =
       ( "deployment",
         List.map (QCheck_alcotest.to_alcotest ~long:false)
           [ deployment_phases_partition ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "seeded loop is flagged" `Quick
+            test_invariant_seeded_loop;
+          Alcotest.test_case "network loop is flagged" `Quick
+            test_invariant_catches_network_loop;
+          Alcotest.test_case "clean fabric has zero violations" `Quick
+            test_invariant_clean_fabric;
+          Alcotest.test_case "dead next hop is flagged" `Quick
+            test_invariant_flags_dead_next_hop;
+        ] );
       ( "te",
         List.map (QCheck_alcotest.to_alcotest ~long:false)
           [ te_optimal_beats_ecmp ] );

@@ -119,6 +119,54 @@ let test_scenarios_deterministic () =
   let a = Scenarios.Fig2.run ~seed:7 () and b = Scenarios.Fig2.run ~seed:7 () in
   check_bool "same seed same result" true (a = b)
 
+let test_faulted_deterministic () =
+  (* Bit-determinism of the fault schedule: two runs from the same seed
+     produce identical results down to the full event trace (every message,
+     drop, restart, FIB change and violation, with timestamps). *)
+  let a = Scenarios.Faulted.run ~seed:11 ~profile:Dsim.Fault.heavy () in
+  let b = Scenarios.Faulted.run ~seed:11 ~profile:Dsim.Fault.heavy () in
+  check_bool "same schedule" true
+    (a.Scenarios.Faulted.schedule = b.Scenarios.Faulted.schedule);
+  check_int "same event count" a.Scenarios.Faulted.events_executed
+    b.Scenarios.Faulted.events_executed;
+  check_bool "identical trace" true
+    (a.Scenarios.Faulted.trace = b.Scenarios.Faulted.trace);
+  check_bool "identical result" true (a = b);
+  (* And the seed actually matters: a different seed gives a different
+     history. *)
+  let c = Scenarios.Faulted.run ~seed:12 ~profile:Dsim.Fault.heavy () in
+  check_bool "different seed, different trace" false
+    (a.Scenarios.Faulted.trace = c.Scenarios.Faulted.trace)
+
+let test_faulted_exercises_faults () =
+  let r = Scenarios.Faulted.run ~seed:3 ~profile:Dsim.Fault.heavy () in
+  check_bool "schedule nonempty" true (r.Scenarios.Faulted.schedule <> []);
+  check_bool "speaker restarted" true (r.Scenarios.Faulted.speaker_restarts >= 1);
+  check_bool "messages were dropped" true
+    (r.Scenarios.Faulted.messages_dropped > 0)
+
+let test_faulted_clean_profile_no_violations () =
+  (* With a transparent fault profile and no scheduled faults the run is an
+     ordinary convergence; the monitor must observe nothing and the final
+     check must come back clean. *)
+  let r =
+    Scenarios.Faulted.run ~seed:5 ~profile:Dsim.Fault.none ~flaps:0
+      ~restarts:0 ()
+  in
+  check_int "no drops" 0 r.Scenarios.Faulted.messages_dropped;
+  (* Mid-convergence blackholes are expected transients (routes are still
+     propagating); what must never appear, even transiently, is internal
+     inconsistency of a speaker. *)
+  check_int "no inconsistency transients" 0
+    (List.length
+       (List.filter
+          (fun (_, kind) ->
+            kind = "unstable" || kind = "rib-inconsistency"
+            || kind = "dead-next-hop")
+          r.Scenarios.Faulted.transient_violations));
+  check_int "no final violations" 0
+    (List.length r.Scenarios.Faulted.final_violations)
+
 let () =
   let slow name f = Alcotest.test_case name `Slow f in
   Alcotest.run "scenarios"
@@ -135,5 +183,12 @@ let () =
           slow "fig4 threshold sweep" test_fig4_threshold_sweep_monotone;
           slow "fig13 quantization sweep" test_fig13_quantization_sweep;
           slow "deterministic" test_scenarios_deterministic;
+        ] );
+      ( "fault-injection",
+        [
+          slow "bit-deterministic from seed" test_faulted_deterministic;
+          slow "faults actually fire" test_faulted_exercises_faults;
+          slow "clean profile, zero violations"
+            test_faulted_clean_profile_no_violations;
         ] );
     ]
