@@ -20,6 +20,69 @@ let header title paper_claim =
 let pct x = 100.0 *. x
 
 (* ------------------------------------------------------------------ *)
+(* Structured output: every section also writes BENCH_<section>.json with
+   its wall time, per-span wall-time percentiles, the full metrics
+   snapshot, and whatever section-specific figures it pushed via [emit]. *)
+
+let summary_json (s : Dsim.Stats.summary) =
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Int s.Dsim.Stats.count);
+      ("mean", Obs.Json.Float s.Dsim.Stats.mean);
+      ("min", Obs.Json.Float s.Dsim.Stats.min);
+      ("max", Obs.Json.Float s.Dsim.Stats.max);
+      ("p50", Obs.Json.Float s.Dsim.Stats.p50);
+      ("p90", Obs.Json.Float s.Dsim.Stats.p90);
+      ("p95", Obs.Json.Float s.Dsim.Stats.p95);
+      ("p99", Obs.Json.Float s.Dsim.Stats.p99);
+    ]
+
+let bench_extra : (string * Obs.Json.t) list ref = ref []
+
+let emit key value = bench_extra := (key, value) :: !bench_extra
+
+let emit_summary key samples =
+  if samples <> [] then emit key (summary_json (Dsim.Stats.summarize samples))
+
+let span_summaries recorder =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Obs.Span.span) ->
+      let ms = (s.Obs.Span.wall_stop_s -. s.Obs.Span.wall_start_s) *. 1000.0 in
+      let cur = Option.value (Hashtbl.find_opt tbl s.Obs.Span.name) ~default:[] in
+      Hashtbl.replace tbl s.Obs.Span.name (ms :: cur))
+    (Obs.Span.spans recorder);
+  Hashtbl.fold (fun name ds acc -> (name, ds) :: acc) tbl []
+  |> List.sort compare
+  |> List.map (fun (name, ds) -> (name, summary_json (Dsim.Stats.summarize ds)))
+
+let run_section name f =
+  bench_extra := [];
+  Obs.Metrics.reset Obs.Metrics.default;
+  Obs.Metrics.set_enabled Obs.Metrics.default true;
+  let recorder = Obs.Span.create () in
+  let t0 = Monotonic_clock.now () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled Obs.Metrics.default false)
+    (fun () -> Obs.Span.with_recorder recorder f);
+  let wall_ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+  let json =
+    Obs.Json.Obj
+      ([
+         ("section", Obs.Json.String name);
+         ("wall_ms", Obs.Json.Float wall_ms);
+         ("spans_ms", Obs.Json.Obj (span_summaries recorder));
+         ("metrics", Obs.Metrics.snapshot Obs.Metrics.default);
+       ]
+       @ List.rev !bench_extra)
+  in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Table 1: migration categories *)
 
 let table1 () =
@@ -222,6 +285,9 @@ let fig11 () =
   pf "(b) memory (GB):\n";
   Format.printf "%a" (Dsim.Stats.pp_cdf_ascii ~width:40 ~unit_label:"GB") (Dsim.Stats.cdf ~points:10 mem);
   let cpu_summary = Dsim.Stats.summarize cpu in
+  emit_summary "cpu_pct" cpu;
+  emit_summary "mem_gb" mem;
+  emit "tasks" (Obs.Json.Int (List.length !services));
   pf "CPU max = %.1f%%  (paper: < 25%%)   memory max = %.2f GB (paper: < 3 GB)\n"
     cpu_summary.Dsim.Stats.max
     (Dsim.Stats.summarize mem).Dsim.Stats.max
@@ -265,6 +331,8 @@ let fig12 () =
   pf "%d RPA deployments to %d FAUUs\n" (List.length samples_ms)
     (List.length f.Topology.Clos.fauus);
   Format.printf "%a" (Dsim.Stats.pp_cdf_ascii ~width:40 ~unit_label:"ms") (Dsim.Stats.cdf ~points:12 samples_ms);
+  emit_summary "deploy_ms" samples_ms;
+  emit "deployments" (Obs.Json.Int (List.length samples_ms));
   let s = Dsim.Stats.summarize samples_ms in
   pf "p50 = %.3f ms, p95 = %.3f ms, p99 = %.3f ms; %.0f%% under 1 ms\n"
     s.Dsim.Stats.p50 s.Dsim.Stats.p95 s.Dsim.Stats.p99
@@ -360,6 +428,10 @@ let table2 () =
   row "w/ cache" warm;
   let stats = Centralium.Engine.stats engine in
   let mean = Dsim.Stats.mean in
+  emit_summary "cold_eval_ms" cold;
+  emit_summary "warm_eval_ms" warm;
+  emit "cache_hits" (Obs.Json.Int stats.Centralium.Engine.hits);
+  emit "cache_misses" (Obs.Json.Int stats.Centralium.Engine.misses);
   pf "cache: %d hits / %d misses; mean speedup miss/hit = %.1fx\n"
     stats.Centralium.Engine.hits stats.Centralium.Engine.misses
     (mean cold /. Float.max 1e-9 (mean warm))
@@ -438,6 +510,10 @@ let perf () =
       ~origination_layer:Topology.Node.Eb
   in
   let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+  emit "devices" (Obs.Json.Int devices);
+  emit "rpas" (Obs.Json.Int (List.length plan.Centralium.Controller.rpas));
+  emit "phases" (Obs.Json.Int (List.length plan.Centralium.Controller.phases));
+  emit "generation_ms" (Obs.Json.Float ms);
   pf "full-DC topology: %d devices; generated %d per-switch RPAs in %.1f ms \
       (%d deployment phases)\n"
     devices
@@ -506,12 +582,16 @@ let micro () =
     Benchmark.all cfg instances (Test.make_grouped ~name:"centralium" tests)
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimates = ref [] in
   Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
   |> List.sort compare
   |> List.iter (fun (name, ols) ->
          match Analyze.OLS.estimates ols with
-         | Some (estimate :: _) -> pf "%-40s %12.0f ns/run\n" name estimate
-         | Some [] | None -> pf "%-40s (no estimate)\n" name)
+         | Some (estimate :: _) ->
+           estimates := (name, Obs.Json.Float estimate) :: !estimates;
+           pf "%-40s %12.0f ns/run\n" name estimate
+         | Some [] | None -> pf "%-40s (no estimate)\n" name);
+  emit "estimates_ns" (Obs.Json.Obj (List.rev !estimates))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out *)
@@ -613,6 +693,7 @@ let scale () =
     "(not a paper figure) the substrate itself: events, messages and wall \
      time to converge a default route over growing fabrics";
   pf "%8s %8s %10s %10s %10s\n" "devices" "links" "events" "messages" "wall ms";
+  let rows = ref [] in
   List.iter
     (fun pods ->
       let f = Topology.Clos.fabric ~pods ~rsws_per_pod:pods () in
@@ -629,13 +710,22 @@ let scale () =
       let t0 = Monotonic_clock.now () in
       let events = Bgp.Network.converge net in
       let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
-      pf "%8d %8d %10d %10d %10.1f\n"
-        (Topology.Graph.node_count f.Topology.Clos.graph)
-        (List.length (Topology.Graph.links f.Topology.Clos.graph))
-        events
-        (Bgp.Trace.messages_sent (Bgp.Network.trace net))
-        ms)
-    [ 2; 4; 8; 12 ]
+      let messages = Bgp.Trace.messages_sent (Bgp.Network.trace net) in
+      let devices = Topology.Graph.node_count f.Topology.Clos.graph in
+      let links = List.length (Topology.Graph.links f.Topology.Clos.graph) in
+      rows :=
+        Obs.Json.Obj
+          [
+            ("devices", Obs.Json.Int devices);
+            ("links", Obs.Json.Int links);
+            ("events", Obs.Json.Int events);
+            ("messages", Obs.Json.Int messages);
+            ("wall_ms", Obs.Json.Float ms);
+          ]
+        :: !rows;
+      pf "%8d %8d %10d %10d %10.1f\n" devices links events messages ms)
+    [ 2; 4; 8; 12 ];
+  emit "rows" (Obs.Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -669,7 +759,7 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f -> run_section name f
       | None ->
         pf "unknown section %S; available: %s\n" name
           (String.concat " " (List.map fst sections));

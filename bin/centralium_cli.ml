@@ -255,21 +255,78 @@ let parse_cmd =
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run () =
+  let run seed =
     let outcomes =
       Centralium.Verification.qualify_all
-        (Centralium.Verification.standard_suite ())
+        (Centralium.Verification.standard_suite ~seed ())
     in
     List.iter
       (fun o -> Format.printf "%a@." Centralium.Verification.pp_outcome o)
       outcomes;
     if List.for_all Centralium.Verification.passed outcomes then 0 else 1
   in
+  let seed =
+    Arg.(
+      value & opt int 31
+      & info [ "seed" ]
+          ~doc:"base network seed for the emulations (each spec offsets it)")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Run the pre-deployment qualification suite (Section 7.1) on \
              reduced-scale emulated networks")
-    Term.(const run $ const ())
+    Term.(const run $ seed)
+
+(* ---------------- observe ---------------- *)
+
+let observe_cmd =
+  let run scenario seed out =
+    let oc = open_out out in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Experiments.Observe.run ~seed ~scenario
+            ~write:(fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            ())
+    in
+    match result with
+    | Error e ->
+      Printf.eprintf "observe: %s\n" e;
+      1
+    | Ok s ->
+      pf "wrote %s: %d lines (%d events, %d spans%s)\n" out
+        s.Experiments.Observe.lines s.events s.spans
+        (if s.dropped_spans > 0 then
+           Printf.sprintf ", %d spans dropped" s.dropped_spans
+         else "");
+      pf "%-28s %s\n" "figure" "value";
+      List.iter
+        (fun (k, v) -> pf "%-28s %s\n" k (Obs.Json.to_string v))
+        s.headline;
+      0
+  in
+  let scenario =
+    Arg.(
+      value & pos 0 string "faulted"
+      & info [] ~docv:"SCENARIO"
+          ~doc:"fig2 | fig4 | fig5 | fig9 | fig10 | fig13 | fig14 | faulted")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
+  in
+  let out =
+    Arg.(
+      value & opt string "run.jsonl"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"output JSONL file")
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Replay a scenario under full instrumentation and export the \
+             run (manifest, trace events, spans, metrics) as JSONL")
+    Term.(const run $ scenario $ seed $ out)
 
 (* ---------------- apps ---------------- *)
 
@@ -294,6 +351,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            topology_cmd; rpa_cmd; parse_cmd; simulate_cmd; table3_cmd;
-            verify_cmd; apps_cmd;
+            topology_cmd; rpa_cmd; parse_cmd; simulate_cmd; observe_cmd;
+            table3_cmd; verify_cmd; apps_cmd;
           ]))

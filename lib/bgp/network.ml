@@ -1,3 +1,10 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_messages_sent = Obs.Metrics.counter "bgp.messages.sent"
+let m_messages_dropped = Obs.Metrics.counter "bgp.messages.dropped"
+let m_fib_changes = Obs.Metrics.counter "bgp.fib.changes"
+let m_restarts = Obs.Metrics.counter "bgp.speaker.restarts"
+let m_converge_events = Obs.Metrics.counter "bgp.converge.events"
+
 type latency_model = Dsim.Rng.t -> float
 
 let default_latency rng = 0.0001 +. Dsim.Rng.exponential rng ~mean:0.001
@@ -59,6 +66,9 @@ let create ?(seed = 42) ?(config = Speaker.default_config)
       Speaker.add_peer sa ~peer:link.b ~sessions:link.sessions;
       Speaker.add_peer sb ~peer:link.a ~sessions:link.sessions)
     (Topology.Graph.links topo);
+  (* Spans recorded while this network runs are stamped with its virtual
+     clock (a no-op unless a span recorder is installed). *)
+  Obs.Span.set_sim_clock (fun () -> Dsim.Event_queue.now t.event_queue);
   t
 
 (* ---------------- FIB tracking ---------------- *)
@@ -70,24 +80,22 @@ let record_fib_diff t device before after =
   let find prefix l =
     Option.map snd (List.find_opt (fun (p, _) -> Net.Prefix.equal p prefix) l)
   in
+  let change prefix state =
+    Obs.Metrics.incr m_fib_changes;
+    Trace.record t.trace_log (Trace.Fib_change { time; device; prefix; state })
+  in
   (* Removed or changed entries. *)
   List.iter
     (fun (prefix, state_before) ->
       match find prefix after with
-      | None ->
-        Trace.record t.trace_log
-          (Trace.Fib_change { time; device; prefix; state = None })
+      | None -> change prefix None
       | Some state_after ->
-        if state_after <> state_before then
-          Trace.record t.trace_log
-            (Trace.Fib_change { time; device; prefix; state = Some state_after }))
+        if state_after <> state_before then change prefix (Some state_after))
     before;
   (* New entries. *)
   List.iter
     (fun (prefix, state_after) ->
-      if find prefix before = None then
-        Trace.record t.trace_log
-          (Trace.Fib_change { time; device; prefix; state = Some state_after }))
+      if find prefix before = None then change prefix (Some state_after))
     after
 
 (* ---------------- Message dispatch ---------------- *)
@@ -108,6 +116,7 @@ let session_alive t src dst =
 let rec dispatch t src (outbox : Speaker.outbox) =
   List.iter
     (fun (dst, session, msg) ->
+      Obs.Metrics.incr m_messages_sent;
       Trace.record t.trace_log
         (Trace.Message_sent { time = now t; src; dst; session; msg });
       (* The base latency is drawn before consulting the fault model so the
@@ -119,9 +128,11 @@ let rec dispatch t src (outbox : Speaker.outbox) =
         | None -> Dsim.Fault.pass
         | Some f -> Dsim.Fault.fate f
       in
-      if fate.Dsim.Fault.dropped then
+      if fate.Dsim.Fault.dropped then begin
+        Obs.Metrics.incr m_messages_dropped;
         Trace.record t.trace_log
           (Trace.Message_dropped { time = now t; src; dst; session; msg })
+      end
       else begin
         let arrival = now t +. delay +. fate.Dsim.Fault.extra_delay in
         let chan = channel t (src, dst, session) in
@@ -217,6 +228,7 @@ let restart_device ?(delay = 0.0) t device ~recovery =
          In-flight messages addressed to the device are discarded on
          arrival because its sessions are marked down. *)
       Speaker.reset sp;
+      Obs.Metrics.incr m_restarts;
       Trace.record t.trace_log
         (Trace.Speaker_restarted { time = now t; device });
       record_fib_diff t device before (fib_assoc sp);
@@ -247,6 +259,9 @@ let restart_device ?(delay = 0.0) t device ~recovery =
             incident))
 
 let apply_schedule t (sched : Dsim.Fault.schedule) =
+  Obs.Span.with_span "fault.apply_schedule"
+    ~attrs:(fun () -> [ ("actions", string_of_int (List.length sched)) ])
+  @@ fun () ->
   List.iter
     (function
       | Dsim.Fault.Flap_link { a; b; at; duration } ->
@@ -259,7 +274,9 @@ let apply_schedule t (sched : Dsim.Fault.schedule) =
 (* ---------------- Running ---------------- *)
 
 let converge ?(max_events = 2_000_000) t =
+  Obs.Span.with_span "network.converge" @@ fun () ->
   let executed = Dsim.Event_queue.run ~max_events t.event_queue in
+  Obs.Metrics.incr ~by:executed m_converge_events;
   if not (Dsim.Event_queue.is_empty t.event_queue) then
     failwith
       (Printf.sprintf

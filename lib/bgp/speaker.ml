@@ -1,3 +1,8 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_decisions = Obs.Metrics.counter "bgp.speaker.decisions"
+let m_adverts = Obs.Metrics.counter "bgp.speaker.advertisements"
+let m_withdraws = Obs.Metrics.counter "bgp.speaker.withdrawals"
+
 type config = {
   multipath : bool;
   wcmp : bool;
@@ -187,8 +192,12 @@ let advertise_to t prefix ~peer ~desired : outbox =
      | None -> Hashtbl.remove table prefix);
     let msg =
       match desired with
-      | Some attr -> Msg.Update { prefix; attr }
-      | None -> Msg.Withdraw { prefix }
+      | Some attr ->
+        Obs.Metrics.incr m_adverts;
+        Msg.Update { prefix; attr }
+      | None ->
+        Obs.Metrics.incr m_withdraws;
+        Msg.Withdraw { prefix }
     in
     List.map (fun session -> (peer, session, msg)) (up_sessions t peer)
   end
@@ -235,6 +244,14 @@ type desired = {
 }
 
 let compute t env prefix : desired =
+  Obs.Metrics.incr m_decisions;
+  Obs.Span.with_span "speaker.decision"
+    ~attrs:(fun () ->
+      [
+        ("device", string_of_int (id t));
+        ("prefix", Net.Prefix.to_string prefix);
+      ])
+  @@ fun () ->
   let ctx = make_ctx t env prefix in
   match Hashtbl.find_opt t.origin_table prefix with
   | Some origin_attr ->

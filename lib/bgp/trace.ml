@@ -28,27 +28,62 @@ type event =
       detail : string;
     }
 
-type t = { mutable rev_events : event list; mutable count : int }
+(* Events live in an append-friendly growable array; the forward list the
+   public API exposes is memoized against the current length so repeated
+   [events] calls on an unchanged trace (fib_timeline, the invariant
+   monitor, exporters) cost nothing after the first. *)
+type t = {
+  mutable arr : event array;
+  mutable count : int;
+  mutable memo : event list;
+  mutable memo_count : int;
+}
 
-let create () = { rev_events = []; count = 0 }
+let create () = { arr = [||]; count = 0; memo = []; memo_count = 0 }
 
 let record t event =
-  t.rev_events <- event :: t.rev_events;
+  if t.count = Array.length t.arr then begin
+    let grown = Array.make (max 64 (2 * Array.length t.arr)) event in
+    Array.blit t.arr 0 grown 0 t.count;
+    t.arr <- grown
+  end;
+  t.arr.(t.count) <- event;
   t.count <- t.count + 1
 
-let events t = List.rev t.rev_events
+let length t = t.count
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.arr.(i)
+  done
+
+let events t =
+  if t.memo_count <> t.count then begin
+    let rec build i acc = if i < 0 then acc else build (i - 1) (t.arr.(i) :: acc) in
+    t.memo <- build (t.count - 1) [];
+    t.memo_count <- t.count
+  end;
+  t.memo
+
+let rev_filter_map f t =
+  let acc = ref [] in
+  iter t (fun e -> match f e with Some x -> acc := x :: !acc | None -> ());
+  List.rev !acc
 
 let fib_changes t =
-  List.filter_map
+  rev_filter_map
     (function
       | Fib_change { time; device; prefix; state } ->
         Some (time, device, prefix, state)
       | Message_sent _ | Message_dropped _ | Speaker_restarted _ | Violation _
         ->
         None)
-    (events t)
+    t
 
-let count p t = List.length (List.filter p t.rev_events)
+let count p t =
+  let n = ref 0 in
+  iter t (fun e -> if p e then incr n);
+  !n
 
 let messages_sent t =
   count (function Message_sent _ -> true | _ -> false) t
@@ -60,27 +95,29 @@ let fib_change_count t =
   count (function Fib_change _ -> true | _ -> false) t
 
 let violations t =
-  List.filter_map
+  rev_filter_map
     (function
       | Violation { time; device; prefix; kind; detail } ->
         Some (time, device, prefix, kind, detail)
       | Fib_change _ | Message_sent _ | Message_dropped _ | Speaker_restarted _
         ->
         None)
-    (events t)
+    t
 
 let violation_count t = count (function Violation _ -> true | _ -> false) t
 
 let clear t =
-  t.rev_events <- [];
-  t.count <- 0
+  t.arr <- [||];
+  t.count <- 0;
+  t.memo <- [];
+  t.memo_count <- 0
 
 let fib_timeline t ~prefix ~initial =
   let current = Hashtbl.create 16 in
   List.iter (fun (device, state) -> Hashtbl.replace current device state) initial;
   let snapshot () = Hashtbl.copy current in
   let relevant =
-    List.filter_map
+    rev_filter_map
       (function
         | Fib_change { time; device; prefix = p; state }
           when Net.Prefix.equal p prefix ->
@@ -88,7 +125,7 @@ let fib_timeline t ~prefix ~initial =
         | Fib_change _ | Message_sent _ | Message_dropped _
         | Speaker_restarted _ | Violation _ ->
           None)
-      (events t)
+      t
   in
   (* Group consecutive changes at the same instant into one snapshot. *)
   let rec go acc = function
@@ -102,3 +139,110 @@ let fib_timeline t ~prefix ~initial =
        | _ :: _ | [] -> go ((time, snapshot ()) :: acc) rest)
   in
   go [] relevant
+
+(* ---------------- JSON export ---------------- *)
+
+let attr_to_json (attr : Net.Attr.t) =
+  let base =
+    [
+      ("origin", Obs.Json.String (Net.Attr.origin_to_string attr.Net.Attr.origin));
+      ("as_path", Obs.Json.String (Net.As_path.to_string attr.Net.Attr.as_path));
+      ("local_pref", Obs.Json.Int attr.Net.Attr.local_pref);
+      ("med", Obs.Json.Int attr.Net.Attr.med);
+      ("communities",
+       Obs.Json.List
+         (List.map
+            (fun c -> Obs.Json.String (Net.Community.to_string c))
+            (Net.Community.Set.elements attr.Net.Attr.communities)));
+    ]
+  in
+  let lb =
+    match attr.Net.Attr.link_bandwidth with
+    | Some w -> [ ("link_bandwidth", Obs.Json.Int w) ]
+    | None -> []
+  in
+  Obs.Json.Obj (base @ lb)
+
+let msg_to_json = function
+  | Msg.Update { prefix; attr } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.String "update");
+        ("prefix", Obs.Json.String (Net.Prefix.to_string prefix));
+        ("attr", attr_to_json attr);
+      ]
+  | Msg.Withdraw { prefix } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.String "withdraw");
+        ("prefix", Obs.Json.String (Net.Prefix.to_string prefix));
+      ]
+
+let fib_state_to_json = function
+  | None -> Obs.Json.Null
+  | Some Speaker.Local -> Obs.Json.String "local"
+  | Some (Speaker.Entries entries) ->
+    Obs.Json.List
+      (List.map
+         (fun (e : Speaker.entry) ->
+           Obs.Json.Obj
+             [
+               ("next_hop", Obs.Json.Int e.Speaker.next_hop);
+               ("session", Obs.Json.Int e.Speaker.session);
+               ("weight", Obs.Json.Int e.Speaker.weight);
+             ])
+         entries)
+
+let opt_int = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null
+
+let opt_prefix = function
+  | Some p -> Obs.Json.String (Net.Prefix.to_string p)
+  | None -> Obs.Json.Null
+
+let event_to_json = function
+  | Fib_change { time; device; prefix; state } ->
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "fib_change");
+        ("time", Obs.Json.Float time);
+        ("device", Obs.Json.Int device);
+        ("prefix", Obs.Json.String (Net.Prefix.to_string prefix));
+        ("state", fib_state_to_json state);
+      ]
+  | Message_sent { time; src; dst; session; msg } ->
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "message_sent");
+        ("time", Obs.Json.Float time);
+        ("src", Obs.Json.Int src);
+        ("dst", Obs.Json.Int dst);
+        ("session", Obs.Json.Int session);
+        ("msg", msg_to_json msg);
+      ]
+  | Message_dropped { time; src; dst; session; msg } ->
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "message_dropped");
+        ("time", Obs.Json.Float time);
+        ("src", Obs.Json.Int src);
+        ("dst", Obs.Json.Int dst);
+        ("session", Obs.Json.Int session);
+        ("msg", msg_to_json msg);
+      ]
+  | Speaker_restarted { time; device } ->
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "speaker_restarted");
+        ("time", Obs.Json.Float time);
+        ("device", Obs.Json.Int device);
+      ]
+  | Violation { time; device; prefix; kind; detail } ->
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "violation");
+        ("time", Obs.Json.Float time);
+        ("device", opt_int device);
+        ("prefix", opt_prefix prefix);
+        ("kind", Obs.Json.String kind);
+        ("detail", Obs.Json.String detail);
+      ]

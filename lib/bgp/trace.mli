@@ -47,7 +47,14 @@ val create : unit -> t
 val record : t -> event -> unit
 
 val events : t -> event list
-(** In recording order. *)
+(** In recording order. Memoized: repeated calls on an unchanged trace
+    return the same (physically equal) list — events are stored in an
+    append-friendly array, never re-reversed per call. *)
+
+val length : t -> int
+
+val iter : t -> (event -> unit) -> unit
+(** In recording order, without materializing a list. *)
 
 val fib_changes : t -> (float * int * Net.Prefix.t * Speaker.fib_state option) list
 
@@ -73,3 +80,8 @@ val fib_timeline :
   t -> prefix:Net.Prefix.t ->
   initial:(int * Speaker.fib_state) list ->
   (float * (int, Speaker.fib_state) Hashtbl.t) list
+
+val event_to_json : event -> Obs.Json.t
+(** One self-describing object per event (a ["type"] tag plus the event's
+    fields; attributes and FIB states rendered structurally) — the JSONL
+    line format of [centralium observe]. *)

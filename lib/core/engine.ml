@@ -1,3 +1,8 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_cache_hits = Obs.Metrics.counter "engine.cache.hits"
+let m_cache_misses = Obs.Metrics.counter "engine.cache.misses"
+let m_selections = Obs.Metrics.counter "engine.selections"
+
 type mutable_stats = {
   mutable hit_count : int;
   mutable miss_count : int;
@@ -82,6 +87,7 @@ let sig_id t s =
 let sig_matches t s attr =
   if not t.cache_enabled then begin
     t.m_stats.miss_count <- t.m_stats.miss_count + 1;
+    Obs.Metrics.incr m_cache_misses;
     Signature.matches s attr
   end
   else begin
@@ -92,9 +98,11 @@ let sig_matches t s attr =
       match Hashtbl.find_opt t.sig_cache key with
       | Some result ->
         t.m_stats.hit_count <- t.m_stats.hit_count + 1;
+        Obs.Metrics.incr m_cache_hits;
         result
       | None ->
         t.m_stats.miss_count <- t.m_stats.miss_count + 1;
+        Obs.Metrics.incr m_cache_misses;
         let result = Signature.matches s attr in
         Hashtbl.replace t.sig_cache key result;
         result
@@ -167,6 +175,14 @@ let native_fallback t ctx (st : Path_selection.statement)
 let evaluate_selection t ~(ctx : Bgp.Rib_policy.ctx) ~candidates ~native :
     Bgp.Rib_policy.selection =
   t.m_stats.selection_count <- t.m_stats.selection_count + 1;
+  Obs.Metrics.incr m_selections;
+  Obs.Span.with_span "engine.select"
+    ~attrs:(fun () ->
+      [
+        ("prefix", Net.Prefix.to_string ctx.Bgp.Rib_policy.prefix);
+        ("candidates", string_of_int (List.length candidates));
+      ])
+  @@ fun () ->
   match
     find_statement
       (all_path_selection_statements t.rpa)

@@ -1,3 +1,7 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_checks = Obs.Metrics.counter "invariant.checks"
+let m_violations = Obs.Metrics.counter "invariant.violations"
+
 type kind =
   | Forwarding_loop
   | Blackhole
@@ -186,6 +190,8 @@ let check_stability net devices =
 (* ---------------- Entry points ---------------- *)
 
 let check ?prefixes net =
+  Obs.Metrics.incr m_checks;
+  Obs.Span.with_span "invariant.sweep" @@ fun () ->
   let graph = Bgp.Network.graph net in
   let devices =
     List.map (fun n -> n.Topology.Node.id) (Topology.Graph.nodes graph)
@@ -205,7 +211,9 @@ let check ?prefixes net =
         @ check_entries net graph devices prefix)
       prefixes
   in
-  per_prefix @ check_stability net devices
+  let found = per_prefix @ check_stability net devices in
+  Obs.Metrics.incr ~by:(List.length found) m_violations;
+  found
 
 let check_compiled net (compiled : Fallback_compiler.compiled) =
   List.filter_map

@@ -1,3 +1,7 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_deploys = Obs.Metrics.counter "agent.deploys"
+let h_deploy_ms = Obs.Metrics.histogram "agent.deploy_ms"
+
 type t = {
   agent_service : Service.t;
   net : Bgp.Network.t;
@@ -83,6 +87,9 @@ let reconcile_device t device =
   if rpa_equal intended current then `In_sync
   else if not (is_reachable t device) then `Unreachable
   else begin
+    Obs.Span.with_span "agent.reconcile"
+      ~attrs:(fun () -> [ ("device", string_of_int device) ])
+    @@ fun () ->
     Service.with_work t.agent_service (fun () ->
         (* RPC round trip to the BGP daemon, then building and installing
            the evaluation engine. The RPC latency is sampled (we have no
@@ -98,6 +105,8 @@ let reconcile_device t device =
         Bgp.Network.set_hooks t.net device hooks;
         let apply_cost = Sys.time () -. apply_start in
         t.deploy_times <- (rpc_latency +. apply_cost) :: t.deploy_times;
+        Obs.Metrics.incr m_deploys;
+        Obs.Metrics.observe h_deploy_ms ((rpc_latency +. apply_cost) *. 1000.0);
         Hashtbl.replace t.current_rpas device intended;
         Nsdb.set (Service.current t.agent_service) ~path:(rpa_path device)
           (Nsdb.Rpa intended));

@@ -57,14 +57,14 @@ let tagged_attr () =
       (Net.Community.Set.singleton Net.Community.Well_known.backbone_default_route)
     ()
 
-let equalization_spec =
+let equalization_spec ~seed =
   {
     spec_name = "path-equalization on expansion topology";
     build =
       (fun () ->
         let x = Topology.Clos.expansion () in
         let fav2 = Topology.Clos.add_fav2 x in
-        let net = Bgp.Network.create ~seed:31 x.Topology.Clos.xgraph in
+        let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
         Bgp.Network.originate net x.backbone Net.Prefix.default_v4 (tagged_attr ());
         ignore (Bgp.Network.converge net);
         let plan = Apps.Expansion_equalizer.plan x in
@@ -88,13 +88,13 @@ let equalization_spec =
         (net, plan, intent));
   }
 
-let guard_spec =
+let guard_spec ~seed =
   {
     spec_name = "min-next-hop guard on decommission mesh";
     build =
       (fun () ->
         let d = Topology.Clos.decommission ~planes:2 ~grids:4 ~per:2 () in
-        let net = Bgp.Network.create ~seed:32 d.Topology.Clos.dgraph in
+        let net = Bgp.Network.create ~seed d.Topology.Clos.dgraph in
         Bgp.Network.originate net d.north_origin Net.Prefix.default_v4
           (tagged_attr ());
         ignore (Bgp.Network.converge net);
@@ -113,13 +113,13 @@ let guard_spec =
         (net, plan, intent));
   }
 
-let rollout_spec =
+let rollout_spec ~seed =
   {
     spec_name = "safe rollout ordering on FA/DMAG topology";
     build =
       (fun () ->
         let r = Topology.Clos.rollout () in
-        let net = Bgp.Network.create ~seed:33 r.Topology.Clos.rgraph in
+        let net = Bgp.Network.create ~seed r.Topology.Clos.rgraph in
         Bgp.Network.originate net r.rbackbone Net.Prefix.default_v4 (tagged_attr ());
         ignore (Bgp.Network.converge net);
         let origin_asn =
@@ -146,4 +146,9 @@ let rollout_spec =
         (net, plan, intent));
   }
 
-let standard_suite () = [ equalization_spec; guard_spec; rollout_spec ]
+let standard_suite ?(seed = 31) () =
+  [
+    equalization_spec ~seed;
+    guard_spec ~seed:(seed + 1);
+    rollout_spec ~seed:(seed + 2);
+  ]

@@ -33,9 +33,13 @@ val qualify_all : spec list -> outcome list
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val standard_suite : unit -> spec list
+val standard_suite : ?seed:int -> unit -> spec list
 (** Emulations of the three core intents: path equalization on the
     expansion topology (no funneling with the new layer live), the
     min-next-hop guard on the decommission mesh (route present, withdrawn
     below threshold), and safe rollout ordering on the Figure 10 topology
-    (loop- and funnel-free at the end state). *)
+    (loop- and funnel-free at the end state).
+
+    [seed] (default 31) seeds the first emulation's network; the other two
+    use [seed + 1] and [seed + 2], preserving the historical 31/32/33
+    assignment at the default. *)

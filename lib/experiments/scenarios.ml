@@ -47,6 +47,9 @@ module Fig2 = struct
   }
 
   let run ?(seed = 42) ?faults () =
+    Obs.Span.with_span "scenario.fig2"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let default = Net.Prefix.default_v4 in
     let with_faults net =
       Option.iter
@@ -152,6 +155,9 @@ module Fig4 = struct
     run_case' ()
 
   let run ?(seed = 42) ?faults () =
+    Obs.Span.with_span "scenario.fig4"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let steady_share, native_worst_funnel = run_case ?faults ~seed ~guard:None () in
     let _, rpa_worst_funnel = run_case ?faults ~seed ~guard:(Some 0.75) () in
     { steady_share; native_worst_funnel; rpa_worst_funnel }
@@ -177,6 +183,9 @@ module Fig5 = struct
   let prefix_of i = Net.Prefix.v4 10 (i / 256) (i mod 256) 0 24
 
   let run ?(seed = 42) ?(prefixes = 48) () =
+    Obs.Span.with_span "scenario.fig5"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let run_case ~with_rpa =
       let w = Topology.Clos.wcmp_convergence () in
       let du = List.nth w.Topology.Clos.dus 0 in
@@ -249,6 +258,9 @@ module Fig9 = struct
   let prefix_d = Net.Prefix.of_string_exn "203.0.113.0/24"
 
   let run ?(seed = 42) () =
+    Obs.Span.with_span "scenario.fig9"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let run_case ~advertise_least_favorable =
       let m = Topology.Clos.mixed_dissemination () in
       let net = Bgp.Network.create ~seed m.mgraph in
@@ -328,6 +340,9 @@ module Fig10 = struct
   }
 
   let run ?(seed = 42) () =
+    Obs.Span.with_span "scenario.fig10"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let default = Net.Prefix.default_v4 in
     let fresh () =
       let r = Topology.Clos.rollout () in
@@ -403,6 +418,9 @@ module Fig14 = struct
   let host = Net.Prefix.v4 10 1 2 3 32
 
   let run ?(seed = 42) () =
+    Obs.Span.with_span "scenario.fig14"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let run_case ~keep_fib_warm =
       let s = Topology.Clos.sev () in
       let net = Bgp.Network.create ~seed s.sgraph in
@@ -462,6 +480,9 @@ module Faulted = struct
 
   let run ?(seed = 42) ?(profile = Dsim.Fault.light) ?(flaps = 4)
       ?(restarts = 1) () =
+    Obs.Span.with_span "scenario.faulted"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let default = Net.Prefix.default_v4 in
     let x = Topology.Clos.expansion () in
     let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
@@ -556,6 +577,9 @@ module Fig13 = struct
     (uplinks, egress, sink)
 
   let run ?(seed = 42) ?(events = 40) ?(levels = 64) () =
+    Obs.Span.with_span "scenario.fig13"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
     let rng = Dsim.Rng.create seed in
     let uplinks, egress, sink = base_edges () in
     let demand_per_fauu = 6.0 in

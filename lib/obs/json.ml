@@ -1,0 +1,240 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------- Emitter ---------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to buf f =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else Buffer.add_string buf "null"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_to buf f
+  | String s -> escape_to buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf key;
+        Buffer.add_char buf ':';
+        to_buffer buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ---------------- Parser ---------------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st; go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> error st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> error st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+(* UTF-8 encode a BMP code point from a \uXXXX escape. *)
+let add_code_point buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buf '"'; advance st
+       | Some '\\' -> Buffer.add_char buf '\\'; advance st
+       | Some '/' -> Buffer.add_char buf '/'; advance st
+       | Some 'n' -> Buffer.add_char buf '\n'; advance st
+       | Some 'r' -> Buffer.add_char buf '\r'; advance st
+       | Some 't' -> Buffer.add_char buf '\t'; advance st
+       | Some 'b' -> Buffer.add_char buf '\b'; advance st
+       | Some 'f' -> Buffer.add_char buf '\012'; advance st
+       | Some 'u' ->
+         advance st;
+         if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+         let hex = String.sub st.src st.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | Some cp -> add_code_point buf cp; st.pos <- st.pos + 4
+          | None -> error st "invalid \\u escape")
+       | Some c -> error st (Printf.sprintf "invalid escape \\%C" c)
+       | None -> error st "unterminated escape");
+      go ()
+    | Some c -> Buffer.add_char buf c; advance st; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error st (Printf.sprintf "invalid number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt text with
+       | Some f -> Float f
+       | None -> error st (Printf.sprintf "invalid number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin advance st; List [] end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; items (v :: acc)
+        | Some ']' -> advance st; List (List.rev (v :: acc))
+        | Some c -> error st (Printf.sprintf "expected ',' or ']', found %C" c)
+        | None -> error st "unterminated array"
+      in
+      items []
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin advance st; Obj [] end
+    else begin
+      let field () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        (key, parse_value st)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; fields (f :: acc)
+        | Some '}' -> advance st; Obj (List.rev (f :: acc))
+        | Some c -> error st (Printf.sprintf "expected ',' or '}', found %C" c)
+        | None -> error st "unterminated object"
+      in
+      fields []
+    end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length src then Ok v
+    else Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ---------------- Accessors ---------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None

@@ -1,0 +1,131 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  attrs : (string * string) list;
+  wall_start_s : float;
+  wall_stop_s : float;
+  sim_start : float option;
+  sim_stop : float option;
+}
+
+(* An open scope; becomes a [span] when it closes. *)
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_attrs : (string * string) list;
+  o_wall_start : float;
+  o_sim_start : float option;
+}
+
+type t = {
+  max_spans : int;
+  mutable next_id : int;
+  mutable stack : open_span list;
+  mutable rev_spans : span list;
+  mutable completed : int;
+  mutable dropped_count : int;
+  mutable sim_clock : (unit -> float) option;
+}
+
+let create ?(max_spans = 100_000) () =
+  {
+    max_spans;
+    next_id = 0;
+    stack = [];
+    rev_spans = [];
+    completed = 0;
+    dropped_count = 0;
+    sim_clock = None;
+  }
+
+let ambient : t option ref = ref None
+
+let installed () = !ambient
+
+let with_recorder t f =
+  let previous = !ambient in
+  ambient := Some t;
+  Fun.protect ~finally:(fun () -> ambient := previous) f
+
+let set_sim_clock clock =
+  match !ambient with
+  | Some t -> t.sim_clock <- Some clock
+  | None -> ()
+
+let sim_now t =
+  match t.sim_clock with Some clock -> Some (clock ()) | None -> None
+
+let with_span ?attrs name f =
+  match !ambient with
+  | None -> f ()
+  | Some t ->
+    if t.completed + List.length t.stack >= t.max_spans then begin
+      t.dropped_count <- t.dropped_count + 1;
+      f ()
+    end
+    else begin
+      let o =
+        {
+          o_id = t.next_id;
+          o_parent = (match t.stack with [] -> None | p :: _ -> Some p.o_id);
+          o_name = name;
+          o_attrs = (match attrs with Some a -> a () | None -> []);
+          o_wall_start = Sys.time ();
+          o_sim_start = sim_now t;
+        }
+      in
+      t.next_id <- t.next_id + 1;
+      t.stack <- o :: t.stack;
+      let close () =
+        (match t.stack with
+         | top :: rest when top.o_id = o.o_id -> t.stack <- rest
+         | _ ->
+           (* An inner scope escaped without closing (exception in a
+              nested Fun.protect) — drop back to this span's frame. *)
+           let rec unwind = function
+             | top :: rest when top.o_id <> o.o_id -> unwind rest
+             | _ :: rest -> rest
+             | [] -> []
+           in
+           t.stack <- unwind t.stack);
+        t.rev_spans <-
+          {
+            id = o.o_id;
+            parent = o.o_parent;
+            name = o.o_name;
+            attrs = o.o_attrs;
+            wall_start_s = o.o_wall_start;
+            wall_stop_s = Sys.time ();
+            sim_start = o.o_sim_start;
+            sim_stop = sim_now t;
+          }
+          :: t.rev_spans;
+        t.completed <- t.completed + 1
+      in
+      Fun.protect ~finally:close f
+    end
+
+let spans t = List.sort (fun a b -> compare a.id b.id) t.rev_spans
+
+let dropped t = t.dropped_count
+
+let durations_s t ~name =
+  List.filter_map
+    (fun s -> if s.name = name then Some (s.wall_stop_s -. s.wall_start_s) else None)
+    (spans t)
+
+let span_to_json s =
+  Json.Obj
+    [
+      ("id", Json.Int s.id);
+      ("parent", (match s.parent with Some p -> Json.Int p | None -> Json.Null));
+      ("name", Json.String s.name);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs));
+      ("wall_ms", Json.Float ((s.wall_stop_s -. s.wall_start_s) *. 1000.0));
+      ("sim_start",
+       (match s.sim_start with Some x -> Json.Float x | None -> Json.Null));
+      ("sim_stop",
+       (match s.sim_stop with Some x -> Json.Float x | None -> Json.Null));
+    ]

@@ -1,0 +1,65 @@
+(** Convergence spans: timed, nested scopes around the hot phases of a run.
+
+    A {!recorder} collects a span tree for one run: each {!with_span}
+    scope becomes a span carrying a wall-clock interval (via [Sys.time])
+    and, when a simulation clock has been registered, the event-queue
+    (virtual) time interval too. Spans nest: a scope opened inside another
+    records the outer span as its parent, which is how a run decomposes
+    into phases (scenario -> converge -> speaker decision -> RPA
+    evaluation).
+
+    Recording is ambient: instrumentation sites call {!with_span}
+    unconditionally, and when no recorder is installed the call reduces to
+    one ref read plus the function application — near-zero cost, and no
+    {!Dsim.Rng} draws either way. Install a recorder around the code under
+    observation with {!with_recorder}. *)
+
+type t
+(** A recorder. *)
+
+type span = {
+  id : int;  (** unique within the recorder, in start order *)
+  parent : int option;
+  name : string;
+  attrs : (string * string) list;
+  wall_start_s : float;
+  wall_stop_s : float;
+  sim_start : float option;  (** virtual seconds, when a sim clock is set *)
+  sim_stop : float option;
+}
+
+val create : ?max_spans:int -> unit -> t
+(** [max_spans] (default 100_000) bounds memory: further spans are counted
+    in {!dropped} instead of recorded (their scopes still run). *)
+
+val with_recorder : t -> (unit -> 'a) -> 'a
+(** Installs [t] as the ambient recorder for the duration of the call
+    (restoring the previous one after, exceptions included). *)
+
+val installed : unit -> t option
+
+val set_sim_clock : (unit -> float) -> unit
+(** Registers the virtual-time source on the ambient recorder (no-op when
+    none is installed). {!Bgp.Network.create} calls this with its event
+    queue's clock, so the most recently created network stamps spans. *)
+
+val with_span :
+  ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** Times [f] as a span on the ambient recorder; just runs [f] when none
+    is installed. [attrs] is a thunk so sites pay nothing to build labels
+    when not recording. *)
+
+(** {1 Inspection & export} *)
+
+val spans : t -> span list
+(** Completed spans in start order. Scopes still open are not included. *)
+
+val dropped : t -> int
+
+val durations_s : t -> name:string -> float list
+(** Wall-clock durations (seconds) of every completed span named [name]. *)
+
+val span_to_json : span -> Json.t
+(** Flat object with [id]/[parent]/[name]/[attrs], [wall_ms], and
+    [sim_start]/[sim_stop] (null without a sim clock) — one JSONL line per
+    span. *)

@@ -1,3 +1,7 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_solver_runs = Obs.Metrics.counter "te.solver.runs"
+let m_maxflow_checks = Obs.Metrics.counter "te.maxflow.checks"
+
 type instance = {
   node_count : int;
   edges : (int * int * float) list;
@@ -98,11 +102,20 @@ let flow_network instance theta =
   (mf, super)
 
 let feasible instance theta =
+  Obs.Metrics.incr m_maxflow_checks;
   let mf, super = flow_network instance theta in
   let flow = Maxflow.max_flow mf ~source:super ~sink:instance.destination in
   (flow >= total_demand instance -. 1e-7, mf)
 
 let optimal ?(tolerance = 1e-4) instance =
+  Obs.Metrics.incr m_solver_runs;
+  Obs.Span.with_span "te.solve"
+    ~attrs:(fun () ->
+      [
+        ("nodes", string_of_int instance.node_count);
+        ("edges", string_of_int (List.length instance.edges));
+      ])
+  @@ fun () ->
   let demand = total_demand instance in
   if demand <= 0.0 then (0.0, fun _ -> [])
   else begin

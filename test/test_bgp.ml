@@ -421,6 +421,48 @@ let test_trace_records_fib_changes () =
   check_bool "fib changes recorded" true (Bgp.Trace.fib_change_count trace >= 3);
   check_bool "messages recorded" true (Bgp.Trace.messages_sent trace >= 2)
 
+let test_fib_timeline_simultaneous () =
+  let tr = Bgp.Trace.create () in
+  let p20 = Prefix.of_string_exn "20.0.0.0/8" in
+  let entry nh =
+    Bgp.Speaker.Entries [ { Bgp.Speaker.next_hop = nh; session = 0; weight = 1 } ]
+  in
+  let change ~time ~device ?(prefix = p10) state =
+    Bgp.Trace.record tr (Bgp.Trace.Fib_change { time; device; prefix; state })
+  in
+  change ~time:1.0 ~device:1 (Some (entry 10));
+  (* Three changes at the same instant, one device changing twice: the
+     timeline must collapse them into a single snapshot reflecting all of
+     them, not emit intermediate states. *)
+  change ~time:2.0 ~device:1 (Some (entry 20));
+  change ~time:2.0 ~device:2 (Some (entry 30));
+  change ~time:2.0 ~device:1 None;
+  change ~time:2.0 ~device:9 ~prefix:p20 (Some (entry 99));
+  change ~time:3.0 ~device:3 (Some Bgp.Speaker.Local);
+  let timeline =
+    Bgp.Trace.fib_timeline tr ~prefix:p10 ~initial:[ (0, entry 7) ]
+  in
+  check_int "one snapshot per distinct instant" 3 (List.length timeline);
+  let rec increasing = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 < t2 && increasing rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "times strictly increasing" true (increasing timeline);
+  (match timeline with
+   | [ (t1, s1); (t2, s2); (t3, s3) ] ->
+     check_bool "instants" true (t1 = 1.0 && t2 = 2.0 && t3 = 3.0);
+     check_bool "initial state carried" true (Hashtbl.find_opt s1 0 = Some (entry 7));
+     check_bool "first change applied" true (Hashtbl.find_opt s1 1 = Some (entry 10));
+     (* t=2 snapshot: device 1's two changes net out to a removal, device 2's
+        change is present, the other prefix never leaks in. *)
+     check_bool "same-instant removal wins" true (Hashtbl.find_opt s2 1 = None);
+     check_bool "same-instant sibling applied" true
+       (Hashtbl.find_opt s2 2 = Some (entry 30));
+     check_bool "other prefix filtered" true (Hashtbl.find_opt s2 9 = None);
+     check_bool "later change applied" true
+       (Hashtbl.find_opt s3 3 = Some Bgp.Speaker.Local)
+   | _ -> Alcotest.fail "expected exactly three snapshots")
+
 let test_convergence_deterministic () =
   let run seed =
     let net = Bgp.Network.create ~seed (diamond ()) in
@@ -470,6 +512,7 @@ let () =
           quick "dual stack" test_dual_stack;
           quick "rpa expiration live" test_route_attribute_expiration_live;
           quick "trace records" test_trace_records_fib_changes;
+          quick "fib timeline simultaneous" test_fib_timeline_simultaneous;
           quick "deterministic" test_convergence_deterministic;
         ] );
     ]

@@ -879,6 +879,69 @@ let test_agent_unreachable_devices () =
     "maintenance suppresses alert" []
     (Switch_agent.unexpected_unreachable agent)
 
+(* ---------------- Debug tooling (Section 7.2) ---------------- *)
+
+let string_contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_debug_explain_route () =
+  let x, net, controller = controller_fixture () in
+  let agent = Controller.agent controller in
+  let device = List.nth x.Topology.Clos.xssws 0 in
+  (* Native BGP: nothing to explain. *)
+  check_bool "no RPA -> no explanation" true
+    (Debug.explain_route net agent ~device Net.Prefix.default_v4 = None);
+  Switch_agent.set_intended agent ~device
+    (Apps.Min_next_hop_guard.rpa ~destination:Destination.backbone_default
+       ~threshold:(Path_selection.Count 1) ~keep_fib_warm:false);
+  check_bool "applied" true
+    (Switch_agent.reconcile_device agent device = `Applied);
+  ignore (Bgp.Network.converge net);
+  match Debug.explain_route net agent ~device Net.Prefix.default_v4 with
+  | None -> Alcotest.fail "expected an explanation once the RPA is installed"
+  | Some e ->
+    (match e.Debug.verdict with
+     | Debug.Native_fallback { statement; trials } ->
+       Alcotest.(check string) "statement named" "guard" statement;
+       check_int "guard has no path sets" 0 (List.length trials)
+     | Debug.No_matching_statement | Debug.Path_set_chosen _
+     | Debug.Withdrawn_min_next_hop _ ->
+       Alcotest.fail "expected Native_fallback for the satisfied guard");
+    check_bool "routes selected" true (e.Debug.selected_count >= 1);
+    check_bool "still advertising" true (e.Debug.advertised <> None)
+
+let test_debug_explain_withdrawn_and_pp () =
+  let x, net, controller = controller_fixture () in
+  let agent = Controller.agent controller in
+  let device = List.nth x.Topology.Clos.xssws 0 in
+  (* A threshold no SSW can meet forces the MNH withdrawal path. *)
+  Switch_agent.set_intended agent ~device
+    (Apps.Min_next_hop_guard.rpa ~destination:Destination.backbone_default
+       ~threshold:(Path_selection.Count 99) ~keep_fib_warm:true);
+  check_bool "applied" true
+    (Switch_agent.reconcile_device agent device = `Applied);
+  ignore (Bgp.Network.converge net);
+  match Debug.explain_route net agent ~device Net.Prefix.default_v4 with
+  | None -> Alcotest.fail "expected an explanation"
+  | Some e ->
+    (match e.Debug.verdict with
+     | Debug.Withdrawn_min_next_hop { required; fib_kept_warm; _ } ->
+       check_int "required surfaces the threshold" 99 required;
+       check_bool "keep-warm knob surfaces" true fib_kept_warm
+     | Debug.No_matching_statement | Debug.Path_set_chosen _
+     | Debug.Native_fallback _ ->
+       Alcotest.fail "expected Withdrawn_min_next_hop");
+    check_bool "withdrawn" true (e.Debug.advertised = None);
+    let rendered = Format.asprintf "%a" Debug.pp_explanation e in
+    check_bool "pp names the statement" true
+      (string_contains ~needle:"guard" rendered);
+    check_bool "pp flags the withdrawal" true
+      (string_contains ~needle:"WITHDRAWN" rendered);
+    check_bool "pp flags the warm FIB" true
+      (string_contains ~needle:"FIB kept warm" rendered)
+
 let test_controller_deploy_and_remove () =
   let x, net, controller = controller_fixture () in
   let plan = Apps.Expansion_equalizer.plan x in
@@ -1086,6 +1149,8 @@ let () =
         [
           quick "agent reconcile" test_agent_reconcile_and_stragglers;
           quick "agent unreachable" test_agent_unreachable_devices;
+          quick "debug explain route" test_debug_explain_route;
+          quick "debug explain withdrawn + pp" test_debug_explain_withdrawn_and_pp;
           quick "deploy and remove" test_controller_deploy_and_remove;
           quick "pre-check aborts" test_controller_pre_check_aborts;
           quick "invalid plan" test_controller_invalid_plan;
