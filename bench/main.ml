@@ -728,6 +728,37 @@ let scale () =
   emit "rows" (Obs.Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
+(* Management-plane chaos: resilient deploy under faults, crash+resume *)
+
+let chaos () =
+  header "Chaos: resilient deployment under management-plane faults"
+    "crash+resume vs uninterrupted, flaky RPC/NSDB fates, 3 seeds";
+  let digests_matched = ref 0 in
+  let retries = ref [] in
+  let backoffs = ref [] in
+  let seeds = [ 42; 43; 44 ] in
+  List.iter
+    (fun seed ->
+      let c =
+        Experiments.Scenarios.Faulted_deploy.crash_vs_uninterrupted ~seed ()
+      in
+      let i = c.Experiments.Scenarios.Faulted_deploy.interrupted in
+      if c.Experiments.Scenarios.Faulted_deploy.digests_match then
+        incr digests_matched;
+      retries := float_of_int i.retries :: !retries;
+      backoffs := List.map (fun s -> s *. 1000.0) i.backoff_seconds @ !backoffs;
+      pf "seed %d: %s after crash+resume, %d retries, digests %s\n" seed
+        i.outcome i.retries
+        (if c.Experiments.Scenarios.Faulted_deploy.digests_match then "match"
+         else "DIFFER"))
+    seeds;
+  pf "digest matches: %d/%d\n" !digests_matched (List.length seeds);
+  emit "digests_matched" (Obs.Json.Int !digests_matched);
+  emit "seeds" (Obs.Json.Int (List.length seeds));
+  emit_summary "retries" !retries;
+  emit_summary "backoff_ms" !backoffs
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -748,6 +779,7 @@ let sections =
     ("ablations", ablations);
     ("scale", scale);
     ("micro", micro);
+    ("chaos", chaos);
   ]
 
 let () =

@@ -312,7 +312,9 @@ let observe_cmd =
     Arg.(
       value & pos 0 string "faulted"
       & info [] ~docv:"SCENARIO"
-          ~doc:"fig2 | fig4 | fig5 | fig9 | fig10 | fig13 | fig14 | faulted")
+          ~doc:
+            "fig2 | fig4 | fig5 | fig9 | fig10 | fig13 | fig14 | faulted | \
+             faulted_deploy")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
@@ -327,6 +329,133 @@ let observe_cmd =
        ~doc:"Replay a scenario under full instrumentation and export the \
              run (manifest, trace events, spans, metrics) as JSONL")
     Term.(const run $ scenario $ seed $ out)
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let run seeds base_seed profile_name crash_after out =
+    match
+      match profile_name with
+      | "none" -> Some Dsim.Mgmt_fault.none
+      | "flaky" -> Some Dsim.Mgmt_fault.flaky
+      | "hostile" -> Some Dsim.Mgmt_fault.hostile
+      | _ -> None
+    with
+    | None ->
+      Printf.eprintf "chaos: unknown profile %S (none | flaky | hostile)\n"
+        profile_name;
+      1
+    | Some profile ->
+      let oc = open_out out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let failures = ref 0 in
+          for k = 0 to seeds - 1 do
+            let seed = base_seed + k in
+            let c =
+              Experiments.Scenarios.Faulted_deploy.crash_vs_uninterrupted ~seed
+                ~profile ?crash_after_ops:crash_after ()
+            in
+            let i = c.Experiments.Scenarios.Faulted_deploy.interrupted in
+            let u = c.Experiments.Scenarios.Faulted_deploy.uninterrupted in
+            let violations (r : Experiments.Scenarios.Faulted_deploy.result) =
+              List.length r.transient_violations
+              + List.length r.phase_violations
+              + List.length r.final_violations
+            in
+            let ok =
+              c.Experiments.Scenarios.Faulted_deploy.digests_match && i.crashed
+              && i.resumed
+              && i.outcome = "completed"
+              && u.outcome = "completed"
+              && violations i = 0 && violations u = 0
+            in
+            if not ok then incr failures;
+            pf
+              "seed %d: %s — crash+resume %s (applied %d, retries %d, \
+               backoffs %d), uninterrupted %s, violations %d/%d, digests %s\n"
+              seed
+              (if ok then "OK" else "FAIL")
+              i.outcome i.applied i.retries
+              (List.length i.backoff_seconds)
+              u.outcome (violations i) (violations u)
+              (if c.Experiments.Scenarios.Faulted_deploy.digests_match then
+                 "match"
+               else "DIFFER");
+            let line =
+              Obs.Json.Obj
+                [
+                  ("type", Obs.Json.String "chaos_seed");
+                  ("seed", Obs.Json.Int seed);
+                  ("ok", Obs.Json.Bool ok);
+                  ("profile", Obs.Json.String profile_name);
+                  ("interrupted_outcome", Obs.Json.String i.outcome);
+                  ("uninterrupted_outcome", Obs.Json.String u.outcome);
+                  ("crashed", Obs.Json.Bool i.crashed);
+                  ("resumed", Obs.Json.Bool i.resumed);
+                  ("applied", Obs.Json.Int i.applied);
+                  ("retries", Obs.Json.Int i.retries);
+                  ("backoffs", Obs.Json.Int (List.length i.backoff_seconds));
+                  ("gave_up", Obs.Json.Int (List.length i.gave_up));
+                  ("violations_interrupted", Obs.Json.Int (violations i));
+                  ("violations_uninterrupted", Obs.Json.Int (violations u));
+                  ( "digests_match",
+                    Obs.Json.Bool
+                      c.Experiments.Scenarios.Faulted_deploy.digests_match );
+                  ("fib_digest", Obs.Json.String i.fib_digest);
+                ]
+            in
+            output_string oc (Obs.Json.to_string line);
+            output_char oc '\n'
+          done;
+          if !failures > 0 then begin
+            pf "chaos: %d/%d seeds FAILED (details in %s)\n" !failures seeds
+              out;
+            1
+          end
+          else begin
+            pf
+              "chaos: all %d seeds converged bit-identically through \
+               crash+resume with zero invariant violations (%s)\n"
+              seeds out;
+            0
+          end)
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"number of seeds to sweep")
+  in
+  let base_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"first seed of the sweep")
+  in
+  let profile =
+    Arg.(
+      value & opt string "flaky"
+      & info [ "profile" ]
+          ~doc:"management-plane fault profile: none | flaky | hostile")
+  in
+  let crash_after =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-after" ]
+          ~docv:"OPS"
+          ~doc:
+            "crash the controller after OPS management operations (default: \
+             mid-flight of the first phase)")
+  in
+  let out =
+    Arg.(
+      value & opt string "chaos.jsonl"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"output JSONL file")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep seeds of the faulted-deploy scenario: deploy under \
+          management-plane chaos, crash the controller mid-rollout, resume \
+          from the NSDB journal, and assert bit-identical convergence with \
+          zero invariant violations")
+    Term.(const run $ seeds $ base_seed $ profile $ crash_after $ out)
 
 (* ---------------- apps ---------------- *)
 
@@ -352,5 +481,5 @@ let () =
        (Cmd.group ~default info
           [
             topology_cmd; rpa_cmd; parse_cmd; simulate_cmd; observe_cmd;
-            table3_cmd; verify_cmd; apps_cmd;
+            table3_cmd; verify_cmd; chaos_cmd; apps_cmd;
           ]))

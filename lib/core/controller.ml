@@ -1,3 +1,14 @@
+(* Observability instruments (shared registry; no-ops until enabled). *)
+let m_retries = Obs.Metrics.counter "controller.retries"
+let h_backoff_ms = Obs.Metrics.histogram "controller.backoff_ms"
+let m_rollbacks = Obs.Metrics.counter "controller.rollbacks"
+let m_rollback_devices = Obs.Metrics.counter "controller.rollback_devices"
+let m_resumes = Obs.Metrics.counter "controller.resumes"
+let g_resume_phase = Obs.Metrics.gauge "controller.resume_phase"
+let m_journal_writes = Obs.Metrics.counter "controller.journal_writes"
+let m_nsdb_write_failures = Obs.Metrics.counter "controller.nsdb_write_failures"
+let m_gave_up = Obs.Metrics.counter "controller.gave_up"
+
 type plan = {
   plan_name : string;
   rpas : (int * Rpa.t) list;
@@ -12,12 +23,50 @@ let plan_loc plan =
   |> List.sort_uniq compare
   |> List.fold_left (fun acc lines -> acc + List.length lines) 0
 
+type device_failure = { failed_device : int; attempts : int; last_error : string }
+
 type report = {
   applied : int;
   skipped_in_sync : int;
   unreachable : int list;
   deploy_seconds : float list;
+  retries : int;
+  backoff_seconds : float list;
+  gave_up : device_failure list;
+  resumed_from_phase : int option;
 }
+
+type outcome =
+  | Completed of report
+  | Rolled_back of { partial : report; reasons : string list }
+  | Crashed of { partial : report; completed_phases : int }
+  | Aborted of string list
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff_s : float;
+  backoff_multiplier : float;
+  max_backoff_s : float;
+  jitter : float;
+  jitter_seed : int;
+  failure_budget : int;
+}
+
+let default_retry_policy =
+  {
+    max_attempts = 4;
+    base_backoff_s = 0.002;
+    backoff_multiplier = 2.0;
+    max_backoff_s = 0.05;
+    jitter = 0.5;
+    jitter_seed = 97;
+    failure_budget = 0;
+  }
+
+(* The pre-existing single-shot semantics: one attempt per device, no
+   failure budget (unreachable devices are reported, not rolled back). *)
+let single_shot_policy =
+  { default_retry_policy with max_attempts = 1; failure_budget = max_int }
 
 type t = {
   net : Bgp.Network.t;
@@ -67,89 +116,387 @@ let validate_plan t plan =
                   plan.plan_name d)
        | None -> Ok ())
 
-let record_plan t plan =
+(* {1 Retry machinery} *)
+
+exception Crash_signal
+exception Budget_exceeded of int
+
+(* Mutable accumulation across phases, rollback and resume. *)
+type progress = {
+  mutable p_applied : int;
+  mutable p_in_sync : int;
+  mutable p_unreachable : int list;  (* reverse *)
+  mutable p_retries : int;
+  mutable p_backoffs : float list;  (* reverse *)
+  mutable p_gave_up : device_failure list;  (* reverse *)
+}
+
+let fresh_progress () =
+  {
+    p_applied = 0;
+    p_in_sync = 0;
+    p_unreachable = [];
+    p_retries = 0;
+    p_backoffs = [];
+    p_gave_up = [];
+  }
+
+let report_of_progress t prog ~resumed_from_phase =
+  {
+    applied = prog.p_applied;
+    skipped_in_sync = prog.p_in_sync;
+    unreachable = List.rev prog.p_unreachable;
+    deploy_seconds = Switch_agent.deploy_time_samples t.switch_agent;
+    retries = prog.p_retries;
+    backoff_seconds = List.rev prog.p_backoffs;
+    gave_up = List.rev prog.p_gave_up;
+    resumed_from_phase;
+  }
+
+let check_crash fault =
+  match fault with
+  | Some f when Dsim.Mgmt_fault.crashed f -> raise Crash_signal
+  | Some _ | None -> ()
+
+(* Exponential backoff, capped, with jitter from a dedicated seeded RNG
+   stream: identical seeds yield identical retry schedules. The wait is
+   spent in {e virtual} time — BGP keeps converging while the controller
+   sleeps, which is exactly the fail-static story. *)
+let backoff t ~policy ~jrng ~prog ~attempt =
+  let base =
+    policy.base_backoff_s
+    *. (policy.backoff_multiplier ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min base policy.max_backoff_s in
+  let wait = capped +. (capped *. policy.jitter *. Dsim.Rng.float jrng 1.0) in
+  prog.p_retries <- prog.p_retries + 1;
+  prog.p_backoffs <- wait :: prog.p_backoffs;
+  Obs.Metrics.incr m_retries;
+  Obs.Metrics.observe h_backoff_ms (wait *. 1000.0);
+  ignore (Bgp.Network.run_until t.net ~time:(Bgp.Network.now t.net +. wait))
+
+(* NSDB writes go through the same fate model and retry loop as agent
+   RPCs. A write that exhausts its attempts is dropped (and counted): the
+   journal may then lag reality, which resume tolerates because re-running
+   a phase is a no-op for in-sync devices. *)
+let nsdb_set t ~policy ~fault ~jrng ~prog ~path value =
+  let rec attempt n =
+    let ok =
+      match fault with
+      | None -> true
+      | Some f -> Dsim.Mgmt_fault.nsdb_write_ok f
+    in
+    if ok then
+      Service.with_work t.nsdb_service (fun () ->
+          Nsdb.Replicated.set t.state_db ~path value)
+    else if n >= policy.max_attempts then
+      Obs.Metrics.incr m_nsdb_write_failures
+    else begin
+      backoff t ~policy ~jrng ~prog ~attempt:n;
+      attempt (n + 1)
+    end
+  in
+  attempt 1
+
+let record_plan t ~policy ~fault ~jrng ~prog plan =
   (* The replicated NSDB keeps the fleet-wide intent for audit/consistency. *)
   List.iter
     (fun (device, rpa) ->
-      Service.with_work t.nsdb_service (fun () ->
-          Nsdb.Replicated.set t.state_db
-            ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
-            (Nsdb.Rpa rpa)))
+      nsdb_set t ~policy ~fault ~jrng ~prog
+        ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
+        (Nsdb.Rpa rpa))
     plan.rpas
 
-let run_phases t ~phases ~intent_of =
-  let applied = ref 0 and in_sync = ref 0 in
-  let unreachable = ref [] in
+let clear_plan_record t ~policy ~fault ~jrng ~prog plan =
+  List.iter
+    (fun (device, _) ->
+      nsdb_set t ~policy ~fault ~jrng ~prog
+        ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
+        (Nsdb.Rpa Rpa.empty))
+    plan.rpas
+
+(* {1 Deployment journal}
+
+   Persisted to the replicated NSDB so that a controller crashed
+   mid-deploy can be replaced by a fresh process that picks the rollout up
+   where it stopped. Layout, per plan:
+
+     journal/<plan>/status       String: in-progress | completed | rolled-back
+     journal/<plan>/next_phase   Int: first phase not yet fully applied
+     journal/<plan>/total_phases Int
+
+   [next_phase] is a phase-granularity cursor: resuming re-runs the phase
+   that was in flight, which is safe because reconciliation is
+   level-triggered — devices already in sync are no-ops. *)
+
+let journal_path plan what =
+  Printf.sprintf "journal/%s/%s" plan.plan_name what
+
+let journal_write t ~policy ~fault ~jrng ~prog plan what value =
+  Obs.Metrics.incr m_journal_writes;
+  nsdb_set t ~policy ~fault ~jrng ~prog ~path:(journal_path plan what) value
+
+let journal_status t plan =
+  match Nsdb.Replicated.get_one t.state_db ~path:(journal_path plan "status") with
+  | Some (Nsdb.String s) -> Some s
+  | Some _ | None -> None
+
+let journal_next_phase t plan =
+  match
+    Nsdb.Replicated.get_one t.state_db ~path:(journal_path plan "next_phase")
+  with
+  | Some (Nsdb.Int n) -> Some n
+  | Some _ | None -> None
+
+let clear_journal t plan =
+  Nsdb.Replicated.delete t.state_db
+    ~path:(Printf.sprintf "journal/%s" plan.plan_name)
+
+(* {1 The resilient phase runner} *)
+
+(* Reconcile one device, retrying retryable fates with backoff. A device
+   that exhausts its attempts while unreachable fails static (recorded,
+   not budgeted — its installed RPA keeps running and distributed BGP
+   keeps routing); exhausted RPC failures count against the phase's
+   failure budget. *)
+let reconcile_with_retries t ~policy ~fault ~jrng ~prog device =
+  let give_up ~attempts ~last_error =
+    Obs.Metrics.incr m_gave_up;
+    prog.p_gave_up <-
+      { failed_device = device; attempts; last_error } :: prog.p_gave_up
+  in
+  let rec go attempt =
+    check_crash fault;
+    match Switch_agent.reconcile_device t.switch_agent device with
+    | `Applied -> prog.p_applied <- prog.p_applied + 1
+    | `In_sync -> prog.p_in_sync <- prog.p_in_sync + 1
+    | `Unreachable ->
+      if attempt < policy.max_attempts then retry attempt
+      else prog.p_unreachable <- device :: prog.p_unreachable
+    | `Rpc_lost -> retry_or_give_up attempt "rpc lost"
+    | `Rpc_timeout -> retry_or_give_up attempt "rpc timeout"
+    | `Transient reason -> retry_or_give_up attempt reason
+  and retry attempt =
+    backoff t ~policy ~jrng ~prog ~attempt;
+    go (attempt + 1)
+  and retry_or_give_up attempt last_error =
+    if attempt < policy.max_attempts then retry attempt
+    else give_up ~attempts:attempt ~last_error
+  in
+  go 1
+
+(* Run phases [from_phase ..]; raises [Crash_signal] on a scheduled
+   controller crash and [Budget_exceeded phase] when a phase accumulates
+   more hard failures than the budget. [journal_cursor] persists the
+   phase cursor after each completed phase. *)
+let run_phases_resilient t ~policy ~fault ~jrng ~prog ~intent_of ~phases
+    ~from_phase ~between_phases ~journal_cursor =
+  List.iteri
+    (fun idx phase ->
+      if idx >= from_phase then begin
+        let gave_up_before = List.length prog.p_gave_up in
+        List.iter
+          (fun device ->
+            check_crash fault;
+            (match intent_of device with
+             | Some rpa -> Switch_agent.set_intended t.switch_agent ~device rpa
+             | None -> Switch_agent.clear_intended t.switch_agent ~device);
+            reconcile_with_retries t ~policy ~fault ~jrng ~prog device)
+          phase;
+        (* Let BGP converge before the next phase picks up the RPA
+           (Section 5.3.2: every layer must receive the new RPA after all
+           their downstream peers have). *)
+        ignore (Bgp.Network.converge t.net);
+        let phase_failures = List.length prog.p_gave_up - gave_up_before in
+        if phase_failures > policy.failure_budget then
+          raise (Budget_exceeded idx);
+        between_phases idx;
+        journal_cursor (idx + 1)
+      end)
+    phases
+
+(* Reverse-order rollback of the install phases applied so far (last
+   phase first, last device first — {!Deployment.rollback_order}), then
+   clear the recorded intent so NSDB matches device state. Uses a scratch
+   progress: the caller's report describes the deployment, not its
+   undoing. *)
+let rollback t plan ~policy ~fault ~jrng ~through_phase =
+  Obs.Metrics.incr m_rollbacks;
+  let scratch = fresh_progress () in
+  let touched =
+    List.filteri (fun idx _ -> idx <= through_phase) plan.phases
+  in
   List.iter
     (fun phase ->
       List.iter
         (fun device ->
-          (match intent_of device with
-           | Some rpa -> Switch_agent.set_intended t.switch_agent ~device rpa
-           | None -> Switch_agent.clear_intended t.switch_agent ~device);
-          match Switch_agent.reconcile_device t.switch_agent device with
-          | `Applied -> incr applied
-          | `In_sync -> incr in_sync
-          | `Unreachable -> unreachable := device :: !unreachable)
+          Switch_agent.clear_intended t.switch_agent ~device;
+          reconcile_with_retries t ~policy ~fault ~jrng ~prog:scratch device;
+          Obs.Metrics.incr m_rollback_devices)
         phase;
-      (* Let BGP converge before the next phase picks up the RPA
-         (Section 5.3.2: every layer must receive the new RPA after all
-         their downstream peers have). *)
       ignore (Bgp.Network.converge t.net))
-    phases;
-  (!applied, !in_sync, List.rev !unreachable)
+    (Deployment.rollback_order touched);
+  clear_plan_record t ~policy ~fault ~jrng ~prog:scratch plan;
+  journal_write t ~policy ~fault ~jrng ~prog:scratch plan "status"
+    (Nsdb.String "rolled-back")
 
-let deploy t plan =
+let fmt_failures kind failures =
+  List.map (fun (name, e) -> Printf.sprintf "%s %s: %s" kind name e) failures
+
+(* Shared tail of deploy and resume: run phases from [from_phase], handle
+   crash/budget, post-check, roll back on failure. *)
+let execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
+    ~from_phase ~resumed_from_phase =
+  let intent_of device = List.assoc_opt device plan.rpas in
+  let journal_cursor n =
+    journal_write t ~policy ~fault ~jrng ~prog plan "next_phase" (Nsdb.Int n)
+  in
+  let total = List.length plan.phases in
+  match
+    run_phases_resilient t ~policy ~fault ~jrng ~prog ~intent_of
+      ~phases:plan.phases ~from_phase ~between_phases ~journal_cursor
+  with
+  | () -> (
+    match Health.failures plan.post_checks with
+    | [] ->
+      journal_write t ~policy ~fault ~jrng ~prog plan "status"
+        (Nsdb.String "completed");
+      Completed (report_of_progress t prog ~resumed_from_phase)
+    | failures ->
+      (* Post-checks failed: undo everything so the recorded intent and
+         the device state agree that this plan is not deployed. *)
+      rollback t plan ~policy ~fault ~jrng ~through_phase:(total - 1);
+      Rolled_back
+        {
+          partial = report_of_progress t prog ~resumed_from_phase;
+          reasons = fmt_failures "post-check" failures;
+        })
+  | exception Budget_exceeded idx ->
+    let reasons =
+      Printf.sprintf
+        "phase %d exceeded its failure budget (%d failures > budget %d)" idx
+        (List.length prog.p_gave_up) policy.failure_budget
+      :: List.rev_map
+           (fun f ->
+             Printf.sprintf "device %d: gave up after %d attempts (%s)"
+               f.failed_device f.attempts f.last_error)
+           prog.p_gave_up
+    in
+    rollback t plan ~policy ~fault ~jrng ~through_phase:idx;
+    Rolled_back
+      { partial = report_of_progress t prog ~resumed_from_phase; reasons }
+  | exception Crash_signal ->
+    (* The controller process is gone. Devices keep whatever RPA they
+       already run (fail static); the journal still says "in-progress",
+       so a restarted controller can {!resume}. *)
+    let completed_phases =
+      Option.value (journal_next_phase t plan) ~default:from_phase
+    in
+    Crashed
+      {
+        partial = report_of_progress t prog ~resumed_from_phase;
+        completed_phases;
+      }
+
+let deploy_resilient ?(policy = default_retry_policy) ?fault
+    ?(between_phases = fun _ -> ()) t plan =
+  Obs.Span.with_span "controller.deploy"
+    ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
+  @@ fun () ->
   match validate_plan t plan with
-  | Error e -> Error [ e ]
+  | Error e -> Aborted [ e ]
   | Ok () ->
     (match Health.failures plan.pre_checks with
-     | _ :: _ as failures ->
-       Error
-         (List.map (fun (name, e) -> Printf.sprintf "pre-check %s: %s" name e)
-            failures)
+     | _ :: _ as failures -> Aborted (fmt_failures "pre-check" failures)
      | [] ->
-       record_plan t plan;
+       let jrng = Dsim.Rng.create policy.jitter_seed in
+       let prog = fresh_progress () in
        Switch_agent.clear_deploy_times t.switch_agent;
-       let applied, skipped, unreachable =
-         run_phases t ~phases:plan.phases ~intent_of:(fun device ->
-             List.assoc_opt device plan.rpas)
-       in
-       let report =
-         {
-           applied;
-           skipped_in_sync = skipped;
-           unreachable;
-           deploy_seconds = Switch_agent.deploy_time_samples t.switch_agent;
-         }
-       in
-       (match Health.failures plan.post_checks with
-        | [] -> Ok report
-        | failures ->
-          Error
-            (List.map
-               (fun (name, e) -> Printf.sprintf "post-check %s: %s" name e)
-               failures)))
+       record_plan t ~policy ~fault ~jrng ~prog plan;
+       journal_write t ~policy ~fault ~jrng ~prog plan "status"
+         (Nsdb.String "in-progress");
+       journal_write t ~policy ~fault ~jrng ~prog plan "total_phases"
+         (Nsdb.Int (List.length plan.phases));
+       journal_write t ~policy ~fault ~jrng ~prog plan "next_phase"
+         (Nsdb.Int 0);
+       execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
+         ~from_phase:0 ~resumed_from_phase:None)
+
+let resume ?(policy = default_retry_policy) ?fault
+    ?(between_phases = fun _ -> ()) t plan =
+  Obs.Span.with_span "controller.resume"
+    ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
+  @@ fun () ->
+  match journal_status t plan with
+  | None ->
+    Aborted
+      [ Printf.sprintf "plan %s: no deployment journal to resume from"
+          plan.plan_name ]
+  | Some "completed" ->
+    (* Nothing in flight; report an empty, already-converged deployment. *)
+    Switch_agent.clear_deploy_times t.switch_agent;
+    Completed
+      (report_of_progress t (fresh_progress ())
+         ~resumed_from_phase:(Some (List.length plan.phases)))
+  | Some "rolled-back" ->
+    Aborted
+      [ Printf.sprintf "plan %s: journal says rolled-back; redeploy instead"
+          plan.plan_name ]
+  | Some _ ->
+    (match validate_plan t plan with
+     | Error e -> Aborted [ e ]
+     | Ok () ->
+       let from_phase = Option.value (journal_next_phase t plan) ~default:0 in
+       Obs.Metrics.incr m_resumes;
+       Obs.Metrics.set_gauge g_resume_phase (float_of_int from_phase);
+       let jrng = Dsim.Rng.create policy.jitter_seed in
+       let prog = fresh_progress () in
+       Switch_agent.clear_deploy_times t.switch_agent;
+       (* Re-record the intent: a crashed predecessor may have lost some
+          plan-record writes. Idempotent for the ones that landed. *)
+       record_plan t ~policy ~fault ~jrng ~prog plan;
+       execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
+         ~from_phase ~resumed_from_phase:(Some from_phase))
+
+let deploy t plan =
+  match deploy_resilient ~policy:single_shot_policy t plan with
+  | Completed report -> Ok report
+  | Rolled_back { reasons; _ } -> Error reasons
+  | Aborted reasons -> Error reasons
+  | Crashed _ ->
+    (* Unreachable without a fault model; kept for exhaustiveness. *)
+    Error [ "controller crashed mid-deploy" ]
 
 let remove t plan =
   match validate_plan t plan with
   | Error e -> Error [ e ]
   | Ok () ->
-    Switch_agent.clear_deploy_times t.switch_agent;
-    let applied, skipped, unreachable =
-      run_phases t ~phases:(List.rev plan.phases) ~intent_of:(fun _ -> None)
-    in
-    List.iter
-      (fun (device, _) ->
-        Service.with_work t.nsdb_service (fun () ->
-            Nsdb.Replicated.set t.state_db
-              ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
-              (Nsdb.Rpa Rpa.empty)))
-      plan.rpas;
-    Ok
-      {
-        applied;
-        skipped_in_sync = skipped;
-        unreachable;
-        deploy_seconds = Switch_agent.deploy_time_samples t.switch_agent;
-      }
+    (match Health.failures plan.pre_checks with
+     | _ :: _ as failures -> Error (fmt_failures "pre-check" failures)
+     | [] ->
+       let policy = single_shot_policy in
+       let jrng = Dsim.Rng.create policy.jitter_seed in
+       let prog = fresh_progress () in
+       Switch_agent.clear_deploy_times t.switch_agent;
+       (match
+          run_phases_resilient t ~policy ~fault:None ~jrng ~prog
+            ~intent_of:(fun _ -> None)
+            ~phases:(Deployment.rollback_order plan.phases) ~from_phase:0
+            ~between_phases:(fun _ -> ())
+            ~journal_cursor:(fun _ -> ())
+        with
+        | () ->
+          clear_plan_record t ~policy ~fault:None ~jrng ~prog plan;
+          clear_journal t plan;
+          let report = report_of_progress t prog ~resumed_from_phase:None in
+          (match Health.failures plan.post_checks with
+           | [] -> Ok report
+           | failures ->
+             (* The removal is kept — re-installing a possibly-broken RPA
+                is worse than paging; the errors tell operators what to
+                look at. *)
+             Error (fmt_failures "post-check" failures))
+        | exception (Budget_exceeded _ | Crash_signal) ->
+          (* Unreachable with the single-shot policy and no fault model;
+             kept for exhaustiveness. *)
+          Error [ "removal aborted" ]))

@@ -5,7 +5,15 @@
 
     Applications compile an operator intent into a {!plan}; {!deploy}
     executes it safely: pre-checks, write intended state, reconcile phase
-    by phase with BGP convergence in between, post-checks. *)
+    by phase with BGP convergence in between, post-checks.
+
+    {!deploy_resilient} is the fault-tolerant deployment loop: bounded
+    retries with exponential backoff + jitter, a per-phase failure budget
+    that triggers reverse-order rollback, and a journal persisted to the
+    replicated NSDB so a controller crashed mid-deploy can be replaced and
+    {!resume} the rollout idempotently. Unreachable devices fail static:
+    their installed RPA engines keep running and distributed BGP keeps
+    routing while the controller is degraded. *)
 
 type plan = {
   plan_name : string;
@@ -22,12 +30,60 @@ val plan_loc : plan -> int
     "RPA LOC"). Identical per-device RPAs are counted once, matching how
     operators author one RPA template per layer. *)
 
+type device_failure = {
+  failed_device : int;
+  attempts : int;
+  last_error : string;
+}
+(** A device whose RPC kept failing after every allowed attempt. *)
+
 type report = {
   applied : int;
   skipped_in_sync : int;
   unreachable : int list;
+      (** Devices that stayed management-unreachable through all attempts.
+          They fail static — whatever RPA they run keeps running — and are
+          {e not} counted against the failure budget. *)
   deploy_seconds : float list;  (** per applied device (Figure 12 samples) *)
+  retries : int;
+  backoff_seconds : float list;
+      (** Every backoff wait, in order — the retry schedule. Deterministic
+          for a given [jitter_seed]. *)
+  gave_up : device_failure list;
+  resumed_from_phase : int option;
+      (** [Some n] when this report comes from {!resume} restarting at
+          phase [n]. *)
 }
+
+type outcome =
+  | Completed of report
+  | Rolled_back of { partial : report; reasons : string list }
+      (** The failure budget was exceeded (or post-checks failed); the
+          phases applied so far were undone in reverse order and the NSDB
+          plan record cleared. *)
+  | Crashed of { partial : report; completed_phases : int }
+      (** A scheduled controller crash stopped the rollout. The journal
+          still says in-progress; call {!resume}. *)
+  | Aborted of string list
+      (** Validation or pre-checks failed; nothing was touched. *)
+
+type retry_policy = {
+  max_attempts : int;  (** per device, >= 1 *)
+  base_backoff_s : float;
+  backoff_multiplier : float;
+  max_backoff_s : float;
+  jitter : float;
+      (** Extra wait as a fraction of the capped backoff, drawn uniformly
+          from a dedicated RNG stream seeded with [jitter_seed]. *)
+  jitter_seed : int;
+  failure_budget : int;
+      (** Hard failures (exhausted RPC retries) tolerated per phase before
+          the deployment rolls itself back. *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 attempts, 2 ms base backoff doubling to a 50 ms cap, 50% jitter,
+    zero failure budget. *)
 
 type t
 
@@ -41,15 +97,53 @@ val services : t -> Service.t list
 (** All service tasks of this controller deployment (for Figure 11). *)
 
 val deploy : t -> plan -> (report, string list) result
-(** Runs pre-checks (failures abort with their messages), writes intended
-    state, reconciles phase by phase letting the network converge after
-    each phase, runs post-checks (failures are returned as [Error] but the
-    deployment is kept — mirroring production, where post-check failures
-    page operators rather than auto-revert). *)
+(** Single-shot deployment (one attempt per device, no failure budget):
+    pre-checks (failures abort with their messages), write intended state,
+    reconcile phase by phase letting the network converge after each
+    phase, post-checks. Post-check failures now roll the deployment back
+    (reverse phase order) and clear the recorded intent, so the NSDB and
+    the devices agree the plan is not live. *)
+
+val deploy_resilient :
+  ?policy:retry_policy ->
+  ?fault:Dsim.Mgmt_fault.t ->
+  ?between_phases:(int -> unit) ->
+  t ->
+  plan ->
+  outcome
+(** The fault-tolerant deployment loop. [fault] injects per-RPC and
+    per-NSDB-write fates and scheduled controller crashes (attach the same
+    model to the agent with {!Switch_agent.set_mgmt_fault}).
+    [between_phases] runs after each phase has converged — the hook for
+    {!Invariant} sweeps while the controller is degraded. Backoff waits
+    advance {e virtual} time, so BGP keeps converging while the controller
+    sleeps. *)
+
+val resume :
+  ?policy:retry_policy ->
+  ?fault:Dsim.Mgmt_fault.t ->
+  ?between_phases:(int -> unit) ->
+  t ->
+  plan ->
+  outcome
+(** Picks a crashed deployment up from the NSDB journal: re-records the
+    intent and re-runs phases from the journalled cursor. Idempotent —
+    devices already in sync are no-ops, so resuming converges to the same
+    state as an uninterrupted deploy. *)
+
+val journal_status : t -> plan -> string option
+(** ["in-progress"], ["completed"] or ["rolled-back"], if a journal
+    exists for this plan. *)
+
+val journal_next_phase : t -> plan -> int option
+(** The journalled phase cursor: first phase not yet fully applied. *)
 
 val remove : t -> plan -> (report, string list) result
 (** Removes the plan's RPAs in the {e reverse} phase order (the
-    Section 5.3.2 removal rule), restoring native BGP. *)
+    Section 5.3.2 removal rule), restoring native BGP. Honors the plan's
+    health checks like {!deploy}: pre-check failures abort the removal;
+    post-check failures are returned as [Error] but the removal is kept
+    (re-installing a possibly-broken RPA is worse than paging). *)
 
 val validate_plan : t -> plan -> (unit, string) result
 (** Structural validation: phases cover exactly the plan's devices, and

@@ -48,3 +48,5 @@ let is_safe_order graph ~origination_layer direction phase_list =
     devices
 
 let flatten = List.concat
+
+let rollback_order phase_list = List.rev_map List.rev phase_list

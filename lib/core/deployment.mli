@@ -36,3 +36,9 @@ val is_safe_order :
     for [Remove], the reverse. *)
 
 val flatten : int list list -> int list
+
+val rollback_order : int list list -> int list list
+(** Undo order for a (possibly partial) list of already-applied install
+    phases: the Section 5.3.2 removal rule applied to exactly what was
+    installed — last phase first, and within each phase last device
+    first. *)

@@ -211,6 +211,8 @@ module Replicated = struct
   type store = t
 
   let store_set = set
+  let store_get_one = get_one
+  let store_delete = delete
   let store_create = create
 
   type nonrec t = {
@@ -239,6 +241,14 @@ module Replicated = struct
     match leader t with
     | None -> failwith "Nsdb.Replicated.get: no live replica"
     | Some i -> get t.stores.(i) ~path
+
+  let get_one t ~path =
+    match leader t with
+    | None -> failwith "Nsdb.Replicated.get_one: no live replica"
+    | Some i -> store_get_one t.stores.(i) ~path
+
+  let delete t ~path =
+    List.iter (fun i -> store_delete t.stores.(i) ~path) (alive t)
 
   let fail_replica t i = t.dead.(i) <- true
 

@@ -86,6 +86,13 @@ module Replicated : sig
   (** Served by the elected leader. Raises [Failure] if no replica is
       alive. *)
 
+  val get_one : t -> path:string -> value option
+  (** Exact-path read served by the elected leader. Raises [Failure] if no
+      replica is alive. *)
+
+  val delete : t -> path:string -> unit
+  (** Removes the subtree rooted at [path] from every live replica. *)
+
   val leader : t -> int option
   (** Index of the current leader (lowest-index live replica). *)
 

@@ -1,11 +1,15 @@
 (* Observability instruments (shared registry; no-ops until enabled). *)
 let m_deploys = Obs.Metrics.counter "agent.deploys"
 let h_deploy_ms = Obs.Metrics.histogram "agent.deploy_ms"
+let m_rpc_lost = Obs.Metrics.counter "agent.rpc_lost"
+let m_rpc_timeout = Obs.Metrics.counter "agent.rpc_timeout"
+let m_rpc_transient = Obs.Metrics.counter "agent.rpc_transient"
 
 type t = {
   agent_service : Service.t;
   net : Bgp.Network.t;
   rng : Dsim.Rng.t;
+  measure_apply : bool;
   reachable : (int, bool) Hashtbl.t;
   (* the actual RPA values live here; the NSDB views hold their rendered
      form for comparison and display *)
@@ -13,25 +17,34 @@ type t = {
   current_rpas : (int, Rpa.t) Hashtbl.t;
   mutable deploy_times : float list;  (* reverse order *)
   mutable management : (Openr.Network.t * int) option;
+  mutable mgmt_fault : Dsim.Mgmt_fault.t option;
+  mutable rpc_deadline : float option;
 }
 
 let rpa_path device = Printf.sprintf "devices/%d/rpa" device
 let maint_path device = Printf.sprintf "devices/%d/maintenance" device
 
-let create ?(seed = 7) net =
+let create ?(seed = 7) ?(measure_apply = false) net =
   {
     agent_service = Service.create ~name:"switch-agent" ~role:Service.Io;
     net;
     rng = Dsim.Rng.create seed;
+    measure_apply;
     reachable = Hashtbl.create 64;
     intended_rpas = Hashtbl.create 64;
     current_rpas = Hashtbl.create 64;
     deploy_times = [];
     management = None;
+    mgmt_fault = None;
+    rpc_deadline = None;
   }
 
 let service t = t.agent_service
 let network t = t.net
+
+let set_mgmt_fault t fault = t.mgmt_fault <- fault
+let mgmt_fault t = t.mgmt_fault
+let set_rpc_deadline t deadline = t.rpc_deadline <- deadline
 
 let set_intended t ~device rpa =
   Hashtbl.replace t.intended_rpas device rpa;
@@ -81,36 +94,85 @@ let unexpected_unreachable t =
 
 let rpa_equal a b = Rpa.config_lines a = Rpa.config_lines b
 
-let reconcile_device t device =
+type rpc_failure = [ `Rpc_lost | `Rpc_timeout | `Transient of string ]
+type outcome = [ `Applied | `In_sync | `Unreachable | rpc_failure ]
+
+(* Install the intended RPA into the device and update the current view.
+   Returns the total simulated deploy latency. The apply cost is sampled
+   from the seeded RNG by default so observe/bench output is
+   bit-reproducible across hosts; [measure_apply] opts back into real
+   wall-clock measurement. *)
+let apply_rpa t device intended ~rpc_latency =
+  let install () =
+    let hooks =
+      if Rpa.is_empty intended then Bgp.Rib_policy.native
+      else Engine.hooks (Engine.create intended)
+    in
+    Bgp.Network.set_hooks t.net device hooks
+  in
+  let apply_cost =
+    if t.measure_apply then begin
+      let apply_start = Sys.time () in
+      install ();
+      Sys.time () -. apply_start
+    end
+    else begin
+      install ();
+      Dsim.Rng.log_normal t.rng ~mu:(log 0.00005) ~sigma:0.5
+    end
+  in
+  t.deploy_times <- (rpc_latency +. apply_cost) :: t.deploy_times;
+  Obs.Metrics.incr m_deploys;
+  Obs.Metrics.observe h_deploy_ms ((rpc_latency +. apply_cost) *. 1000.0);
+  Hashtbl.replace t.current_rpas device intended;
+  Nsdb.set (Service.current t.agent_service) ~path:(rpa_path device)
+    (Nsdb.Rpa intended)
+
+let reconcile_device ?deadline t device =
+  let deadline =
+    match deadline with Some _ as d -> d | None -> t.rpc_deadline
+  in
   let intended = Option.value (intended_rpa t ~device) ~default:Rpa.empty in
   let current = Option.value (current_rpa t ~device) ~default:Rpa.empty in
   if rpa_equal intended current then `In_sync
   else if not (is_reachable t device) then `Unreachable
   else begin
-    Obs.Span.with_span "agent.reconcile"
-      ~attrs:(fun () -> [ ("device", string_of_int device) ])
-    @@ fun () ->
-    Service.with_work t.agent_service (fun () ->
-        (* RPC round trip to the BGP daemon, then building and installing
-           the evaluation engine. The RPC latency is sampled (we have no
-           real switches); the apply cost is measured for real. *)
-        let rpc_latency =
-          Dsim.Rng.log_normal t.rng ~mu:(log 0.0003) ~sigma:0.8
-        in
-        let apply_start = Sys.time () in
-        let hooks =
-          if Rpa.is_empty intended then Bgp.Rib_policy.native
-          else Engine.hooks (Engine.create intended)
-        in
-        Bgp.Network.set_hooks t.net device hooks;
-        let apply_cost = Sys.time () -. apply_start in
-        t.deploy_times <- (rpc_latency +. apply_cost) :: t.deploy_times;
-        Obs.Metrics.incr m_deploys;
-        Obs.Metrics.observe h_deploy_ms ((rpc_latency +. apply_cost) *. 1000.0);
-        Hashtbl.replace t.current_rpas device intended;
-        Nsdb.set (Service.current t.agent_service) ~path:(rpa_path device)
-          (Nsdb.Rpa intended));
-    `Applied
+    let fate =
+      match t.mgmt_fault with
+      | None -> Dsim.Mgmt_fault.Deliver
+      | Some f -> Dsim.Mgmt_fault.rpc_fate f
+    in
+    match fate with
+    | Dsim.Mgmt_fault.Lose ->
+      Obs.Metrics.incr m_rpc_lost;
+      `Rpc_lost
+    | Dsim.Mgmt_fault.Transient reason ->
+      Obs.Metrics.incr m_rpc_transient;
+      `Transient reason
+    | Dsim.Mgmt_fault.Deliver | Dsim.Mgmt_fault.Time_out ->
+      Obs.Span.with_span "agent.reconcile"
+        ~attrs:(fun () -> [ ("device", string_of_int device) ])
+      @@ fun () ->
+      let rpc_latency = ref 0.0 in
+      Service.with_work t.agent_service (fun () ->
+          (* RPC round trip to the BGP daemon, then building and installing
+             the evaluation engine. *)
+          rpc_latency := Dsim.Rng.log_normal t.rng ~mu:(log 0.0003) ~sigma:0.8;
+          apply_rpa t device intended ~rpc_latency:!rpc_latency);
+      (* A Time_out fate — and an RPC slower than the caller's deadline —
+         both mean the device applied the RPA but the controller never saw
+         the ack. The current view still advances (the agent keeps polling
+         device state), so a retry finds the device `In_sync`: the
+         ambiguity is resolved by idempotence, not by guessing. *)
+      let timed_out =
+        fate = Dsim.Mgmt_fault.Time_out
+        || match deadline with Some d -> !rpc_latency > d | None -> false
+      in
+      if timed_out then begin
+        Obs.Metrics.incr m_rpc_timeout;
+        `Rpc_timeout
+      end
+      else `Applied
   end
 
 let reconcile t ~devices =
@@ -118,7 +180,8 @@ let reconcile t ~devices =
     (fun applied device ->
       match reconcile_device t device with
       | `Applied -> applied + 1
-      | `In_sync | `Unreachable -> applied)
+      | `In_sync | `Unreachable | `Rpc_lost | `Rpc_timeout | `Transient _ ->
+        applied)
     0 devices
 
 let stragglers t =

@@ -7,14 +7,24 @@
 
     Intended RPAs live in the agent's service views under
     ["devices/<id>/rpa"]. Reconciliation applies the diff; each application
-    is timed (simulated RPC latency + measured apply cost), producing the
-    Figure 12 deployment-time distribution. Unreachable devices become
-    stragglers unless their intended operational state says they are down
-    for maintenance (Section 5.2, Device Failures). *)
+    is timed (simulated RPC latency + apply cost), producing the Figure 12
+    deployment-time distribution. Unreachable devices become stragglers
+    unless their intended operational state says they are down for
+    maintenance (Section 5.2, Device Failures).
+
+    The agent RPC path can be made adversarial with
+    {!set_mgmt_fault}: RPCs then draw a per-call fate (loss / timeout /
+    transient error) from a seeded {!Dsim.Mgmt_fault} model, and
+    {!reconcile_device} reports those fates as typed failures for the
+    controller's retry loop. *)
 
 type t
 
-val create : ?seed:int -> Bgp.Network.t -> t
+val create : ?seed:int -> ?measure_apply:bool -> Bgp.Network.t -> t
+(** [measure_apply] opts into measuring the real wall-clock cost of
+    building and installing the evaluation engine (the pre-existing
+    behaviour). The default samples the apply cost from the seeded RNG so
+    that deploy-time reports are bit-reproducible across hosts. *)
 
 val service : t -> Service.t
 val network : t -> Bgp.Network.t
@@ -45,17 +55,42 @@ val unexpected_unreachable : t -> int list
 (** Unreachable devices that are {e not} intended to be in maintenance —
     the ones operators must be alerted about. *)
 
+(** {1 Management-plane faults} *)
+
+val set_mgmt_fault : t -> Dsim.Mgmt_fault.t option -> unit
+(** Attaches (or clears) a management-plane fault model. While attached,
+    every reconcile RPC draws a fate from it. *)
+
+val mgmt_fault : t -> Dsim.Mgmt_fault.t option
+
+val set_rpc_deadline : t -> float option -> unit
+(** Default per-attempt RPC deadline in seconds for {!reconcile_device}
+    (default: none). An RPC whose sampled latency exceeds the deadline was
+    applied by the device but reports [`Rpc_timeout] to the caller. *)
+
 (** {1 Reconciliation} *)
 
-val reconcile_device : t -> int -> [ `Applied | `In_sync | `Unreachable ]
+type rpc_failure = [ `Rpc_lost | `Rpc_timeout | `Transient of string ]
+(** Typed RPC failures, reported instead of silent success so the
+    controller can retry with backoff:
+    - [`Rpc_lost]: the request never reached the device — nothing applied.
+    - [`Rpc_timeout]: the device {e applied} the RPA but the ack was lost
+      (or arrived past the deadline); a retry observes [`In_sync].
+    - [`Transient reason]: the agent answered with a retryable error. *)
+
+type outcome = [ `Applied | `In_sync | `Unreachable | rpc_failure ]
+
+val reconcile_device : ?deadline:float -> t -> int -> outcome
 (** Applies the intended RPA of one device to its BGP speaker (via the
     network's event queue at the current virtual instant) and updates the
-    current view. The measured deployment time is recorded. *)
+    current view. The simulated deployment time is recorded. [deadline]
+    overrides the agent-wide {!set_rpc_deadline} for this attempt. *)
 
 val reconcile : t -> devices:int list -> int
 (** Reconciles the given devices (in the given order); returns how many
-    changed. Does not run the network — callers decide when to let BGP
-    converge (e.g. between deployment phases). *)
+    changed. RPC failures are left for the next sweep (the agent loop is a
+    level-triggered reconciler). Does not run the network — callers decide
+    when to let BGP converge (e.g. between deployment phases). *)
 
 val stragglers : t -> int list
 (** Devices whose intended and current RPA differ. *)

@@ -1,0 +1,72 @@
+type profile = {
+  rpc_loss_prob : float;
+  rpc_timeout_prob : float;
+  rpc_transient_prob : float;
+  nsdb_loss_prob : float;
+}
+
+let none =
+  {
+    rpc_loss_prob = 0.0;
+    rpc_timeout_prob = 0.0;
+    rpc_transient_prob = 0.0;
+    nsdb_loss_prob = 0.0;
+  }
+
+let flaky =
+  {
+    rpc_loss_prob = 0.06;
+    rpc_timeout_prob = 0.05;
+    rpc_transient_prob = 0.05;
+    nsdb_loss_prob = 0.03;
+  }
+
+let hostile =
+  {
+    rpc_loss_prob = 0.2;
+    rpc_timeout_prob = 0.15;
+    rpc_transient_prob = 0.2;
+    nsdb_loss_prob = 0.1;
+  }
+
+type rpc_fate = Deliver | Lose | Time_out | Transient of string
+
+type t = {
+  rng : Rng.t;
+  prof : profile;
+  crash_after_ops : int option;
+  mutable op_count : int;
+}
+
+let create ?crash_after_ops ~seed prof =
+  { rng = Rng.create seed; prof; crash_after_ops; op_count = 0 }
+
+let profile t = t.prof
+let ops t = t.op_count
+
+let transient_reasons =
+  [| "agent busy"; "agent restarting"; "rpc channel reset" |]
+
+(* One uniform draw partitioned into fate intervals: a single RNG
+   consumption per operation keeps the op→draw correspondence trivial to
+   reason about when reproducing a schedule. *)
+let rpc_fate t =
+  t.op_count <- t.op_count + 1;
+  let u = Rng.float t.rng 1.0 in
+  let p = t.prof in
+  if u < p.rpc_loss_prob then Lose
+  else if u < p.rpc_loss_prob +. p.rpc_timeout_prob then Time_out
+  else if u < p.rpc_loss_prob +. p.rpc_timeout_prob +. p.rpc_transient_prob
+  then
+    Transient
+      transient_reasons.(Rng.int t.rng (Array.length transient_reasons))
+  else Deliver
+
+let nsdb_write_ok t =
+  t.op_count <- t.op_count + 1;
+  Rng.float t.rng 1.0 >= t.prof.nsdb_loss_prob
+
+let crashed t =
+  match t.crash_after_ops with
+  | None -> false
+  | Some n -> t.op_count >= n

@@ -1,0 +1,68 @@
+(** Management-plane fault model (controller-side chaos).
+
+    {!Fault} makes the {e data} plane adversarial (BGP message loss, link
+    flaps, speaker restarts). This module does the same for the
+    {e management} plane: the controller→agent RPCs and controller→NSDB
+    writes that implement RPA deployment, plus scheduled controller
+    crashes. Management-network {e partitions} are expressed through the
+    Open/R out-of-band network (see
+    [Switch_agent.attach_management_network]), not here — reachability is
+    topology state, while this module models per-operation fates.
+
+    Every draw comes from a dedicated seeded {!Rng} stream, so a chaos run
+    is bit-reproducible: same seed, same fates, same retry schedule.
+
+    Time is counted in {e management operations} (RPCs issued + NSDB
+    writes attempted), not in simulated seconds: the deployment loop is
+    synchronous from the controller's point of view, so "crash after N
+    operations" is the deterministic analogue of "crash at time T". *)
+
+type profile = {
+  rpc_loss_prob : float;      (** RPC never reaches the agent. *)
+  rpc_timeout_prob : float;
+      (** RPC reaches the agent and is {e applied}, but the ack is lost —
+          the ambiguous failure that forces idempotent retry. *)
+  rpc_transient_prob : float; (** Agent answers with a retryable error. *)
+  nsdb_loss_prob : float;     (** NSDB write is dropped before any replica. *)
+}
+
+val none : profile
+(** The ideal management plane: every operation succeeds. *)
+
+val flaky : profile
+(** Mild chaos: a few percent of operations fail, deployments succeed
+    after bounded retries. *)
+
+val hostile : profile
+(** Heavy chaos: enough failures to exhaust small retry budgets. *)
+
+type rpc_fate =
+  | Deliver
+  | Lose  (** Request lost; the device applied nothing. *)
+  | Time_out
+      (** Applied but unacknowledged: the device now runs the new RPA,
+          the controller cannot know. *)
+  | Transient of string  (** Retryable agent-side error. *)
+
+type t
+
+val create : ?crash_after_ops:int -> seed:int -> profile -> t
+(** [crash_after_ops] schedules a controller crash: once that many
+    management operations have been issued, {!crashed} turns true and the
+    deployment loop must stop mid-flight (to be resumed from the journal
+    by a restarted controller). *)
+
+val profile : t -> profile
+
+val ops : t -> int
+(** Management operations drawn so far (RPC fates + NSDB write fates). *)
+
+val rpc_fate : t -> rpc_fate
+(** Draws the fate of one agent RPC and advances the operation clock. *)
+
+val nsdb_write_ok : t -> bool
+(** Draws the fate of one NSDB write and advances the operation clock.
+    [false] means the write was lost and should be retried. *)
+
+val crashed : t -> bool
+(** True once the scheduled crash point has been reached. *)

@@ -159,6 +159,30 @@ let specs :
               i (List.length r.schedule) );
           ],
           r.trace ) );
+    ( "faulted_deploy",
+      "expansion equalizer rollout under management-plane chaos",
+      fun ~seed ->
+        let r =
+          Scenarios.Faulted_deploy.run ~seed
+            ~crash_after_ops:(12 + (seed mod 7)) ()
+        in
+        ( [
+            ("outcome", Obs.Json.String r.Scenarios.Faulted_deploy.outcome);
+            ("applied", i r.applied);
+            ("skipped_in_sync", i r.skipped_in_sync);
+            ("retries", i r.retries);
+            ("backoffs", i (List.length r.backoff_seconds));
+            ("crashed", b r.crashed);
+            ("resumed", b r.resumed);
+            ("gave_up", i (List.length r.gave_up));
+            ("unreachable", i (List.length r.unreachable));
+            ( "transient_violations",
+              i (List.length r.transient_violations) );
+            ("phase_violations", i (List.length r.phase_violations));
+            ("final_violations", i (List.length r.final_violations));
+            ("fib_digest", Obs.Json.String r.fib_digest);
+          ],
+          [] ) );
   ]
 
 let scenario_names = List.map (fun (n, _, _) -> n) specs

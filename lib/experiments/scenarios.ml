@@ -538,6 +538,235 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+module Faulted_deploy = struct
+  type result = {
+    outcome : string;
+    applied : int;
+    skipped_in_sync : int;
+    retries : int;
+    backoff_seconds : float list;
+    gave_up : int list;
+    unreachable : int list;
+    crashed : bool;
+    resumed : bool;
+    journal_status : string option;
+    stragglers_during_outage : int list;
+    unexpected_unreachable : int list;
+    phase_violations : (int * string) list;
+    transient_violations : (float * string) list;
+    final_violations : string list;
+    fib_digest : string;
+  }
+
+  (* One digest over every speaker's installed FIB for every known prefix:
+     two runs converged to bit-identical forwarding state iff the digests
+     match. *)
+  let fib_digest net =
+    let prefixes = List.sort compare (Bgp.Network.known_prefixes net) in
+    let snapshot =
+      List.map (fun p -> (p, Bgp.Network.fib_snapshot net p)) prefixes
+    in
+    Digest.to_hex (Digest.string (Marshal.to_string snapshot []))
+
+  (* Out-of-band management star: the controller host reaches every device
+     over a link-state network on its own graph, so partitioning the
+     management plane never touches the BGP data plane (Appendix A.2). *)
+  let management_star graph ~hub =
+    let g = Topology.Graph.create () in
+    List.iter
+      (fun (n : Topology.Node.t) -> Topology.Graph.add_node g n)
+      (Topology.Graph.nodes graph);
+    List.iter
+      (fun (n : Topology.Node.t) ->
+        if n.Topology.Node.id <> hub then
+          Topology.Graph.add_link g hub n.Topology.Node.id)
+      (Topology.Graph.nodes graph);
+    g
+
+  let run ?(seed = 42) ?(profile = Dsim.Mgmt_fault.flaky) ?crash_after_ops
+      ?(resume = true) ?(partition_devices = 0) () =
+    Obs.Span.with_span "scenario.faulted_deploy"
+      ~attrs:(fun () -> [ ("seed", string_of_int seed) ])
+    @@ fun () ->
+    let default = Net.Prefix.default_v4 in
+    let x = Topology.Clos.expansion () in
+    let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
+    Bgp.Network.originate net x.backbone default (tagged_attr ());
+    ignore (Bgp.Network.converge net);
+    let controller = Centralium.Controller.create ~seed:(seed + 7) net in
+    let agent = Centralium.Controller.agent controller in
+    let hub = x.backbone in
+    let mgmt_graph = management_star x.xgraph ~hub in
+    let openr = Openr.Network.create ~seed:(seed + 11) mgmt_graph in
+    ignore (Openr.Network.converge openr);
+    Centralium.Switch_agent.attach_management_network agent openr
+      ~controller_host:hub;
+    (* Independent seeds: the RPC-fate stream, the backoff-jitter stream
+       and the agent's latency stream never share an RNG. *)
+    let fault = Dsim.Mgmt_fault.create ?crash_after_ops ~seed:(seed + 13) profile in
+    Centralium.Switch_agent.set_mgmt_fault agent (Some fault);
+    let plan = Centralium.Apps.Expansion_equalizer.plan x in
+    let plan_devices = List.map fst plan.Centralium.Controller.rpas in
+    let partitioned =
+      List.filteri (fun i _ -> i < partition_devices) plan_devices
+    in
+    let set_partition up =
+      List.iter
+        (fun device ->
+          Topology.Graph.set_link_up mgmt_graph hub device up;
+          Openr.Network.link_event openr hub device ~up)
+        partitioned;
+      ignore (Openr.Network.converge openr)
+    in
+    if partitioned <> [] then set_partition false;
+    (* Sample the invariants continuously through the deployment (and any
+       controller outage inside it): backoff waits and phase convergences
+       advance virtual time, which executes these sweeps. *)
+    Centralium.Invariant.monitor ~period:0.01
+      ~until:(Bgp.Network.now net +. 0.5)
+      net;
+    let phase_violations = ref [] in
+    let between_phases idx =
+      List.iter
+        (fun (v : Centralium.Invariant.violation) ->
+          phase_violations :=
+            (idx, Centralium.Invariant.kind_name v.kind) :: !phase_violations)
+        (Centralium.Invariant.check net)
+    in
+    let policy =
+      { Centralium.Controller.default_retry_policy with jitter_seed = seed + 17 }
+    in
+    let outcome =
+      Centralium.Controller.deploy_resilient ~policy ~fault ~between_phases
+        controller plan
+    in
+    let report_of = function
+      | Centralium.Controller.Completed r
+      | Rolled_back { partial = r; _ }
+      | Crashed { partial = r; _ } ->
+        Some r
+      | Aborted _ -> None
+    in
+    let crashed =
+      match outcome with Centralium.Controller.Crashed _ -> true | _ -> false
+    in
+    (* Degraded-state views, captured before any healing: what the fleet
+       looks like while the controller is down or devices are cut off. *)
+    let stragglers_during_outage = Centralium.Switch_agent.stragglers agent in
+    let unexpected_unreachable =
+      Centralium.Switch_agent.unexpected_unreachable agent
+    in
+    let final_outcome, resumed =
+      if crashed && resume then begin
+        (* The replacement controller process: same NSDB (the journal
+           survives), same devices, a fresh fault model with the crash
+           schedule cleared. *)
+        let fault' = Dsim.Mgmt_fault.create ~seed:(seed + 14) profile in
+        Centralium.Switch_agent.set_mgmt_fault agent (Some fault');
+        ( Centralium.Controller.resume ~policy ~fault:fault' ~between_phases
+            controller plan,
+          true )
+      end
+      else (outcome, false)
+    in
+    if partitioned <> [] then begin
+      (* Heal the management partition; the level-triggered agent sweep
+         clears the stragglers the outage left behind. *)
+      set_partition true;
+      ignore (Centralium.Switch_agent.reconcile agent ~devices:plan_devices);
+      ignore (Bgp.Network.converge net)
+    end;
+    let outcome_name =
+      match final_outcome with
+      | Centralium.Controller.Completed _ -> "completed"
+      | Rolled_back _ -> "rolled-back"
+      | Crashed _ -> "crashed"
+      | Aborted _ -> "aborted"
+    in
+    let initial_report = report_of outcome in
+    let resume_report = if resumed then report_of final_outcome else None in
+    let sum f = function
+      | None -> 0
+      | Some (r : Centralium.Controller.report) -> f r
+    in
+    let cat f = function
+      | None -> []
+      | Some (r : Centralium.Controller.report) -> f r
+    in
+    let reports = [ initial_report; resume_report ] in
+    let trace_log = Bgp.Network.trace net in
+    let transient_violations =
+      List.map
+        (fun (time, _, _, kind, _) -> (time, kind))
+        (Bgp.Trace.violations trace_log)
+    in
+    let final_violations =
+      List.map
+        (fun (v : Centralium.Invariant.violation) ->
+          Centralium.Invariant.kind_name v.kind)
+        (Centralium.Invariant.check net)
+    in
+    {
+      outcome = outcome_name;
+      applied = List.fold_left (fun a r -> a + sum (fun r -> r.Centralium.Controller.applied) r) 0 reports;
+      skipped_in_sync =
+        List.fold_left (fun a r -> a + sum (fun r -> r.Centralium.Controller.skipped_in_sync) r) 0 reports;
+      retries = List.fold_left (fun a r -> a + sum (fun r -> r.Centralium.Controller.retries) r) 0 reports;
+      backoff_seconds =
+        List.concat_map (cat (fun r -> r.Centralium.Controller.backoff_seconds)) reports;
+      gave_up =
+        List.concat_map
+          (cat (fun r ->
+               List.map
+                 (fun (f : Centralium.Controller.device_failure) ->
+                   f.failed_device)
+                 r.Centralium.Controller.gave_up))
+          reports;
+      unreachable =
+        List.sort_uniq Int.compare
+          (List.concat_map (cat (fun r -> r.Centralium.Controller.unreachable)) reports);
+      crashed;
+      resumed;
+      journal_status = Centralium.Controller.journal_status controller plan;
+      stragglers_during_outage;
+      unexpected_unreachable;
+      phase_violations = List.rev !phase_violations;
+      transient_violations;
+      final_violations;
+      fib_digest = fib_digest net;
+    }
+
+  type comparison = {
+    interrupted : result;
+    uninterrupted : result;
+    digests_match : bool;
+  }
+
+  let crash_vs_uninterrupted ?(seed = 42) ?(profile = Dsim.Mgmt_fault.flaky)
+      ?crash_after_ops () =
+    let crash_after_ops =
+      match crash_after_ops with
+      | Some n -> n
+      | None ->
+        (* Default to mid-flight: past the plan-record writes, inside the
+           first phase's reconciles. *)
+        let x = Topology.Clos.expansion () in
+        let plan = Centralium.Apps.Expansion_equalizer.plan x in
+        List.length plan.Centralium.Controller.rpas + 6
+    in
+    let interrupted =
+      run ~seed ~profile ~crash_after_ops ~resume:true ()
+    in
+    let uninterrupted = run ~seed ~profile ~resume:false () in
+    {
+      interrupted;
+      uninterrupted;
+      digests_match = interrupted.fib_digest = uninterrupted.fib_digest;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
 module Fig13 = struct
   type event = {
     event_id : int;

@@ -147,6 +147,70 @@ module Faulted : sig
     result
 end
 
+(** Management-plane chaos around a phased RPA rollout: the expansion
+    equalizer deployed through a {!Dsim.Mgmt_fault} fate model (lossy RPCs,
+    lost NSDB writes, a scheduled controller crash) with the resilient
+    controller loop — retries, backoff, journaled resume — while
+    {!Centralium.Invariant} sweeps verify the network stays loop- and
+    blackhole-free whenever the controller is degraded (the paper's
+    fail-static claim, machine-checked). *)
+module Faulted_deploy : sig
+  type result = {
+    outcome : string;  (** completed | rolled-back | crashed | aborted *)
+    applied : int;
+    skipped_in_sync : int;
+    retries : int;
+    backoff_seconds : float list;
+        (** the retry schedule; deterministic per seed *)
+    gave_up : int list;  (** devices whose RPCs never went through *)
+    unreachable : int list;
+    crashed : bool;  (** the initial deploy hit the scheduled crash *)
+    resumed : bool;  (** a replacement controller resumed from the journal *)
+    journal_status : string option;
+    stragglers_during_outage : int list;
+        (** agent's intended≠current view before any healing *)
+    unexpected_unreachable : int list;
+    phase_violations : (int * string) list;
+        (** invariant violations at phase boundaries (should be empty) *)
+    transient_violations : (float * string) list;
+        (** violations the periodic monitor saw during the outage window *)
+    final_violations : string list;
+    fib_digest : string;
+        (** digest over every device's FIB for every known prefix —
+            bit-identity of forwarding state *)
+  }
+
+  val run :
+    ?seed:int ->
+    ?profile:Dsim.Mgmt_fault.profile ->
+    ?crash_after_ops:int ->
+    ?resume:bool ->
+    ?partition_devices:int ->
+    unit ->
+    result
+  (** [partition_devices] cuts the first N plan devices off the out-of-band
+      management star for the duration of the deploy (healed afterwards):
+      they fail static and surface as stragglers. *)
+
+  type comparison = {
+    interrupted : result;
+    uninterrupted : result;
+    digests_match : bool;
+  }
+
+  val crash_vs_uninterrupted :
+    ?seed:int ->
+    ?profile:Dsim.Mgmt_fault.profile ->
+    ?crash_after_ops:int ->
+    unit ->
+    comparison
+  (** The acceptance experiment: the same seeded deployment run twice —
+      once interrupted by a scheduled controller crash and resumed from the
+      NSDB journal, once uninterrupted — and their final forwarding state
+      compared bit for bit. [crash_after_ops] defaults to mid-flight of the
+      first phase. *)
+end
+
 (** Section 6.4 / Figure 13: effective capacity of ECMP vs RPA-TE vs ideal
     WCMP across maintenance events. *)
 module Fig13 : sig
