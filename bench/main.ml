@@ -759,6 +759,56 @@ let chaos () =
   emit_summary "backoff_ms" !backoffs
 
 (* ------------------------------------------------------------------ *)
+(* Data-plane chaos: blackhole-seconds with and without graceful restart *)
+
+let chaos_gr () =
+  header "Chaos: blackhole-seconds, graceful restart on vs off"
+    "severe message faults + origin/FA restarts, session liveness timers, \
+     identical seeds per mode, 3 seeds";
+  let seeds = [ 42; 43; 44 ] in
+  let wins = ref 0 and clean = ref 0 in
+  let bh_on = ref [] and bh_off = ref [] in
+  pf "%6s %14s %14s %10s %8s %8s\n" "seed" "bh-sec GR on" "bh-sec GR off"
+    "reduction" "sweeps" "finals";
+  let rows = ref [] in
+  List.iter
+    (fun seed ->
+      let r = Experiments.Scenarios.Chaos.run ~seed () in
+      let on = r.Experiments.Scenarios.Chaos.gr_on
+      and off = r.Experiments.Scenarios.Chaos.gr_off in
+      if r.Experiments.Scenarios.Chaos.gr_wins then incr wins;
+      let finals =
+        List.length on.final_violations + List.length off.final_violations
+      in
+      if finals = 0 then incr clean;
+      bh_on := on.blackhole_seconds :: !bh_on;
+      bh_off := off.blackhole_seconds :: !bh_off;
+      pf "%6d %14.6f %14.6f %9.1f%% %8d %8d\n" seed on.blackhole_seconds
+        off.blackhole_seconds
+        (100.0 *. (1.0 -. (on.blackhole_seconds /. off.blackhole_seconds)))
+        on.stale_sweeps finals;
+      rows :=
+        Obs.Json.Obj
+          [
+            ("seed", Obs.Json.Int seed);
+            ("gr_on_blackhole_seconds", Obs.Json.Float on.blackhole_seconds);
+            ("gr_off_blackhole_seconds", Obs.Json.Float off.blackhole_seconds);
+            ("gr_on_loss_seconds", Obs.Json.Float on.loss_seconds);
+            ("gr_off_loss_seconds", Obs.Json.Float off.loss_seconds);
+            ("gr_wins", Obs.Json.Bool r.gr_wins);
+            ("final_violations", Obs.Json.Int finals);
+          ]
+        :: !rows)
+    seeds;
+  pf "graceful restart won %d/%d seeds; %d/%d quiesced violation-free\n"
+    !wins (List.length seeds) !clean (List.length seeds);
+  emit "rows" (Obs.Json.List (List.rev !rows));
+  emit "gr_wins" (Obs.Json.Int !wins);
+  emit "seeds" (Obs.Json.Int (List.length seeds));
+  emit_summary "blackhole_seconds_gr_on" !bh_on;
+  emit_summary "blackhole_seconds_gr_off" !bh_off
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -780,6 +830,7 @@ let sections =
     ("scale", scale);
     ("micro", micro);
     ("chaos", chaos);
+    ("chaos_gr", chaos_gr);
   ]
 
 let () =

@@ -332,8 +332,107 @@ let observe_cmd =
 
 (* ---------------- chaos ---------------- *)
 
+(* Data-plane chaos sweep: session liveness + graceful restart under the
+   severe message-fault profile, with blackhole-seconds accounting
+   (ISSUE: `centralium chaos --gr on|off|both`). *)
+let chaos_gr_sweep seeds base_seed gr_mode out =
+  let mode_line seed (m : Experiments.Scenarios.Chaos.mode_result) ok =
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "chaos_gr_seed");
+        ("seed", Obs.Json.Int seed);
+        ("gr", Obs.Json.Bool m.gr);
+        ("ok", Obs.Json.Bool ok);
+        ("blackhole_seconds", Obs.Json.Float m.blackhole_seconds);
+        ("loss_seconds", Obs.Json.Float m.loss_seconds);
+        ("window", Obs.Json.Float m.window);
+        ("messages_dropped", Obs.Json.Int m.messages_dropped);
+        ("keepalives_sent", Obs.Json.Int m.keepalives_sent);
+        ("hold_expiries", Obs.Json.Int m.hold_expiries);
+        ("reconnects", Obs.Json.Int m.reconnects);
+        ("stale_sweeps", Obs.Json.Int m.stale_sweeps);
+        ("speaker_restarts", Obs.Json.Int m.speaker_restarts);
+        ( "transient_violations",
+          Obs.Json.Int (List.length m.transient_violations) );
+        ("final_violations", Obs.Json.Int (List.length m.final_violations));
+        ("fib_digest", Obs.Json.String m.fib_digest);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let failures = ref 0 in
+      let emit line =
+        output_string oc (Obs.Json.to_string line);
+        output_char oc '\n'
+      in
+      for k = 0 to seeds - 1 do
+        let seed = base_seed + k in
+        match gr_mode with
+        | `Both ->
+          let r = Experiments.Scenarios.Chaos.run ~seed () in
+          let on = r.Experiments.Scenarios.Chaos.gr_on
+          and off = r.Experiments.Scenarios.Chaos.gr_off in
+          let clean (m : Experiments.Scenarios.Chaos.mode_result) =
+            m.final_violations = []
+          in
+          let ok =
+            r.Experiments.Scenarios.Chaos.gr_wins && clean on && clean off
+          in
+          if not ok then incr failures;
+          pf
+            "seed %d: %s — blackhole-seconds GR on %.6f vs off %.6f \
+             (loss %.6f vs %.6f), final violations %d/%d\n"
+            seed
+            (if ok then "OK" else "FAIL")
+            on.blackhole_seconds off.blackhole_seconds on.loss_seconds
+            off.loss_seconds
+            (List.length on.final_violations)
+            (List.length off.final_violations);
+          emit (mode_line seed on ok);
+          emit (mode_line seed off ok)
+        | `One gr ->
+          let m = Experiments.Scenarios.Chaos.run_mode ~seed ~gr () in
+          let ok = m.Experiments.Scenarios.Chaos.final_violations = [] in
+          if not ok then incr failures;
+          pf
+            "seed %d: %s — gr=%b blackhole-seconds %.6f loss-seconds %.6f \
+             (hold expiries %d, stale sweeps %d, final violations %d)\n"
+            seed
+            (if ok then "OK" else "FAIL")
+            gr m.blackhole_seconds m.loss_seconds m.hold_expiries
+            m.stale_sweeps
+            (List.length m.final_violations)
+      done;
+      if !failures > 0 then begin
+        pf "chaos: %d/%d seeds FAILED (details in %s)\n" !failures seeds out;
+        1
+      end
+      else begin
+        (match gr_mode with
+         | `Both ->
+           pf
+             "chaos: all %d seeds quiesced violation-free with graceful \
+              restart strictly reducing blackhole-seconds (%s)\n"
+             seeds out
+         | `One _ ->
+           pf "chaos: all %d seeds quiesced violation-free (%s)\n" seeds out);
+        0
+      end)
+
 let chaos_cmd =
-  let run seeds base_seed profile_name crash_after out =
+  let run seeds base_seed profile_name crash_after gr out =
+    match gr with
+    | Some mode ->
+      (match mode with
+       | "on" -> chaos_gr_sweep seeds base_seed (`One true) out
+       | "off" -> chaos_gr_sweep seeds base_seed (`One false) out
+       | "both" -> chaos_gr_sweep seeds base_seed `Both out
+       | _ ->
+         Printf.eprintf "chaos: unknown --gr mode %S (on | off | both)\n" mode;
+         1)
+    | None ->
     match
       match profile_name with
       | "none" -> Some Dsim.Mgmt_fault.none
@@ -443,6 +542,19 @@ let chaos_cmd =
             "crash the controller after OPS management operations (default: \
              mid-flight of the first phase)")
   in
+  let gr =
+    Arg.(
+      value & opt (some string) None
+      & info [ "gr" ] ~docv:"MODE"
+          ~doc:
+            "switch to the data-plane chaos sweep (session liveness under \
+             the severe message-fault profile, blackhole-seconds \
+             accounting) with graceful restart $(docv): on | off | both. \
+             With 'both' each seed runs both modes and the sweep fails \
+             unless graceful restart strictly reduces blackhole-seconds \
+             and both modes quiesce violation-free. Ignores --profile and \
+             --crash-after.")
+  in
   let out =
     Arg.(
       value & opt string "chaos.jsonl"
@@ -451,11 +563,14 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Sweep seeds of the faulted-deploy scenario: deploy under \
-          management-plane chaos, crash the controller mid-rollout, resume \
-          from the NSDB journal, and assert bit-identical convergence with \
-          zero invariant violations")
-    Term.(const run $ seeds $ base_seed $ profile $ crash_after $ out)
+         "Sweep seeds of a chaos scenario. Default: the faulted-deploy \
+          scenario — deploy under management-plane chaos, crash the \
+          controller mid-rollout, resume from the NSDB journal, and assert \
+          bit-identical convergence with zero invariant violations. With \
+          --gr: the data-plane scenario — converge under severe message \
+          faults and speaker restarts with session liveness timers, and \
+          account blackhole-seconds with graceful restart on/off")
+    Term.(const run $ seeds $ base_seed $ profile $ crash_after $ gr $ out)
 
 (* ---------------- apps ---------------- *)
 

@@ -1,10 +1,16 @@
 type t =
   | Update of { prefix : Net.Prefix.t; attr : Net.Attr.t }
   | Withdraw of { prefix : Net.Prefix.t }
+  | Keepalive
+  | Eor
 
-let prefix = function Update { prefix; _ } | Withdraw { prefix } -> prefix
+let prefix = function
+  | Update { prefix; _ } | Withdraw { prefix } -> Some prefix
+  | Keepalive | Eor -> None
 
 let pp ppf = function
   | Update { prefix; attr } ->
     Format.fprintf ppf "UPDATE %a %a" Net.Prefix.pp prefix Net.Attr.pp attr
   | Withdraw { prefix } -> Format.fprintf ppf "WITHDRAW %a" Net.Prefix.pp prefix
+  | Keepalive -> Format.fprintf ppf "KEEPALIVE"
+  | Eor -> Format.fprintf ppf "EOR"

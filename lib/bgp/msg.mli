@@ -1,8 +1,18 @@
-(** BGP update messages exchanged between speakers. *)
+(** BGP messages exchanged between speakers.
+
+    [Keepalive] carries no routes: it only proves the session transport is
+    alive (see {!Liveness}). [Eor] is the RFC 4724 End-of-RIB marker sent
+    after a full-table resync; receivers use it to sweep routes still marked
+    stale from a graceful restart. *)
 
 type t =
   | Update of { prefix : Net.Prefix.t; attr : Net.Attr.t }
   | Withdraw of { prefix : Net.Prefix.t }
+  | Keepalive
+  | Eor
 
-val prefix : t -> Net.Prefix.t
+val prefix : t -> Net.Prefix.t option
+(** The prefix a routing message is about; [None] for session-level
+    messages ([Keepalive], [Eor]). *)
+
 val pp : Format.formatter -> t -> unit

@@ -4,6 +4,9 @@ let m_messages_dropped = Obs.Metrics.counter "bgp.messages.dropped"
 let m_fib_changes = Obs.Metrics.counter "bgp.fib.changes"
 let m_restarts = Obs.Metrics.counter "bgp.speaker.restarts"
 let m_converge_events = Obs.Metrics.counter "bgp.converge.events"
+let m_keepalives = Obs.Metrics.counter "bgp.keepalives.sent"
+let m_hold_expiries = Obs.Metrics.counter "bgp.session.hold_expiries"
+let m_reconnects = Obs.Metrics.counter "bgp.session.reconnects"
 
 type latency_model = Dsim.Rng.t -> float
 
@@ -17,8 +20,21 @@ type t = {
   speakers : (int, Speaker.t) Hashtbl.t;
   (* (src, dst, session) -> last scheduled delivery time, for FIFO order *)
   channels : (int * int * int, float ref) Hashtbl.t;
+  (* (min end, max end, session) -> incarnation of the underlying transport
+     connection. A session going down at either end kills the connection,
+     and with it every message still in flight — in both directions. *)
+  epochs : (int * int * int, int) Hashtbl.t;
   trace_log : Trace.t;
   mutable fault : Dsim.Fault.t option;
+  (* Session liveness (keepalive/hold/reconnect timers), opt-in via
+     [enable_liveness]. [None] preserves the legacy behaviour exactly:
+     sessions have no liveness detection and silent transport loss goes
+     unnoticed. *)
+  mutable liveness : Liveness.config option;
+  mutable liveness_until : float;
+  (* (device, peer, session) -> last time the device heard anything —
+     keepalive or routing message — from the peer over the session. *)
+  last_heard : (int * int * int, float) Hashtbl.t;
 }
 
 let graph t = t.topo
@@ -51,8 +67,12 @@ let create ?(seed = 42) ?(config = Speaker.default_config)
       latency;
       speakers = Hashtbl.create 64;
       channels = Hashtbl.create 256;
+      epochs = Hashtbl.create 256;
       trace_log = Trace.create ();
       fault = None;
+      liveness = None;
+      liveness_until = 0.0;
+      last_heard = Hashtbl.create 256;
     }
   in
   List.iter
@@ -113,6 +133,21 @@ let session_alive t src dst =
   | Some link -> link.Topology.Graph.up
   | None -> false
 
+(* The transport connection is shared by both directions of a session. *)
+let conn_key a b session = if a < b then (a, b, session) else (b, a, session)
+
+let connection_epoch t a b session =
+  Option.value (Hashtbl.find_opt t.epochs (conn_key a b session)) ~default:0
+
+(* Invalidates every message currently in flight on the session, both
+   directions: the TCP connection died with the session. A delayed message
+   dispatched into the old connection must not be delivered into a
+   re-established one — it would resurrect state the sender has since
+   withdrawn, with no correction ever coming. *)
+let close_connection t a b session =
+  Hashtbl.replace t.epochs (conn_key a b session)
+    (connection_epoch t a b session + 1)
+
 let rec dispatch t src (outbox : Speaker.outbox) =
   List.iter
     (fun (dst, session, msg) ->
@@ -143,8 +178,12 @@ let rec dispatch t src (outbox : Speaker.outbox) =
           else Float.max arrival (!chan +. 1e-9) (* FIFO within a session *)
         in
         chan := Float.max !chan delivery;
+        let epoch = connection_epoch t src dst session in
         Dsim.Event_queue.schedule_at t.event_queue ~time:delivery (fun () ->
-            deliver t ~src ~dst ~session msg)
+            (* Lost with its connection if the session dropped in between —
+               even if it has since been re-established. *)
+            if connection_epoch t src dst session = epoch then
+              deliver t ~src ~dst ~session msg)
       end)
     outbox
 
@@ -153,10 +192,16 @@ and deliver t ~src ~dst ~session msg =
   if session_alive t src dst then begin
     let sp = speaker t dst in
     if Speaker.session_up sp ~peer:src ~session then begin
-      let before = fib_assoc sp in
-      let outbox = Speaker.receive sp (env t) ~peer:src ~session msg in
-      record_fib_diff t dst before (fib_assoc sp);
-      dispatch t dst outbox
+      (* Anything heard from the peer proves the transport alive. *)
+      if t.liveness <> None then
+        Hashtbl.replace t.last_heard (dst, src, session) (now t);
+      match msg with
+      | Msg.Keepalive -> () (* liveness proof only; no RIB work *)
+      | Msg.Update _ | Msg.Withdraw _ | Msg.Eor ->
+        let before = fib_assoc sp in
+        let outbox = Speaker.receive sp (env t) ~peer:src ~session msg in
+        record_fib_diff t dst before (fib_assoc sp);
+        dispatch t dst outbox
     end
   end
 
@@ -170,6 +215,170 @@ let transition t device f =
 
 let schedule ?(delay = 0.0) t f =
   Dsim.Event_queue.schedule t.event_queue ~delay f
+
+(* ---------------- Session liveness ---------------- *)
+
+let liveness t = t.liveness
+
+let heard t device ~peer ~session =
+  Hashtbl.replace t.last_heard (device, peer, session) (now t)
+
+let record_session_event t device ~peer ~session event =
+  Trace.record t.trace_log
+    (Trace.Session_event { time = now t; device; peer; session; event })
+
+(* Takes the session down at [device] with graceful-restart semantics when
+   enabled (routes marked stale, sweep bounded by the stale-path timer)
+   and a hard flush otherwise. *)
+let session_loss t device ~peer ~session ~reason =
+  close_connection t device peer session;
+  (match t.liveness with
+   | Some c when c.Liveness.graceful_restart ->
+     record_session_event t device ~peer ~session reason;
+     let marked_at = now t in
+     transition t device (fun sp env ->
+         Speaker.set_session ~stale:true sp env ~peer ~session ~up:false);
+     (* Stale-path timer: bound retention of exactly the marks made now —
+        routes re-marked by a later loss get their own timer. *)
+     Dsim.Event_queue.schedule t.event_queue
+       ~delay:c.Liveness.stale_path_time (fun () ->
+         let sp = speaker t device in
+         let pending =
+           List.exists
+             (fun (_, p, s, m) -> p = peer && s = session && m <= marked_at)
+             (Speaker.stale_routes sp)
+         in
+         if pending then begin
+           record_session_event t device ~peer ~session "stale-swept";
+           transition t device (fun sp env ->
+               Speaker.sweep_stale sp env ~peer ~session ~before:marked_at)
+         end)
+   | Some _ ->
+     record_session_event t device ~peer ~session reason;
+     transition t device (fun sp env ->
+         Speaker.set_session sp env ~peer ~session ~up:false)
+   | None ->
+     transition t device (fun sp env ->
+         Speaker.set_session sp env ~peer ~session ~up:false))
+
+(* Re-establishes one session from scratch on both ends: any end still up is
+   bounced down first (marking stale under graceful restart) so that both
+   directions replay the full-table resend (+ End-of-RIB under GR). A
+   one-sided re-up would leave the fresh end believing its Adj-RIB-Out is
+   current while the other end holds nothing. *)
+let bounce_session t a b session =
+  Obs.Metrics.incr m_reconnects;
+  record_session_event t a ~peer:b ~session "reconnected";
+  List.iter
+    (fun (d, p) ->
+      if Speaker.session_up (speaker t d) ~peer:p ~session then
+        session_loss t d ~peer:p ~session ~reason:"bounced")
+    [ (a, b); (b, a) ];
+  List.iter
+    (fun (d, p) ->
+      transition t d (fun sp env -> Speaker.set_session sp env ~peer:p ~session ~up:true);
+      if t.liveness <> None then heard t d ~peer:p ~session)
+    [ (a, b); (b, a) ]
+
+let reestablish_sessions ?(all = false) ?delay t =
+  schedule ?delay t (fun () ->
+      List.iter
+        (fun (link : Topology.Graph.link) ->
+          if link.Topology.Graph.up then
+            for session = 0 to link.Topology.Graph.sessions - 1 do
+              let a_up =
+                Speaker.session_up (speaker t link.a) ~peer:link.b ~session
+              and b_up =
+                Speaker.session_up (speaker t link.b) ~peer:link.a ~session
+              in
+              (* [all] also bounces sessions that are nominally up: a session
+                 blinded by message loss (divergent RIBs, hold timer never
+                 fired) can only be repaired by a full resync. *)
+              if all || not (a_up && b_up) then
+                bounce_session t link.a link.b session
+            done)
+        (Topology.Graph.links t.topo))
+
+let enable_liveness ?(config = Liveness.default) ~until t =
+  t.liveness <- Some config;
+  t.liveness_until <- until;
+  if config.Liveness.graceful_restart then
+    Hashtbl.iter (fun _ sp -> Speaker.set_graceful_restart sp true) t.speakers;
+  let start = now t in
+  let links = Topology.Graph.links t.topo in
+  (* Everyone has just been heard: the hold clock starts now. *)
+  List.iter
+    (fun (link : Topology.Graph.link) ->
+      for session = 0 to link.Topology.Graph.sessions - 1 do
+        Hashtbl.replace t.last_heard (link.a, link.b, session) start;
+        Hashtbl.replace t.last_heard (link.b, link.a, session) start
+      done)
+    links;
+  let reschedule time f =
+    if time <= t.liveness_until then
+      Dsim.Event_queue.schedule_at t.event_queue ~time f
+  in
+  (* One keepalive loop per session direction. Keepalives are ordinary
+     messages: they share the session's FIFO channel and are subject to the
+     installed fault model, which is precisely what lets hold timers detect
+     silent transport loss. *)
+  let rec keepalive_loop src dst session () =
+    (if session_alive t src dst
+     && Speaker.session_up (speaker t src) ~peer:dst ~session
+    then begin
+      Obs.Metrics.incr m_keepalives;
+      dispatch t src [ (dst, session, Msg.Keepalive) ]
+    end);
+    reschedule (now t +. config.Liveness.keepalive_interval)
+      (keepalive_loop src dst session)
+  in
+  (* One hold-check loop per session direction (receiver side). *)
+  let rec hold_loop device peer session () =
+    (if session_alive t device peer
+     && Speaker.session_up (speaker t device) ~peer ~session
+    then
+      let last =
+        Option.value
+          (Hashtbl.find_opt t.last_heard (device, peer, session))
+          ~default:start
+      in
+      if now t -. last > config.Liveness.hold_time then begin
+        Obs.Metrics.incr m_hold_expiries;
+        session_loss t device ~peer ~session ~reason:"hold-expired"
+      end);
+    reschedule (now t +. config.Liveness.keepalive_interval)
+      (hold_loop device peer session)
+  in
+  (* One reconnect loop per link and session: torn-down sessions over a
+     healthy link are periodically re-established. *)
+  let rec reconnect_loop a b session () =
+    (if session_alive t a b then
+       let a_up = Speaker.session_up (speaker t a) ~peer:b ~session
+       and b_up = Speaker.session_up (speaker t b) ~peer:a ~session in
+       if not (a_up && b_up) then bounce_session t a b session);
+    reschedule (now t +. config.Liveness.reconnect_interval)
+      (reconnect_loop a b session)
+  in
+  List.iter
+    (fun (link : Topology.Graph.link) ->
+      for session = 0 to link.Topology.Graph.sessions - 1 do
+        reschedule
+          (start +. config.Liveness.keepalive_interval)
+          (keepalive_loop link.a link.b session);
+        reschedule
+          (start +. config.Liveness.keepalive_interval)
+          (keepalive_loop link.b link.a session);
+        reschedule
+          (start +. config.Liveness.keepalive_interval)
+          (hold_loop link.a link.b session);
+        reschedule
+          (start +. config.Liveness.keepalive_interval)
+          (hold_loop link.b link.a session);
+        reschedule
+          (start +. config.Liveness.reconnect_interval)
+          (reconnect_loop link.a link.b session)
+      done)
+    links
 
 (* ---------------- Scheduled operations ---------------- *)
 
@@ -189,10 +398,15 @@ let set_link ?delay t a b ~up =
         if link.Topology.Graph.up <> up then begin
           Topology.Graph.set_link_up t.topo a b up;
           for session = 0 to link.Topology.Graph.sessions - 1 do
+            if not up then close_connection t a b session;
             transition t a (fun sp env ->
                 Speaker.set_session sp env ~peer:b ~session ~up);
             transition t b (fun sp env ->
-                Speaker.set_session sp env ~peer:a ~session ~up)
+                Speaker.set_session sp env ~peer:a ~session ~up);
+            if up && t.liveness <> None then begin
+              heard t a ~peer:b ~session;
+              heard t b ~peer:a ~session
+            end
           done
         end)
 
@@ -234,17 +448,34 @@ let restart_device ?(delay = 0.0) t device ~recovery =
       record_fib_diff t device before (fib_assoc sp);
       let incident = Topology.Graph.all_neighbors t.topo device in
       (* Peers detect the dead sessions (holdtime expiry, modeled as
-         immediate) and flush routes learned from the device. *)
+         immediate). Legacy: they flush routes learned from the device.
+         Graceful restart: they mark them stale and keep forwarding,
+         bounded by the stale-path timer (inside [session_loss]). *)
       List.iter
         (fun ((peer : Topology.Node.t), (link : Topology.Graph.link)) ->
           for session = 0 to link.Topology.Graph.sessions - 1 do
-            transition t peer.Topology.Node.id (fun sp env ->
-                Speaker.set_session sp env ~peer:device ~session ~up:false)
+            session_loss t peer.Topology.Node.id ~peer:device ~session
+              ~reason:"peer-restarted"
           done)
         incident;
+      (* Restarting-speaker side: FIB entries preserved by [Speaker.reset]
+         (graceful restart) that are never re-learned expire on the same
+         stale-path bound. *)
+      (match t.liveness with
+       | Some c when c.Liveness.graceful_restart ->
+         Dsim.Event_queue.schedule t.event_queue
+           ~delay:c.Liveness.stale_path_time (fun () ->
+             let sp = speaker t device in
+             if Speaker.fib_stale_prefixes sp <> [] then begin
+               record_session_event t device ~peer:device ~session:(-1)
+                 "fib-stale-swept";
+               transition t device Speaker.sweep_own_stale
+             end)
+       | Some _ | None -> ());
       (* Recovery: re-establish every session whose link is up, both ends,
          which triggers a full-table resend from the peers and
-         re-origination by the restarted device. *)
+         re-origination by the restarted device (followed by End-of-RIB
+         markers under graceful restart, sweeping surviving stale marks). *)
       Dsim.Event_queue.schedule t.event_queue ~delay:recovery (fun () ->
           List.iter
             (fun ((peer : Topology.Node.t), (link : Topology.Graph.link)) ->
@@ -254,7 +485,11 @@ let restart_device ?(delay = 0.0) t device ~recovery =
                       Speaker.set_session sp env ~peer:peer.Topology.Node.id
                         ~session ~up:true);
                   transition t peer.Topology.Node.id (fun sp env ->
-                      Speaker.set_session sp env ~peer:device ~session ~up:true)
+                      Speaker.set_session sp env ~peer:device ~session ~up:true);
+                  if t.liveness <> None then begin
+                    heard t device ~peer:peer.Topology.Node.id ~session;
+                    heard t peer.Topology.Node.id ~peer:device ~session
+                  end
                 done)
             incident))
 

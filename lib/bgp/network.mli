@@ -53,6 +53,37 @@ val drain_device : ?delay:float -> t -> int -> unit
 
 val undrain_device : ?delay:float -> t -> int -> unit
 
+(** {1 Session liveness & graceful restart}
+
+    Entirely opt-in: without {!enable_liveness} the network behaves exactly
+    as before — no keepalives, no hold timers, and silent transport loss
+    (e.g. a 100% drop fault) leaves sessions nominally up with divergent
+    RIBs forever (detectable only by {!Centralium.Invariant}'s
+    session-staleness check). *)
+
+val enable_liveness : ?config:Liveness.config -> until:float -> t -> unit
+(** Starts per-session keepalive, hold-check, and reconnect timer loops on
+    the event queue. Keepalives are real {!Msg.t}s: they share FIFO
+    channels with updates and are subject to the installed fault model, so
+    enough consecutive drops expire the hold timer and tear the session
+    down ({!Trace.Session_event} ["hold-expired"]). Torn-down sessions over
+    healthy links are periodically re-established. When
+    [config.graceful_restart] is set, every speaker switches to RFC 4724
+    semantics (stale retention on session loss, End-of-RIB resync, bounded
+    by [config.stale_path_time]). All loops stop at [until] (simulated
+    time) so {!converge} still quiesces; sweeps scheduled before [until]
+    may fire up to one stale-path time after it. *)
+
+val liveness : t -> Liveness.config option
+
+val reestablish_sessions : ?all:bool -> ?delay:float -> t -> unit
+(** Bounces every session over an up link where either end is down —
+    down (stale under graceful restart) then up on both ends, replaying the
+    full-table resync. [~all:true] bounces every session regardless of
+    state, which also repairs sessions blinded by message loss (divergent
+    RIBs with both ends nominally up). Used to heal a network after a
+    chaos window so it can reach a violation-free quiescent state. *)
+
 (** {1 Fault injection}
 
     Entirely opt-in: a network without a fault model installed behaves

@@ -2,6 +2,9 @@
 let m_decisions = Obs.Metrics.counter "bgp.speaker.decisions"
 let m_adverts = Obs.Metrics.counter "bgp.speaker.advertisements"
 let m_withdraws = Obs.Metrics.counter "bgp.speaker.withdrawals"
+let m_stale_marked = Obs.Metrics.counter "bgp.gr.routes_marked_stale"
+let m_stale_swept = Obs.Metrics.counter "bgp.gr.routes_swept"
+let m_eor_received = Obs.Metrics.counter "bgp.gr.eor_received"
 
 type config = {
   multipath : bool;
@@ -34,6 +37,17 @@ type t = {
   rib_out : (int, (Net.Prefix.t, Net.Attr.t) Hashtbl.t) Hashtbl.t;
   session_count : (int, int) Hashtbl.t;
   session_state : (int * int, bool) Hashtbl.t;
+  mutable graceful_restart : bool;
+  (* (prefix, peer, session) -> time the route was marked stale. A stale
+     route stays a forwarding candidate (RFC 4724 receiver side) until it is
+     refreshed by an Update, swept by an End-of-RIB, or expired by the
+     stale-path timer. *)
+  stale : (Net.Prefix.t * int * int, float) Hashtbl.t;
+  (* Learned FIB prefixes preserved across our own restart (restarting
+     speaker side of graceful restart): forwarding state survives the crash
+     even though the RIBs that justified it are gone, until re-learned or
+     swept. *)
+  fib_stale : (Net.Prefix.t, unit) Hashtbl.t;
 }
 
 type outbox = (int * int * Msg.t) list
@@ -52,7 +66,13 @@ let create ?(config = default_config) ?(hooks = Rib_policy.native) node =
     rib_out = Hashtbl.create 8;
     session_count = Hashtbl.create 8;
     session_state = Hashtbl.create 16;
+    graceful_restart = false;
+    stale = Hashtbl.create 16;
+    fib_stale = Hashtbl.create 8;
   }
+
+let set_graceful_restart t enabled = t.graceful_restart <- enabled
+let graceful_restart t = t.graceful_restart
 
 let node t = t.node
 let id t = t.node.Topology.Node.id
@@ -116,12 +136,20 @@ let raw_routes t prefix =
       table []
     |> List.sort compare
 
+let is_stale t prefix ~peer ~session = Hashtbl.mem t.stale (prefix, peer, session)
+
 let post_policy_candidates t env prefix ~use_hooks =
   let ctx = make_ctx t env prefix in
   let own_asn = asn t in
   List.filter_map
     (fun (peer, session, raw_attr) ->
-      if not (session_up t ~peer ~session) then None
+      (* A stale route (graceful restart) remains a forwarding candidate
+         while its session is down: the whole point of RFC 4724 is to keep
+         forwarding on last-known-good state until resync or sweep. *)
+      if
+        (not (session_up t ~peer ~session))
+        && not (is_stale t prefix ~peer ~session)
+      then None
       else if Net.As_path.mem own_asn raw_attr.Net.Attr.as_path then
         None (* standard AS-path loop prevention *)
       else
@@ -290,8 +318,16 @@ let compute t env prefix : desired =
 
 let commit t prefix desired : outbox =
   (match desired.d_fib with
-   | Some state -> Hashtbl.replace t.fib_table prefix state
-   | None -> Hashtbl.remove t.fib_table prefix);
+   | Some state ->
+     Hashtbl.replace t.fib_table prefix state;
+     (* Fresh routing state supersedes any preserved-across-restart entry. *)
+     Hashtbl.remove t.fib_stale prefix
+   | None ->
+     (* After our own graceful restart the FIB entry outlives its RIBs:
+        keep forwarding on the preserved entry until it is either
+        re-learned (Some above) or expired by the stale-path sweep. *)
+     if not (Hashtbl.mem t.fib_stale prefix) then
+       Hashtbl.remove t.fib_table prefix);
   List.concat_map
     (fun (peer, d) -> advertise_to t prefix ~peer ~desired:d)
     desired.d_adverts
@@ -332,7 +368,10 @@ let divergences t env =
         match (d.d_fib, Hashtbl.find_opt t.fib_table prefix) with
         | None, None -> true
         | Some a, Some b -> fib_state_equal a b
-        | None, Some _ | Some _, None -> false
+        (* A FIB entry preserved across our own graceful restart is
+           deliberately not derivable from the (empty) RIBs yet. *)
+        | None, Some _ -> Hashtbl.mem t.fib_stale prefix
+        | Some _, None -> false
       in
       let fib_div = if fib_ok then [] else [ Stale_fib { prefix } ] in
       let advert_divs =
@@ -369,22 +408,58 @@ let withdraw_origin t env prefix =
   Hashtbl.remove t.fib_table prefix;
   evaluate t env prefix
 
-let receive t env ~peer ~session msg =
-  let prefix = Msg.prefix msg in
-  let table =
-    match Hashtbl.find_opt t.rib_in prefix with
-    | Some table -> table
-    | None ->
-      let table = Hashtbl.create 8 in
-      Hashtbl.replace t.rib_in prefix table;
-      table
+(* Removes routes from (peer, session) whose stale mark is at or before
+   [before], then re-evaluates the affected prefixes. This is the RFC 4724
+   stale-path sweep; [before = infinity] sweeps everything still marked
+   (End-of-RIB), a finite bound lets the timer sweep only marks from the
+   session loss that scheduled it, not routes re-marked by a later flap. *)
+let sweep_stale t env ~peer ~session ~before : outbox =
+  let victims =
+    Hashtbl.fold
+      (fun (prefix, p, s) marked_at acc ->
+        if p = peer && s = session && marked_at <= before then prefix :: acc
+        else acc)
+      t.stale []
+    |> List.sort_uniq Net.Prefix.compare
   in
-  (match msg with
-   | Msg.Update { attr; _ } -> Hashtbl.replace table (peer, session) attr
-   | Msg.Withdraw _ -> Hashtbl.remove table (peer, session));
-  evaluate t env prefix
+  List.iter
+    (fun prefix ->
+      Hashtbl.remove t.stale (prefix, peer, session);
+      Obs.Metrics.incr m_stale_swept;
+      match Hashtbl.find_opt t.rib_in prefix with
+      | None -> ()
+      | Some table -> Hashtbl.remove table (peer, session))
+    victims;
+  List.concat_map (evaluate t env) victims
 
-let set_session t env ~peer ~session ~up =
+let receive t env ~peer ~session msg =
+  match msg with
+  | Msg.Keepalive -> [] (* liveness only; the network layer tracks arrival *)
+  | Msg.Eor ->
+    (* End-of-RIB: the peer has resent its full table; any route still
+       marked stale was not refreshed and is gone for good. *)
+    Obs.Metrics.incr m_eor_received;
+    sweep_stale t env ~peer ~session ~before:infinity
+  | Msg.Update { prefix; attr } ->
+    let table =
+      match Hashtbl.find_opt t.rib_in prefix with
+      | Some table -> table
+      | None ->
+        let table = Hashtbl.create 8 in
+        Hashtbl.replace t.rib_in prefix table;
+        table
+    in
+    Hashtbl.replace table (peer, session) attr;
+    Hashtbl.remove t.stale (prefix, peer, session);
+    evaluate t env prefix
+  | Msg.Withdraw { prefix } ->
+    (match Hashtbl.find_opt t.rib_in prefix with
+     | Some table -> Hashtbl.remove table (peer, session)
+     | None -> ());
+    Hashtbl.remove t.stale (prefix, peer, session);
+    evaluate t env prefix
+
+let set_session ?(stale = false) t env ~peer ~session ~up =
   if not (Hashtbl.mem t.session_count peer) then add_peer t ~peer ~sessions:0;
   let count = Hashtbl.find t.session_count peer in
   if session >= count then Hashtbl.replace t.session_count peer (session + 1);
@@ -393,8 +468,25 @@ let set_session t env ~peer ~session ~up =
   if up = was then []
   else begin
     if not up then begin
-      (* Session reset flushes routes learned over it. *)
-      Hashtbl.iter (fun _ table -> Hashtbl.remove table (peer, session)) t.rib_in;
+      if stale then
+        (* Graceful restart, receiver side: keep the routes as forwarding
+           candidates but mark them stale (timestamped, so a later sweep
+           only collects marks from this loss). *)
+        Hashtbl.iter
+          (fun prefix table ->
+            if Hashtbl.mem table (peer, session) then begin
+              Hashtbl.replace t.stale (prefix, peer, session) env.now;
+              Obs.Metrics.incr m_stale_marked
+            end)
+          t.rib_in
+      else begin
+        (* Hard session reset flushes routes learned over it. *)
+        Hashtbl.iter
+          (fun prefix table ->
+            Hashtbl.remove table (peer, session);
+            Hashtbl.remove t.stale (prefix, peer, session))
+          t.rib_in
+      end;
       (* If the peer has no remaining sessions, forget advertised state so a
          later re-establishment resends the table. *)
       if up_sessions t peer = [] then Hashtbl.remove t.rib_out peer
@@ -412,8 +504,11 @@ let set_session t env ~peer ~session ~up =
             table []
       in
       (* Duplicates with messages already in [outbox] are harmless: updates
-         are idempotent on the receiver. *)
-      outbox @ resend
+         are idempotent on the receiver. After the full resend, a
+         graceful-restart speaker signals End-of-RIB so the receiver can
+         sweep routes that were not refreshed. *)
+      let eor = if t.graceful_restart then [ (peer, session, Msg.Eor) ] else [] in
+      outbox @ resend @ eor
     end
     else outbox
   end
@@ -421,6 +516,7 @@ let set_session t env ~peer ~session ~up =
 let reset t =
   Hashtbl.reset t.rib_in;
   Hashtbl.reset t.rib_out;
+  Hashtbl.reset t.stale;
   (* Locally originated prefixes are configuration, not learned state; they
      survive the crash (and are re-advertised once sessions come back). *)
   let learned =
@@ -429,9 +525,28 @@ let reset t =
         match state with Local -> acc | Entries _ -> prefix :: acc)
       t.fib_table []
   in
-  List.iter (Hashtbl.remove t.fib_table) learned;
+  if t.graceful_restart then
+    (* Restarting-speaker side of RFC 4724: the forwarding plane is
+       preserved across the control-plane restart. Learned entries stay
+       installed, marked stale until re-derived from fresh RIBs or swept. *)
+    List.iter (fun prefix -> Hashtbl.replace t.fib_stale prefix ()) learned
+  else begin
+    Hashtbl.reset t.fib_stale;
+    List.iter (Hashtbl.remove t.fib_table) learned
+  end;
   let sessions = Hashtbl.fold (fun k _ acc -> k :: acc) t.session_state [] in
   List.iter (fun k -> Hashtbl.replace t.session_state k false) sessions
+
+(* Expires FIB entries preserved across our own restart that were never
+   re-learned (stale-path timer on the restarting speaker). *)
+let sweep_own_stale t env : outbox =
+  let victims =
+    Hashtbl.fold (fun prefix () acc -> prefix :: acc) t.fib_stale []
+    |> List.sort Net.Prefix.compare
+  in
+  Hashtbl.reset t.fib_stale;
+  List.iter (fun _ -> Obs.Metrics.incr m_stale_swept) victims;
+  List.concat_map (evaluate t env) victims
 
 let set_ingress_policy t env ~peer policy =
   Hashtbl.replace t.ingress peer policy;
@@ -485,4 +600,24 @@ let advertised_to t ~peer =
 
 let originated t =
   Hashtbl.fold (fun prefix attr acc -> (prefix, attr) :: acc) t.origin_table []
+  |> List.sort (fun (a, _) (b, _) -> Net.Prefix.compare a b)
+
+let stale_routes t =
+  Hashtbl.fold
+    (fun (prefix, peer, session) marked_at acc ->
+      (prefix, peer, session, marked_at) :: acc)
+    t.stale []
+  |> List.sort compare
+
+let fib_stale_prefixes t =
+  Hashtbl.fold (fun prefix () acc -> prefix :: acc) t.fib_stale []
+  |> List.sort Net.Prefix.compare
+
+let routes_from t ~peer ~session =
+  Hashtbl.fold
+    (fun prefix table acc ->
+      match Hashtbl.find_opt table (peer, session) with
+      | Some attr -> (prefix, attr) :: acc
+      | None -> acc)
+    t.rib_in []
   |> List.sort (fun (a, _) (b, _) -> Net.Prefix.compare a b)

@@ -58,18 +58,46 @@ val originate : t -> env -> Net.Prefix.t -> Net.Attr.t -> outbox
 val withdraw_origin : t -> env -> Net.Prefix.t -> outbox
 
 val receive : t -> env -> peer:int -> session:int -> Msg.t -> outbox
+(** [Keepalive] is a no-op at this layer (the network tracks liveness);
+    [Eor] sweeps all routes from the session still marked stale; an
+    [Update] refreshes (and un-stales) the route; a [Withdraw] removes it
+    and clears any stale mark. *)
 
-val set_session : t -> env -> peer:int -> session:int -> up:bool -> outbox
-(** Session reset: on down, routes learned over the session are flushed; on
-    up, the speaker re-advertises its full table over the session. *)
+val set_session :
+  ?stale:bool -> t -> env -> peer:int -> session:int -> up:bool -> outbox
+(** Session reset. On down, routes learned over the session are flushed —
+    unless [~stale:true] (graceful restart, receiver side), in which case
+    they are kept as forwarding candidates and marked stale until refreshed,
+    swept by {!Msg.Eor}, or expired via {!sweep_stale}. On up, the speaker
+    re-advertises its full table over the session, followed by an
+    End-of-RIB marker when graceful restart is enabled. *)
+
+val set_graceful_restart : t -> bool -> unit
+(** Enables RFC 4724 semantics on this speaker: {!reset} preserves learned
+    FIB entries (marked stale) instead of flushing them, and session
+    re-establishment ends its resync with {!Msg.Eor}. Off by default. *)
+
+val graceful_restart : t -> bool
+
+val sweep_stale :
+  t -> env -> peer:int -> session:int -> before:float -> outbox
+(** Stale-path timer: removes routes from the session whose stale mark is at
+    or before [before] and re-evaluates the affected prefixes. A finite
+    [before] confines the sweep to marks from the session loss that
+    scheduled it (routes re-marked by a later flap survive). *)
+
+val sweep_own_stale : t -> env -> outbox
+(** Expires FIB entries preserved across this speaker's own graceful
+    restart that were never re-derived from fresh RIBs. *)
 
 val reset : t -> unit
 (** Crash the speaker: Adj-RIB-Ins, Adj-RIB-Outs, and learned FIB entries
     are cleared and every session is marked down, without emitting any
     message (a crash sends no goodbye). Configuration — originated
-    prefixes, policies, hooks — survives. The network layer is responsible
-    for telling the peers their sessions dropped and, later, for
-    re-establishing them. *)
+    prefixes, policies, hooks — survives, as does the learned FIB when
+    {!set_graceful_restart} is on (preserved entries are marked stale; see
+    {!sweep_own_stale}). The network layer is responsible for telling the
+    peers their sessions dropped and, later, for re-establishing them. *)
 
 val set_ingress_policy : t -> env -> peer:int -> Policy.t -> outbox
 val set_egress_policy : t -> env -> peer:int -> Policy.t -> outbox
@@ -95,6 +123,23 @@ val candidates : t -> Net.Prefix.t -> Path.t list
     as used by the decision process. *)
 
 val originated : t -> (Net.Prefix.t * Net.Attr.t) list
+
+val is_stale : t -> Net.Prefix.t -> peer:int -> session:int -> bool
+(** Is this Adj-RIB-In route currently marked stale (graceful restart)? *)
+
+val stale_routes : t -> (Net.Prefix.t * int * int * float) list
+(** Every stale-marked route as (prefix, peer, session, marked_at), sorted.
+    Non-empty only transiently: at quiescence a remaining mark is a leak
+    (see {!Centralium.Invariant}). *)
+
+val fib_stale_prefixes : t -> Net.Prefix.t list
+(** Prefixes whose FIB entry is preserved from before this speaker's own
+    restart and not yet re-derived from fresh RIBs. *)
+
+val routes_from : t -> peer:int -> session:int -> (Net.Prefix.t * Net.Attr.t) list
+(** Raw Adj-RIB-In contents learned from one (peer, session), sorted by
+    prefix — the receiver-side view that should mirror the peer's
+    Adj-RIB-Out when the session is healthy. *)
 
 val adj_rib_in : t -> Net.Prefix.t -> (int * int * Net.Attr.t) list
 (** Raw routes held in the Adj-RIB-In for the prefix, as (peer, session,

@@ -20,6 +20,13 @@ type event =
       msg : Msg.t;
     }
   | Speaker_restarted of { time : float; device : int }
+  | Session_event of {
+      time : float;
+      device : int;
+      peer : int;
+      session : int;
+      event : string;
+    }
   | Violation of {
       time : float;
       device : int option;
@@ -75,8 +82,8 @@ let fib_changes t =
     (function
       | Fib_change { time; device; prefix; state } ->
         Some (time, device, prefix, state)
-      | Message_sent _ | Message_dropped _ | Speaker_restarted _ | Violation _
-        ->
+      | Message_sent _ | Message_dropped _ | Speaker_restarted _
+      | Session_event _ | Violation _ ->
         None)
     t
 
@@ -100,7 +107,7 @@ let violations t =
       | Violation { time; device; prefix; kind; detail } ->
         Some (time, device, prefix, kind, detail)
       | Fib_change _ | Message_sent _ | Message_dropped _ | Speaker_restarted _
-        ->
+      | Session_event _ ->
         None)
     t
 
@@ -123,7 +130,7 @@ let fib_timeline t ~prefix ~initial =
           when Net.Prefix.equal p prefix ->
           Some (time, device, state)
         | Fib_change _ | Message_sent _ | Message_dropped _
-        | Speaker_restarted _ | Violation _ ->
+        | Speaker_restarted _ | Session_event _ | Violation _ ->
           None)
       t
   in
@@ -177,6 +184,8 @@ let msg_to_json = function
         ("kind", Obs.Json.String "withdraw");
         ("prefix", Obs.Json.String (Net.Prefix.to_string prefix));
       ]
+  | Msg.Keepalive -> Obs.Json.Obj [ ("kind", Obs.Json.String "keepalive") ]
+  | Msg.Eor -> Obs.Json.Obj [ ("kind", Obs.Json.String "eor") ]
 
 let fib_state_to_json = function
   | None -> Obs.Json.Null
@@ -235,6 +244,16 @@ let event_to_json = function
         ("type", Obs.Json.String "speaker_restarted");
         ("time", Obs.Json.Float time);
         ("device", Obs.Json.Int device);
+      ]
+  | Session_event { time; device; peer; session; event } ->
+    Obs.Json.Obj
+      [
+        ("type", Obs.Json.String "session_event");
+        ("time", Obs.Json.Float time);
+        ("device", Obs.Json.Int device);
+        ("peer", Obs.Json.Int peer);
+        ("session", Obs.Json.Int session);
+        ("event", Obs.Json.String event);
       ]
   | Violation { time; device; prefix; kind; detail } ->
     Obs.Json.Obj

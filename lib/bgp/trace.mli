@@ -29,6 +29,16 @@ type event =
     }  (** the fault model lost the message in transit *)
   | Speaker_restarted of { time : float; device : int }
       (** the device's speaker crashed: RIBs cleared, sessions dropped *)
+  | Session_event of {
+      time : float;
+      device : int;
+      peer : int;
+      session : int;
+      event : string;
+    }
+      (** session liveness machinery: [event] is a stable tag such as
+          ["hold-expired"], ["reconnected"], ["stale-swept"], or
+          ["fib-stale-swept"] *)
   | Violation of {
       time : float;
       device : int option;
@@ -61,6 +71,10 @@ val fib_changes : t -> (float * int * Net.Prefix.t * Speaker.fib_state option) l
 val messages_sent : t -> int
 
 val messages_dropped : t -> int
+
+val count : (event -> bool) -> t -> int
+(** Number of recorded events satisfying the predicate, without
+    materializing the event list. *)
 
 val fib_change_count : t -> int
 

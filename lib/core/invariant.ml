@@ -9,6 +9,8 @@ type kind =
   | Dead_next_hop
   | Unstable
   | Compiled_mismatch
+  | Session_stale
+  | Stale_route
 
 let kind_name = function
   | Forwarding_loop -> "forwarding-loop"
@@ -17,6 +19,8 @@ let kind_name = function
   | Dead_next_hop -> "dead-next-hop"
   | Unstable -> "unstable"
   | Compiled_mismatch -> "compiled-mismatch"
+  | Session_stale -> "session-stale"
+  | Stale_route -> "stale-route"
 
 type violation = {
   device : int option;
@@ -105,6 +109,13 @@ let check_entries net graph devices prefix =
       let sp = Bgp.Network.speaker net d in
       match Bgp.Speaker.fib_lookup sp prefix with
       | Some Bgp.Speaker.Local | None -> []
+      | Some (Bgp.Speaker.Entries _)
+        when List.exists (Net.Prefix.equal prefix)
+               (Bgp.Speaker.fib_stale_prefixes sp) ->
+        (* The whole entry set is preserved from before the device's own
+           graceful restart; its justifying RIBs are deliberately gone.
+           [check_stale] reports it instead (a leak only at quiescence). *)
+        []
       | Some (Bgp.Speaker.Entries entries) ->
         let rib = Bgp.Speaker.adj_rib_in sp prefix in
         List.concat_map
@@ -139,8 +150,16 @@ let check_entries net graph devices prefix =
               && Bgp.Speaker.session_up sp ~peer:e.Bgp.Speaker.next_hop
                    ~session:e.Bgp.Speaker.session
             in
+            (* Forwarding on a stale route over an up link is the sanctioned
+               graceful-restart state (reported by [check_stale] if it
+               persists), not a dead next hop. *)
+            let stale_sanctioned =
+              link_up
+              && Bgp.Speaker.is_stale sp prefix ~peer:e.Bgp.Speaker.next_hop
+                   ~session:e.Bgp.Speaker.session
+            in
             let dead_v =
-              if alive then []
+              if alive || stale_sanctioned then []
               else
                 [ {
                     device = Some d;
@@ -156,6 +175,129 @@ let check_entries net graph devices prefix =
             rib_v @ dead_v)
           entries)
     devices
+
+(* ---------------- Graceful-restart stale state ---------------- *)
+
+(* Stale marks are legitimate only while a restart/resync is in progress; a
+   mark that survives to quiescence means the sweep machinery leaked. *)
+let check_stale net devices =
+  List.concat_map
+    (fun d ->
+      let sp = Bgp.Network.speaker net d in
+      let route_leaks =
+        List.map
+          (fun (prefix, peer, session, marked_at) ->
+            {
+              device = Some d;
+              prefix = Some prefix;
+              kind = Stale_route;
+              detail =
+                Printf.sprintf
+                  "route from peer %d session %d still stale (marked at %.4fs)"
+                  peer session marked_at;
+            })
+          (Bgp.Speaker.stale_routes sp)
+      in
+      let fib_leaks =
+        List.map
+          (fun prefix ->
+            {
+              device = Some d;
+              prefix = Some prefix;
+              kind = Stale_route;
+              detail = "FIB entry preserved across restart was never re-learned";
+            })
+          (Bgp.Speaker.fib_stale_prefixes sp)
+      in
+      route_leaks @ fib_leaks)
+    devices
+
+(* ---------------- Session staleness ---------------- *)
+
+(* For every session both ends consider established, what the sender's
+   Adj-RIB-Out holds must match what the receiver's Adj-RIB-In heard. A
+   divergence at quiescence means the transport silently ate messages — the
+   blinded-session failure mode that, without liveness timers, no other
+   check can see (each end is internally converged on its own inputs). *)
+let check_session_staleness net =
+  let graph = Bgp.Network.graph net in
+  let direction src dst session =
+    let sender = Bgp.Network.speaker net src in
+    let receiver = Bgp.Network.speaker net dst in
+    if
+      not
+        (Bgp.Speaker.session_up sender ~peer:dst ~session
+        && Bgp.Speaker.session_up receiver ~peer:src ~session)
+    then []
+    else begin
+      let sent = Bgp.Speaker.advertised_to sender ~peer:dst in
+      let heard = Bgp.Speaker.routes_from receiver ~peer:src ~session in
+      let stale prefix =
+        Bgp.Speaker.is_stale receiver prefix ~peer:src ~session
+      in
+      let missing =
+        List.filter_map
+          (fun (prefix, attr) ->
+            if stale prefix then None
+            else
+              match List.assoc_opt prefix heard with
+              | Some got when Net.Attr.equal got attr -> None
+              | Some _ ->
+                Some
+                  {
+                    device = Some dst;
+                    prefix = Some prefix;
+                    kind = Session_stale;
+                    detail =
+                      Printf.sprintf
+                        "route from %d session %d differs from what the peer \
+                         advertised"
+                        src session;
+                  }
+              | None ->
+                Some
+                  {
+                    device = Some dst;
+                    prefix = Some prefix;
+                    kind = Session_stale;
+                    detail =
+                      Printf.sprintf
+                        "peer %d advertised this prefix on session %d but it \
+                         was never received"
+                        src session;
+                  })
+          sent
+      in
+      let ghost =
+        List.filter_map
+          (fun (prefix, _) ->
+            if stale prefix || List.mem_assoc prefix sent then None
+            else
+              Some
+                {
+                  device = Some dst;
+                  prefix = Some prefix;
+                  kind = Session_stale;
+                  detail =
+                    Printf.sprintf
+                      "route held from %d session %d is no longer in the \
+                       peer's Adj-RIB-Out"
+                      src session;
+                })
+          heard
+      in
+      missing @ ghost
+    end
+  in
+  List.concat_map
+    (fun (link : Topology.Graph.link) ->
+      if not link.Topology.Graph.up then []
+      else
+        List.concat_map
+          (fun session ->
+            direction link.a link.b session @ direction link.b link.a session)
+          (List.init link.Topology.Graph.sessions Fun.id))
+    (Topology.Graph.links graph)
 
 (* ---------------- Stability ---------------- *)
 
@@ -211,7 +353,10 @@ let check ?prefixes net =
         @ check_entries net graph devices prefix)
       prefixes
   in
-  let found = per_prefix @ check_stability net devices in
+  let found =
+    per_prefix @ check_stability net devices @ check_stale net devices
+    @ check_session_staleness net
+  in
   Obs.Metrics.incr ~by:(List.length found) m_violations;
   found
 

@@ -36,6 +36,18 @@ type kind =
   | Compiled_mismatch
       (** an ingress policy produced by {!Fallback_compiler} is not (or no
           longer) installed on its device *)
+  | Session_stale
+      (** both ends consider the session established, yet what the sender's
+          Adj-RIB-Out holds differs from what the receiver heard — the
+          transport silently ate messages (e.g. a 100% drop fault with no
+          liveness timers). Each end is internally converged, so only this
+          cross-end comparison can see it. Routes marked stale by graceful
+          restart are exempt (they are {e known} to be old). *)
+  | Stale_route
+      (** graceful-restart stale state — a stale-marked Adj-RIB-In route or
+          a FIB entry preserved across a restart — still present. Expected
+          mid-restart; at quiescence it means the End-of-RIB / stale-path
+          sweep machinery leaked. *)
 
 val kind_name : kind -> string
 (** Stable machine-readable tag, e.g. ["forwarding-loop"]. *)
@@ -53,9 +65,20 @@ val pp_violation : Format.formatter -> violation -> unit
 
 val check : ?prefixes:Net.Prefix.t list -> Bgp.Network.t -> violation list
 (** Runs every network-level check ({!Forwarding_loop}, {!Blackhole},
-    {!Rib_inconsistency}, {!Dead_next_hop}, {!Unstable}) over the given
-    prefixes (default: every prefix any speaker knows). Empty list = all
-    invariants hold right now. *)
+    {!Rib_inconsistency}, {!Dead_next_hop}, {!Unstable}, {!Session_stale},
+    {!Stale_route}) over the given prefixes (default: every prefix any
+    speaker knows; the session and stale checks are prefix-independent and
+    always run). Empty list = all invariants hold right now. *)
+
+val check_session_staleness : Bgp.Network.t -> violation list
+(** The cross-end session check alone: for every session both ends consider
+    up, the receiver's raw Adj-RIB-In must mirror the sender's Adj-RIB-Out
+    (stale-marked routes exempt). Works with liveness timers disabled —
+    this is the only detector for silently blinded sessions in legacy
+    mode. *)
+
+val check_stale : Bgp.Network.t -> int list -> violation list
+(** The graceful-restart leak check alone, over the given device ids. *)
 
 val check_forwarding :
   ?prefix:Net.Prefix.t ->

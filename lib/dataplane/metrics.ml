@@ -73,6 +73,45 @@ let max_funneling_over_timeline ~timeline ~demands ~members =
       if f > worst then (f, time) else (worst, at))
     (0.0, 0.0) timeline
 
+type loss_integral = {
+  blackhole_seconds : float;
+  loss_seconds : float;
+  duration : float;
+}
+
+let loss_integrals ~initial ~timeline ~demands ~from_time ~until =
+  let total = Traffic.total_demand demands in
+  let fractions snapshot =
+    let result = Traffic.route_snapshot snapshot ~demands in
+    (blackholed_fraction result ~total, loss_fraction result ~total)
+  in
+  let initial_snapshot = Hashtbl.create 16 in
+  List.iter
+    (fun (device, state) -> Hashtbl.replace initial_snapshot device state)
+    initial;
+  (* Piecewise-constant integration: each FIB snapshot holds from its
+     change instant until the next one (the initial snapshot from
+     [from_time]); the last segment extends to [until]. Segments are
+     clamped to the [from_time, until) window. *)
+  let rec segments snapshot start = function
+    | [] -> [ (snapshot, start, until) ]
+    | (time, next) :: rest -> (snapshot, start, time) :: segments next time rest
+  in
+  List.fold_left
+    (fun acc (snapshot, start, stop) ->
+      let width = Float.min stop until -. Float.max start from_time in
+      if width <= 0.0 then acc
+      else begin
+        let blackholed, lost = fractions snapshot in
+        {
+          blackhole_seconds = acc.blackhole_seconds +. (blackholed *. width);
+          loss_seconds = acc.loss_seconds +. (lost *. width);
+          duration = acc.duration +. width;
+        }
+      end)
+    { blackhole_seconds = 0.0; loss_seconds = 0.0; duration = 0.0 }
+    (segments initial_snapshot from_time timeline)
+
 let max_link_utilization (result : Traffic.result) ~capacity =
   Hashtbl.fold
     (fun link load acc ->

@@ -41,3 +41,27 @@ val max_funneling_over_timeline :
 val max_link_utilization :
   Traffic.result -> capacity:(int * int -> float) -> float
 (** Max over directed links of load / capacity. *)
+
+(** Time-integrated data-plane loss over a FIB timeline. *)
+type loss_integral = {
+  blackhole_seconds : float;
+      (** integral of the black-holed demand fraction: "one blackhole-second"
+          = all demand black-holed for one simulated second *)
+  loss_seconds : float;
+      (** same integral for dropped + looped demand (loss_fraction) *)
+  duration : float;  (** width of the integration window actually covered *)
+}
+
+val loss_integrals :
+  initial:(int * Bgp.Speaker.fib_state) list ->
+  timeline:(float * (int, Bgp.Speaker.fib_state) Hashtbl.t) list ->
+  demands:(int * float) list ->
+  from_time:float ->
+  until:float ->
+  loss_integral
+(** Routes [demands] over every piecewise-constant segment of the FIB
+    timeline (as produced by {!Bgp.Trace.fib_timeline}, with [initial] the
+    snapshot in force at [from_time]) and integrates the black-holed and
+    lost fractions over [[from_time, until)]. This is the paper-style
+    "data-plane loss during convergence" observable: GR on/off runs at
+    identical seeds are compared by their blackhole-seconds. *)

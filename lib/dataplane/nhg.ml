@@ -64,7 +64,7 @@ let timeline_on_device ?(initial = []) trace ~device =
         Some (time, count ())
       | Bgp.Trace.Fib_change _ | Bgp.Trace.Message_sent _
       | Bgp.Trace.Message_dropped _ | Bgp.Trace.Speaker_restarted _
-      | Bgp.Trace.Violation _ ->
+      | Bgp.Trace.Session_event _ | Bgp.Trace.Violation _ ->
         None)
     (Bgp.Trace.events trace)
 

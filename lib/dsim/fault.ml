@@ -14,6 +14,9 @@ let light =
 let heavy =
   { drop_prob = 0.1; delay_prob = 0.3; delay_mean = 0.02; reorder_prob = 0.2 }
 
+let severe =
+  { drop_prob = 0.25; delay_prob = 0.4; delay_mean = 0.03; reorder_prob = 0.25 }
+
 type fate = { dropped : bool; extra_delay : float; reorder : bool }
 
 let pass = { dropped = false; extra_delay = 0.0; reorder = false }

@@ -38,6 +38,11 @@ val heavy : profile
 (** Severe degradation: 10% loss, 30% extra delay (20 ms mean), 20%
     reorder. *)
 
+val severe : profile
+(** Chaos-grade degradation: 25% loss, 40% extra delay (30 ms mean), 25%
+    reorder — enough sustained loss to expire hold timers (see
+    {!Bgp.Liveness}) and exercise graceful-restart retention. *)
+
 (** The sampled outcome for one message. *)
 type fate = {
   dropped : bool;

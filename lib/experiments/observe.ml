@@ -183,6 +183,33 @@ let specs :
             ("fib_digest", Obs.Json.String r.fib_digest);
           ],
           [] ) );
+    ( "chaos_gr",
+      "expansion Clos under severe message faults and speaker restarts, \
+       session liveness on, graceful restart on vs off",
+      fun ~seed ->
+        let r = Scenarios.Chaos.run ~seed () in
+        let mode prefix (m : Scenarios.Chaos.mode_result) =
+          [
+            (prefix ^ "blackhole_seconds", f m.blackhole_seconds);
+            (prefix ^ "loss_seconds", f m.loss_seconds);
+            (prefix ^ "messages_dropped", i m.messages_dropped);
+            (prefix ^ "hold_expiries", i m.hold_expiries);
+            (prefix ^ "reconnects", i m.reconnects);
+            (prefix ^ "stale_sweeps", i m.stale_sweeps);
+            ( prefix ^ "transient_violations",
+              i (List.length m.transient_violations) );
+            (prefix ^ "final_violations", i (List.length m.final_violations));
+            (prefix ^ "fib_digest", Obs.Json.String m.fib_digest);
+          ]
+        in
+        ( mode "gr_on_" r.Scenarios.Chaos.gr_on
+          @ mode "gr_off_" r.gr_off
+          @ [
+              ("window", f r.gr_on.window);
+              ("keepalives_sent", i r.gr_on.keepalives_sent);
+              ("gr_wins", b r.gr_wins);
+            ],
+          [] ) );
   ]
 
 let scenario_names = List.map (fun (n, _, _) -> n) specs

@@ -767,6 +767,143 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+module Chaos = struct
+  type mode_result = {
+    gr : bool;
+    blackhole_seconds : float;
+    loss_seconds : float;
+    window : float;
+    messages_dropped : int;
+    keepalives_sent : int;
+    hold_expiries : int;
+    reconnects : int;
+    stale_sweeps : int;
+    speaker_restarts : int;
+    transient_violations : (float * string) list;
+    final_violations : (int option * Net.Prefix.t option * string) list;
+    trace_events : int;
+    fib_digest : string;
+  }
+
+  type result = { gr_on : mode_result; gr_off : mode_result; gr_wins : bool }
+
+  let horizon = 0.12
+
+  let count_session_events trace event =
+    List.length
+      (List.filter
+         (function
+           | Bgp.Trace.Session_event { event = e; _ } -> e = event
+           | _ -> false)
+         (Bgp.Trace.events trace))
+
+  let fib_digest net =
+    let prefixes = List.sort compare (Bgp.Network.known_prefixes net) in
+    let snapshot =
+      List.map (fun p -> (p, Bgp.Network.fib_snapshot net p)) prefixes
+    in
+    Digest.to_hex (Digest.string (Marshal.to_string snapshot []))
+
+  let run_mode ?(seed = 42) ?(profile = Dsim.Fault.severe) ~gr () =
+    Obs.Span.with_span "scenario.chaos"
+      ~attrs:(fun () ->
+        [ ("seed", string_of_int seed); ("gr", string_of_bool gr) ])
+    @@ fun () ->
+    let default = Net.Prefix.default_v4 in
+    let x = Topology.Clos.expansion () in
+    let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
+    Bgp.Network.originate net x.backbone default (tagged_attr ());
+    ignore (Bgp.Network.converge net);
+    let t0 = Bgp.Network.now net in
+    let initial = Bgp.Network.fib_snapshot net default in
+    Bgp.Trace.clear (Bgp.Network.trace net);
+    (* Identical seeds across both modes: the latency stream belongs to the
+       network, message fates to their own stream. GR is the only
+       difference between the two runs. *)
+    Bgp.Network.set_fault net
+      (Some (Dsim.Fault.create ~seed:(seed + 1) profile));
+    let config =
+      if gr then Bgp.Liveness.with_gr Bgp.Liveness.default
+      else Bgp.Liveness.default
+    in
+    Bgp.Network.enable_liveness ~config ~until:(t0 +. horizon) net;
+    (* Control-plane chaos on top of the message-level faults: the origin
+       itself restarts mid-window — the worst case for blackholes, since in
+       legacy mode every peer flushes the default route and the withdrawal
+       cascades fabric-wide — and one FA restarts later. *)
+    Bgp.Network.restart_device ~delay:0.01 net x.backbone ~recovery:0.02;
+    (match x.Topology.Clos.fav1 with
+     | fa :: _ -> Bgp.Network.restart_device ~delay:0.05 net fa ~recovery:0.015
+     | [] -> ());
+    Centralium.Invariant.monitor ~period:0.01 ~until:(t0 +. horizon) net;
+    ignore (Bgp.Network.run_until net ~time:(t0 +. horizon));
+    (* End of the chaos window: heal the transport, re-establish every
+       torn-down session, and let the remaining timers (stale sweeps,
+       recoveries) drain to quiescence. *)
+    Bgp.Network.set_fault net None;
+    Bgp.Network.reestablish_sessions ~all:true net;
+    ignore (Bgp.Network.converge net);
+    let trace_log = Bgp.Network.trace net in
+    let demands = List.map (fun f -> (f, 1.0)) x.Topology.Clos.xfsws in
+    let timeline = Bgp.Trace.fib_timeline trace_log ~prefix:default ~initial in
+    (* A fixed integration window covering the chaos plus the longest
+       possible sweep tail, identical in both modes so the integrals are
+       directly comparable. The healed network contributes zero loss. *)
+    let until = t0 +. horizon +. config.Bgp.Liveness.stale_path_time in
+    let integral =
+      Dataplane.Metrics.loss_integrals ~initial ~timeline ~demands
+        ~from_time:t0 ~until
+    in
+    let transient_violations =
+      List.map
+        (fun (time, _, _, kind, _) -> (time, kind))
+        (Bgp.Trace.violations trace_log)
+    in
+    let final_violations =
+      List.map
+        (fun (v : Centralium.Invariant.violation) ->
+          (v.device, v.prefix, Centralium.Invariant.kind_name v.kind))
+        (Centralium.Invariant.check net)
+    in
+    {
+      gr;
+      blackhole_seconds = integral.Dataplane.Metrics.blackhole_seconds;
+      loss_seconds = integral.Dataplane.Metrics.loss_seconds;
+      window = integral.Dataplane.Metrics.duration;
+      messages_dropped = Bgp.Trace.messages_dropped trace_log;
+      keepalives_sent =
+        Bgp.Trace.count
+          (function
+            | Bgp.Trace.Message_sent { msg = Bgp.Msg.Keepalive; _ } -> true
+            | _ -> false)
+          trace_log;
+      hold_expiries = count_session_events trace_log "hold-expired";
+      reconnects = count_session_events trace_log "reconnected";
+      stale_sweeps =
+        count_session_events trace_log "stale-swept"
+        + count_session_events trace_log "fib-stale-swept";
+      speaker_restarts =
+        Bgp.Trace.count
+          (function Bgp.Trace.Speaker_restarted _ -> true | _ -> false)
+          trace_log;
+      transient_violations;
+      final_violations;
+      trace_events = Bgp.Trace.length trace_log;
+      fib_digest = fib_digest net;
+    }
+
+  let run ?seed ?profile () =
+    let gr_on = run_mode ?seed ?profile ~gr:true () in
+    let gr_off = run_mode ?seed ?profile ~gr:false () in
+    {
+      gr_on;
+      gr_off;
+      gr_wins = gr_on.blackhole_seconds < gr_off.blackhole_seconds;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
 module Fig13 = struct
   type event = {
     event_id : int;

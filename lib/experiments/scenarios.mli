@@ -211,6 +211,55 @@ module Faulted_deploy : sig
       first phase. *)
 end
 
+(** Data-plane chaos with and without graceful restart: the expansion Clos
+    under the {!Dsim.Fault.severe} message-fault profile plus mid-window
+    speaker restarts (the route origin itself, then an FA), with session
+    liveness timers running ({!Bgp.Network.enable_liveness}) and the
+    {!Centralium.Invariant} monitor sampling throughout. Traffic loss is
+    integrated over the FIB timeline into blackhole-seconds / loss-seconds
+    ({!Dataplane.Metrics.loss_integrals}). Running both modes at identical
+    seeds isolates the effect of RFC 4724 stale retention: the GR run's
+    blackhole-seconds must be strictly lower (fail-static, quantified).
+    After the chaos window the transport is healed and all sessions
+    re-established, so both modes must reach a violation-free quiescent
+    state. *)
+module Chaos : sig
+  type mode_result = {
+    gr : bool;
+    blackhole_seconds : float;
+        (** integral of the black-holed demand fraction over the window *)
+    loss_seconds : float;  (** same, for dropped + looped demand *)
+    window : float;  (** width of the integration window, seconds *)
+    messages_dropped : int;
+    keepalives_sent : int;
+    hold_expiries : int;  (** sessions torn down by the hold timer *)
+    reconnects : int;
+    stale_sweeps : int;  (** stale-path timer sweeps that removed routes *)
+    speaker_restarts : int;
+    transient_violations : (float * string) list;
+    final_violations : (int option * Net.Prefix.t option * string) list;
+        (** must be empty: the healed network has no excuse *)
+    trace_events : int;
+    fib_digest : string;
+  }
+
+  type result = {
+    gr_on : mode_result;
+    gr_off : mode_result;
+    gr_wins : bool;
+        (** gr_on.blackhole_seconds < gr_off.blackhole_seconds — the
+            acceptance criterion *)
+  }
+
+  val horizon : float
+
+  val run_mode :
+    ?seed:int -> ?profile:Dsim.Fault.profile -> gr:bool -> unit -> mode_result
+
+  val run : ?seed:int -> ?profile:Dsim.Fault.profile -> unit -> result
+  (** Both modes at the same seed. *)
+end
+
 (** Section 6.4 / Figure 13: effective capacity of ECMP vs RPA-TE vs ideal
     WCMP across maintenance events. *)
 module Fig13 : sig

@@ -31,7 +31,7 @@ let msgs_to peer outbox = List.filter (fun (p, _, _) -> p = peer) outbox
 
 let is_update = function
   | _, _, Bgp.Msg.Update _ -> true
-  | _, _, Bgp.Msg.Withdraw _ -> false
+  | _, _, (Bgp.Msg.Withdraw _ | Bgp.Msg.Keepalive | Bgp.Msg.Eor) -> false
 
 (* ---------------- origination ---------------- *)
 
@@ -48,7 +48,8 @@ let test_originate_advertises_to_all_peers () =
         check_int "one hop" 1 (As_path.length attr.Attr.as_path);
         check_bool "own asn first" true
           (As_path.first_asn attr.Attr.as_path = Some (Bgp.Speaker.asn sp))
-      | Bgp.Msg.Withdraw _ -> Alcotest.fail "unexpected withdraw")
+      | Bgp.Msg.Withdraw _ | Bgp.Msg.Keepalive | Bgp.Msg.Eor ->
+        Alcotest.fail "unexpected non-update")
     out;
   match Bgp.Speaker.fib_lookup sp p10 with
   | Some Bgp.Speaker.Local -> ()
@@ -147,6 +148,110 @@ let test_peers_reports_live_sessions () =
   ignore (Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:false);
   check_int "one live peer" 1 (List.length (Bgp.Speaker.peers sp))
 
+(* ---------------- session edge cases ---------------- *)
+
+let test_flap_with_withdrawal_in_flight () =
+  (* A session flaps while the far end had a withdrawal in flight: the late
+     Withdraw arrives after the flush + resync and must be a no-op, not
+     resurrect or double-remove state. *)
+  let sp = speaker 5 [ 1; 2 ] in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  ignore (Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:false);
+  ignore (Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:true);
+  check_bool "flushed by the flap" true (Bgp.Speaker.fib_lookup sp p10 = None);
+  let out =
+    Bgp.Speaker.receive sp env ~peer:1 ~session:0
+      (Bgp.Msg.Withdraw { prefix = p10 })
+  in
+  check_int "late withdraw is silent" 0 (List.length out);
+  check_bool "still no route" true (Bgp.Speaker.fib_lookup sp p10 = None);
+  (* The same route re-announced over the new session works normally. *)
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  check_bool "relearned" true (Bgp.Speaker.fib_lookup sp p10 <> None)
+
+let test_multi_session_single_drop () =
+  (* Two sessions to the same peer; the route is known over both. Dropping
+     one session must keep the route installed (learned over the survivor)
+     and advertise nothing new — the FIB and Adj-RIB-Out are unchanged. *)
+  let sp = Bgp.Speaker.create (node 5) in
+  Bgp.Speaker.add_peer sp ~peer:1 ~sessions:2;
+  Bgp.Speaker.add_peer sp ~peer:2 ~sessions:1;
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:1 (update p10));
+  let before = Bgp.Speaker.advertised_to sp ~peer:2 in
+  let out = Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:false in
+  check_bool "route survives on session 1" true
+    (Bgp.Speaker.fib_lookup sp p10 <> None);
+  check_int "no churn toward peer 2" 0 (List.length (msgs_to 2 out));
+  check_bool "adj-rib-out unchanged" true
+    (before = Bgp.Speaker.advertised_to sp ~peer:2);
+  (* Dropping the last session flushes for real. *)
+  let out = Bgp.Speaker.set_session sp env ~peer:1 ~session:1 ~up:false in
+  check_bool "flushed after last session" true
+    (Bgp.Speaker.fib_lookup sp p10 = None);
+  check_bool "withdraw to peer 2" true
+    (List.exists (fun m -> not (is_update m)) (msgs_to 2 out))
+
+let test_gr_stale_mark_and_refresh () =
+  (* Graceful restart, receiver side: a stale-marked route keeps forwarding,
+     an Update refresh clears the mark, End-of-RIB sweeps the rest. *)
+  let sp = speaker 5 [ 1; 2 ] in
+  Bgp.Speaker.set_graceful_restart sp true;
+  let p11 = Prefix.of_string_exn "11.0.0.0/8" in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p11));
+  let out =
+    Bgp.Speaker.set_session ~stale:true sp env ~peer:1 ~session:0 ~up:false
+  in
+  check_bool "still forwarding p10" true (Bgp.Speaker.fib_lookup sp p10 <> None);
+  check_bool "still forwarding p11" true (Bgp.Speaker.fib_lookup sp p11 <> None);
+  check_bool "marked stale" true
+    (Bgp.Speaker.is_stale sp p10 ~peer:1 ~session:0);
+  check_bool "no withdraw cascade" true
+    (List.for_all is_update (msgs_to 2 out));
+  ignore (Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:true);
+  (* The restarted peer re-announces only p10, then signals End-of-RIB. *)
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  check_bool "refresh clears the mark" true
+    (not (Bgp.Speaker.is_stale sp p10 ~peer:1 ~session:0));
+  let out = Bgp.Speaker.receive sp env ~peer:1 ~session:0 Bgp.Msg.Eor in
+  check_bool "p10 survives the sweep" true
+    (Bgp.Speaker.fib_lookup sp p10 <> None);
+  check_bool "p11 swept" true (Bgp.Speaker.fib_lookup sp p11 = None);
+  check_bool "p11 withdrawn downstream" true
+    (List.exists (fun m -> not (is_update m)) (msgs_to 2 out));
+  check_int "no marks left" 0 (List.length (Bgp.Speaker.stale_routes sp))
+
+let test_restart_during_restart () =
+  (* The speaker crashes again while still recovering from its first crash
+     (GR on): preserved FIB entries must survive both resets, and the
+     stale-path sweep after the second recovery must clear exactly the
+     never-refreshed entries. *)
+  let sp = speaker 5 [ 1; 2 ] in
+  Bgp.Speaker.set_graceful_restart sp true;
+  let p11 = Prefix.of_string_exn "11.0.0.0/8" in
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p11));
+  Bgp.Speaker.reset sp;
+  check_int "both preserved" 2
+    (List.length (Bgp.Speaker.fib_stale_prefixes sp));
+  (* Second crash before any re-learning. *)
+  Bgp.Speaker.reset sp;
+  check_int "still preserved" 2
+    (List.length (Bgp.Speaker.fib_stale_prefixes sp));
+  check_bool "still forwarding" true (Bgp.Speaker.fib_lookup sp p10 <> None);
+  (* Recovery: only p10 is re-learned; the sweep expires p11 alone. *)
+  ignore (Bgp.Speaker.set_session sp env ~peer:1 ~session:0 ~up:true);
+  ignore (Bgp.Speaker.set_session sp env ~peer:2 ~session:0 ~up:true);
+  ignore (Bgp.Speaker.receive sp env ~peer:1 ~session:0 (update p10));
+  check_bool "p10 re-derived" true
+    (not (List.exists (Prefix.equal p10) (Bgp.Speaker.fib_stale_prefixes sp)));
+  ignore (Bgp.Speaker.sweep_own_stale sp env);
+  check_bool "p10 survives" true (Bgp.Speaker.fib_lookup sp p10 <> None);
+  check_bool "p11 expired" true (Bgp.Speaker.fib_lookup sp p11 = None);
+  check_int "nothing preserved anymore" 0
+    (List.length (Bgp.Speaker.fib_stale_prefixes sp))
+
 (* ---------------- policy interaction ---------------- *)
 
 let test_ingress_policy_reject_blocks_install () =
@@ -240,6 +345,10 @@ let () =
           quick "down flushes" test_session_down_flushes_routes;
           quick "up resends" test_session_up_resends_table;
           quick "peers live" test_peers_reports_live_sessions;
+          quick "flap with withdrawal in flight" test_flap_with_withdrawal_in_flight;
+          quick "multi-session single drop" test_multi_session_single_drop;
+          quick "gr stale mark and refresh" test_gr_stale_mark_and_refresh;
+          quick "restart during restart" test_restart_during_restart;
         ] );
       ( "policy",
         [
