@@ -252,6 +252,146 @@ let parse_cmd =
              canonical form")
     Term.(const run $ file)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let module D = Analysis.Diagnostic in
+  let print_human diags =
+    List.iter (fun d -> print_endline (D.to_human d)) (D.sort diags)
+  in
+  let run_file file json =
+    let source =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    match Centralium.Rpa_parser.parse_located source with
+    | Error e ->
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj [ ("parse-error", Obs.Json.String e) ]))
+      else Printf.eprintf "parse error: %s\n" e;
+      1
+    | Ok (rpa, positions) ->
+      let diags = Analysis.Lint.check_rpa ~positions rpa in
+      if json then print_endline (Obs.Json.to_string (D.report_json diags))
+      else begin
+        print_human diags;
+        pf "%d finding(s), %d error(s)\n" (List.length diags)
+          (List.length (List.filter (fun d -> d.D.severity = D.Error) diags))
+      end;
+      if D.has_errors diags then 1 else 0
+  in
+  let run_suite seed json =
+    let specs = Centralium.Verification.standard_suite ~seed () in
+    let results =
+      List.map
+        (fun spec ->
+          let net, plan, _ = spec.Centralium.Verification.build () in
+          let diags =
+            Analysis.Lint.check_plan (Bgp.Network.graph net) plan
+          in
+          (spec.Centralium.Verification.spec_name, diags))
+        specs
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ( "suite",
+                  Obs.Json.List
+                    (List.map
+                       (fun (name, diags) ->
+                         Obs.Json.Obj
+                           [
+                             ("spec", Obs.Json.String name);
+                             ("report", D.report_json diags);
+                           ])
+                       results) );
+              ]))
+    else
+      List.iter
+        (fun (name, diags) ->
+          pf "%s: %d finding(s)\n" name (List.length diags);
+          print_human diags)
+        results;
+    if List.exists (fun (_, diags) -> D.has_errors diags) results then 1
+    else 0
+  in
+  let run_selftest json =
+    let results = Analysis.Corpus.run () in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ( "selftest",
+                  Obs.Json.List
+                    (List.map
+                       (fun r ->
+                         Obs.Json.Obj
+                           [
+                             ("case", Obs.Json.String r.Analysis.Corpus.r_case);
+                             ( "expect",
+                               Obs.Json.String
+                                 (D.code_to_string r.Analysis.Corpus.r_expect)
+                             );
+                             ( "detected",
+                               Obs.Json.Bool r.Analysis.Corpus.r_detected );
+                           ])
+                       results) );
+              ]))
+    else
+      List.iter
+        (fun r ->
+          pf "%-45s %s  [%s]\n" r.Analysis.Corpus.r_case
+            (D.code_to_string r.Analysis.Corpus.r_expect)
+            (if r.Analysis.Corpus.r_detected then "detected" else "MISSED"))
+        results;
+    if Analysis.Corpus.all_detected results then 0 else 1
+  in
+  let run file suite selftest json seed =
+    if selftest then run_selftest json
+    else if suite then run_suite seed json
+    else run_file file json
+  in
+  let file =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"FILE" ~doc:"RPA configuration file ('-' for stdin)")
+  in
+  let suite =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:"lint every plan of the standard qualification suite instead \
+                of a file")
+  in
+  let selftest =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:"run the analyzer over the seeded defect corpus and check \
+                every defect class is caught")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"machine-readable output (stable field order)")
+  in
+  let seed =
+    Arg.(
+      value & opt int 31
+      & info [ "seed" ] ~doc:"base network seed for --suite plan building")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze RPA configuration or deployment plans \
+             without constructing a BGP network; non-zero exit on \
+             error-severity findings")
+    Term.(const run $ file $ suite $ selftest $ json $ seed)
+
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
@@ -595,6 +735,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            topology_cmd; rpa_cmd; parse_cmd; simulate_cmd; observe_cmd;
-            table3_cmd; verify_cmd; chaos_cmd; apps_cmd;
+            topology_cmd; rpa_cmd; parse_cmd; lint_cmd; simulate_cmd;
+            observe_cmd; table3_cmd; verify_cmd; chaos_cmd; apps_cmd;
           ]))

@@ -1,0 +1,101 @@
+module Prefix = Net.Prefix
+
+type 'a node = {
+  prefix : Prefix.t;
+  mutable values : 'a list;  (* insertion order *)
+  mutable lo : 'a node option;  (* 0-bit child *)
+  mutable hi : 'a node option;  (* 1-bit child *)
+}
+
+type 'a t = { mutable v4 : 'a node option; mutable v6 : 'a node option }
+
+let create () = { v4 = None; v6 = None }
+
+let fresh prefix = { prefix; values = []; lo = None; hi = None }
+
+let root t p =
+  match Prefix.family p with
+  | Prefix.V4 ->
+    (match t.v4 with
+     | Some r -> r
+     | None ->
+       let r = fresh Prefix.default_v4 in
+       t.v4 <- Some r;
+       r)
+  | Prefix.V6 ->
+    (match t.v6 with
+     | Some r -> r
+     | None ->
+       let r = fresh Prefix.default_v6 in
+       t.v6 <- Some r;
+       r)
+
+let root_opt t p =
+  match Prefix.family p with Prefix.V4 -> t.v4 | Prefix.V6 -> t.v6
+
+(* Descends one bit at a time, materializing the chain of intermediate
+   prefixes; every inserted prefix therefore has all its ancestors as
+   nodes, which keeps the query walks trivial. *)
+let add t p v =
+  let rec go node =
+    if Prefix.equal node.prefix p then node.values <- node.values @ [ v ]
+    else begin
+      let zero, one = Prefix.subdivide node.prefix in
+      if Prefix.contains zero p then begin
+        (match node.lo with None -> node.lo <- Some (fresh zero) | Some _ -> ());
+        go (Option.get node.lo)
+      end
+      else begin
+        assert (Prefix.contains one p);
+        (match node.hi with None -> node.hi <- Some (fresh one) | Some _ -> ());
+        go (Option.get node.hi)
+      end
+    end
+  in
+  go (root t p)
+
+let entries node = List.map (fun v -> (node.prefix, v)) node.values
+
+let covering t p =
+  match root_opt t p with
+  | None -> []
+  | Some r ->
+    let rec go node acc =
+      let acc = acc @ entries node in
+      if Prefix.equal node.prefix p then acc
+      else
+        let zero, _ = Prefix.subdivide node.prefix in
+        let child = if Prefix.contains zero p then node.lo else node.hi in
+        (match child with
+         | Some c when Prefix.contains c.prefix p -> go c acc
+         | Some _ | None -> acc)
+    in
+    go r []
+
+let covered_by t p =
+  match root_opt t p with
+  | None -> []
+  | Some r ->
+    (* Walk to the node at exactly [p]; the subtree below it holds every
+       contained entry (ancestors are always materialized). *)
+    let rec descend node =
+      if Prefix.equal node.prefix p then Some node
+      else
+        let zero, _ = Prefix.subdivide node.prefix in
+        let child = if Prefix.contains zero p then node.lo else node.hi in
+        match child with
+        | Some c when Prefix.contains c.prefix p -> descend c
+        | Some _ | None -> None
+    in
+    let rec collect node acc =
+      let acc = acc @ entries node in
+      let acc = match node.lo with Some c -> collect c acc | None -> acc in
+      match node.hi with Some c -> collect c acc | None -> acc
+    in
+    (match descend r with None -> [] | Some n -> collect n [])
+
+let overlapping t p =
+  let above =
+    List.filter (fun (q, _) -> not (Prefix.equal q p)) (covering t p)
+  in
+  above @ covered_by t p

@@ -1,0 +1,24 @@
+(** A binary trie over {!Net.Prefix.t} for containment queries.
+
+    The analyzer needs "which destination prefixes cover / are covered by
+    this one" across the statements of a plan; a trie answers that without
+    the quadratic prefix-by-prefix scan. Keys are canonical prefixes; one
+    trie holds both address families (separate roots). Values accumulate —
+    adding the same prefix twice keeps both values. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> Net.Prefix.t -> 'a -> unit
+
+val covering : 'a t -> Net.Prefix.t -> (Net.Prefix.t * 'a) list
+(** Entries whose prefix contains the query (the query itself included),
+    shortest mask first; insertion order within a node. *)
+
+val covered_by : 'a t -> Net.Prefix.t -> (Net.Prefix.t * 'a) list
+(** Entries contained in the query (the query itself included). *)
+
+val overlapping : 'a t -> Net.Prefix.t -> (Net.Prefix.t * 'a) list
+(** Union of {!covering} and {!covered_by}; entries equal to the query
+    appear once. Two prefixes overlap iff one contains the other. *)

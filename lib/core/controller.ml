@@ -23,6 +23,27 @@ let plan_loc plan =
   |> List.sort_uniq compare
   |> List.fold_left (fun acc lines -> acc + List.length lines) 0
 
+(* {1 Lint hook}
+
+   The static analyzer lives in lib/analysis, which depends on this
+   library; the dependency cycle is broken with a registration hook. When
+   the analysis library is linked, its initializer installs the engine
+   here and every deployment gets a pre-flight lint pass. *)
+
+type lint_finding = {
+  lint_error : bool;
+  lint_code : string;
+  lint_message : string;
+}
+
+type lint_mode = [ `Off | `Warn | `Enforce ]
+
+let linter_ref : (Topology.Graph.t -> plan -> lint_finding list) option ref =
+  ref None
+
+let set_linter f = linter_ref := Some f
+let linter () = !linter_ref
+
 type device_failure = { failed_device : int; attempts : int; last_error : string }
 
 type report = {
@@ -115,6 +136,35 @@ let validate_plan t plan =
          Error (Printf.sprintf "plan %s: device %d has multiple RPAs (merge them)"
                   plan.plan_name d)
        | None -> Ok ())
+
+(* Pre-flight lint pass. [`Warn] logs findings; [`Enforce] refuses plans
+   with error-severity findings. With no engine registered (binary not
+   linked against lib/analysis) the gate is a no-op. *)
+let lint_gate ~lint t plan =
+  match (lint, !linter_ref) with
+  | `Off, _ | _, None -> Ok ()
+  | ((`Warn | `Enforce) as mode), Some engine ->
+    let findings = engine (Bgp.Network.graph t.net) plan in
+    let errors = List.filter (fun f -> f.lint_error) findings in
+    (match mode with
+     | `Enforce when errors <> [] ->
+       Error
+         (List.map
+            (fun f -> Printf.sprintf "lint %s: %s" f.lint_code f.lint_message)
+            errors)
+     | _ ->
+       List.iter
+         (fun f ->
+           if f.lint_error then
+             Logs.warn (fun m ->
+                 m "plan %s: lint %s: %s" plan.plan_name f.lint_code
+                   f.lint_message)
+           else
+             Logs.info (fun m ->
+                 m "plan %s: lint %s: %s" plan.plan_name f.lint_code
+                   f.lint_message))
+         findings;
+       Ok ())
 
 (* {1 Retry machinery} *)
 
@@ -399,14 +449,17 @@ let execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
       }
 
 let deploy_resilient ?(policy = default_retry_policy) ?fault
-    ?(between_phases = fun _ -> ()) t plan =
+    ?(between_phases = fun _ -> ()) ?(lint = `Warn) t plan =
   Obs.Span.with_span "controller.deploy"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
   @@ fun () ->
   match validate_plan t plan with
   | Error e -> Aborted [ e ]
   | Ok () ->
-    (match Health.failures plan.pre_checks with
+    (match lint_gate ~lint t plan with
+     | Error reasons -> Aborted reasons
+     | Ok () ->
+    match Health.failures plan.pre_checks with
      | _ :: _ as failures -> Aborted (fmt_failures "pre-check" failures)
      | [] ->
        let jrng = Dsim.Rng.create policy.jitter_seed in
@@ -423,7 +476,7 @@ let deploy_resilient ?(policy = default_retry_policy) ?fault
          ~from_phase:0 ~resumed_from_phase:None)
 
 let resume ?(policy = default_retry_policy) ?fault
-    ?(between_phases = fun _ -> ()) t plan =
+    ?(between_phases = fun _ -> ()) ?(lint = `Warn) t plan =
   Obs.Span.with_span "controller.resume"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
   @@ fun () ->
@@ -446,6 +499,9 @@ let resume ?(policy = default_retry_policy) ?fault
     (match validate_plan t plan with
      | Error e -> Aborted [ e ]
      | Ok () ->
+     match lint_gate ~lint t plan with
+     | Error reasons -> Aborted reasons
+     | Ok () ->
        let from_phase = Option.value (journal_next_phase t plan) ~default:0 in
        Obs.Metrics.incr m_resumes;
        Obs.Metrics.set_gauge g_resume_phase (float_of_int from_phase);
@@ -458,8 +514,8 @@ let resume ?(policy = default_retry_policy) ?fault
        execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
          ~from_phase ~resumed_from_phase:(Some from_phase))
 
-let deploy t plan =
-  match deploy_resilient ~policy:single_shot_policy t plan with
+let deploy ?(lint = `Warn) t plan =
+  match deploy_resilient ~policy:single_shot_policy ~lint t plan with
   | Completed report -> Ok report
   | Rolled_back { reasons; _ } -> Error reasons
   | Aborted reasons -> Error reasons

@@ -30,6 +30,31 @@ val plan_loc : plan -> int
     "RPA LOC"). Identical per-device RPAs are counted once, matching how
     operators author one RPA template per layer. *)
 
+(** {1 Lint hook}
+
+    The static analyzer (lib/analysis) depends on this library, so the
+    controller cannot call it directly; instead the analysis library
+    registers its engine here at link time. Deployments then run a
+    pre-flight lint pass controlled by the [?lint] mode: [`Off] skips it,
+    [`Warn] (the default) logs findings, [`Enforce] aborts the deployment
+    when any error-severity finding is present. *)
+
+type lint_finding = {
+  lint_error : bool;  (** error severity (vs warning/info) *)
+  lint_code : string;  (** stable diagnostic slug *)
+  lint_message : string;
+}
+
+type lint_mode = [ `Off | `Warn | `Enforce ]
+
+val set_linter : (Topology.Graph.t -> plan -> lint_finding list) -> unit
+(** Registers the lint engine. Called by the analysis library's
+    initializer; the last registration wins. *)
+
+val linter : unit -> (Topology.Graph.t -> plan -> lint_finding list) option
+(** The registered engine, if any — e.g. for {!Verification} to run the
+    analyzer over every spec's plan. *)
+
 type device_failure = {
   failed_device : int;
   attempts : int;
@@ -96,7 +121,7 @@ val nsdb : t -> Nsdb.Replicated.t
 val services : t -> Service.t list
 (** All service tasks of this controller deployment (for Figure 11). *)
 
-val deploy : t -> plan -> (report, string list) result
+val deploy : ?lint:lint_mode -> t -> plan -> (report, string list) result
 (** Single-shot deployment (one attempt per device, no failure budget):
     pre-checks (failures abort with their messages), write intended state,
     reconcile phase by phase letting the network converge after each
@@ -108,6 +133,7 @@ val deploy_resilient :
   ?policy:retry_policy ->
   ?fault:Dsim.Mgmt_fault.t ->
   ?between_phases:(int -> unit) ->
+  ?lint:lint_mode ->
   t ->
   plan ->
   outcome
@@ -123,6 +149,7 @@ val resume :
   ?policy:retry_policy ->
   ?fault:Dsim.Mgmt_fault.t ->
   ?between_phases:(int -> unit) ->
+  ?lint:lint_mode ->
   t ->
   plan ->
   outcome

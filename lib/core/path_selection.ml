@@ -43,6 +43,28 @@ let mnh_to_string = function
   | Count n -> string_of_int n
   | Fraction f -> Printf.sprintf "%.0f%%" (100.0 *. f)
 
+let min_next_hop_equal a b =
+  match (a, b) with
+  | Count x, Count y -> Int.equal x y
+  | Fraction x, Fraction y -> Float.equal x y
+  | Count _, Fraction _ | Fraction _, Count _ -> false
+
+let path_set_equal a b =
+  String.equal a.ps_name b.ps_name
+  && Signature.equal a.ps_signature b.ps_signature
+  && Option.equal min_next_hop_equal a.ps_min_next_hop b.ps_min_next_hop
+
+let statement_equal a b =
+  String.equal a.st_name b.st_name
+  && Destination.equal a.destination b.destination
+  && List.equal path_set_equal a.path_sets b.path_sets
+  && Option.equal min_next_hop_equal a.bgp_native_min_next_hop
+       b.bgp_native_min_next_hop
+  && Bool.equal a.keep_fib_warm_if_mnh_violated b.keep_fib_warm_if_mnh_violated
+
+let equal a b =
+  String.equal a.name b.name && List.equal statement_equal a.statements b.statements
+
 let config_lines t =
   let statement_lines st =
     let path_set_lines ps =

@@ -53,5 +53,13 @@ val make : ?name:string -> statement list -> t
 val required_count : min_next_hop -> denominator:int -> int
 (** Resolves a threshold to an absolute count ([Fraction] rounds up). *)
 
+val min_next_hop_equal : min_next_hop -> min_next_hop -> bool
+val path_set_equal : path_set -> path_set -> bool
+val statement_equal : statement -> statement -> bool
+
+val equal : t -> t -> bool
+(** Structural equality ({!Signature.equal} on signatures); used by
+    {!Rpa.merge} to drop duplicate blocks and by the static analyzer. *)
+
 val config_lines : t -> string list
 val pp : Format.formatter -> t -> unit

@@ -35,6 +35,21 @@ let weight_of st attr =
 let expired st ~now =
   match st.expires_at with None -> false | Some t -> now >= t
 
+let next_hop_weight_equal a b =
+  String.equal a.w_name b.w_name
+  && Signature.equal a.w_signature b.w_signature
+  && Int.equal a.weight b.weight
+
+let statement_equal a b =
+  String.equal a.st_name b.st_name
+  && Destination.equal a.destination b.destination
+  && List.equal next_hop_weight_equal a.next_hop_weights b.next_hop_weights
+  && Int.equal a.default_weight b.default_weight
+  && Option.equal Float.equal a.expires_at b.expires_at
+
+let equal a b =
+  String.equal a.name b.name && List.equal statement_equal a.statements b.statements
+
 let config_lines t =
   let statement_lines st =
     let weight_lines w =

@@ -62,6 +62,30 @@ let filter_allows filter prefix =
 
 type direction = Ingress | Egress
 
+let peer_signature_equal a b =
+  List.equal Topology.Node.layer_equal a.peer_layers b.peer_layers
+  && List.equal Int.equal a.peer_devices b.peer_devices
+
+let prefix_rule_equal a b =
+  Net.Prefix.equal a.covering b.covering
+  && Option.equal Int.equal a.min_mask_length b.min_mask_length
+  && Option.equal Int.equal a.max_mask_length b.max_mask_length
+
+let filter_equal a b =
+  match (a, b) with
+  | Allow_all, Allow_all -> true
+  | Allow_list x, Allow_list y -> List.equal prefix_rule_equal x y
+  | Allow_all, Allow_list _ | Allow_list _, Allow_all -> false
+
+let statement_equal a b =
+  String.equal a.st_name b.st_name
+  && peer_signature_equal a.peer b.peer
+  && filter_equal a.ingress b.ingress
+  && filter_equal a.egress b.egress
+
+let equal a b =
+  String.equal a.name b.name && List.equal statement_equal a.statements b.statements
+
 let allows t direction ~peer ~layer prefix =
   match
     List.find_opt (fun st -> peer_matches st.peer ~peer ~layer) t.statements

@@ -49,6 +49,15 @@ val filter_allows : filter -> Net.Prefix.t -> bool
 
 type direction = Ingress | Egress
 
+val peer_signature_equal : peer_signature -> peer_signature -> bool
+val prefix_rule_equal : prefix_rule -> prefix_rule -> bool
+val filter_equal : filter -> filter -> bool
+val statement_equal : statement -> statement -> bool
+
+val equal : t -> t -> bool
+(** Structural equality; used by {!Rpa.merge} deduplication and the static
+    analyzer. *)
+
 val allows :
   t -> direction -> peer:int -> layer:Topology.Node.layer option ->
   Net.Prefix.t -> bool

@@ -20,11 +20,22 @@ let make ?(path_selection = []) ?(route_attribute = []) ?(route_filter = [])
     ?(advertise_least_favorable = true) () =
   { path_selection; route_attribute; route_filter; advertise_least_favorable }
 
+(* Appends [ys] to [xs], dropping entries structurally equal to one already
+   present. Merging the same RPA twice used to concatenate its statements
+   verbatim, inflating the Table 3 RPA-LOC metric; duplicates carry no
+   semantic weight (orthogonal RPAs co-exist, identical ones are one RPA). *)
+let dedup_append eq xs ys =
+  List.fold_left
+    (fun acc y -> if List.exists (eq y) acc then acc else acc @ [ y ])
+    xs ys
+
 let merge a b =
   {
-    path_selection = a.path_selection @ b.path_selection;
-    route_attribute = a.route_attribute @ b.route_attribute;
-    route_filter = a.route_filter @ b.route_filter;
+    path_selection =
+      dedup_append Path_selection.equal a.path_selection b.path_selection;
+    route_attribute =
+      dedup_append Route_attribute.equal a.route_attribute b.route_attribute;
+    route_filter = dedup_append Route_filter.equal a.route_filter b.route_filter;
     advertise_least_favorable =
       a.advertise_least_favorable && b.advertise_least_favorable;
   }

@@ -30,7 +30,10 @@ val make :
 
 val merge : t -> t -> t
 (** Concatenates the statement lists (orthogonal RPAs co-exist on a
-    switch). [advertise_least_favorable] is and-ed. *)
+    switch), dropping blocks of [b] that are structurally equal to one
+    already present — merging the same RPA twice is idempotent, so the
+    Table 3 RPA-LOC metric is not inflated by duplicates.
+    [advertise_least_favorable] is and-ed. *)
 
 val config_lines : t -> string list
 

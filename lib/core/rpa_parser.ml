@@ -1,9 +1,26 @@
 (* Recursive-descent parser over a flat token stream; the surface syntax is
-   exactly what the [config_lines] renderers emit (whitespace-insensitive). *)
+   exactly what the [config_lines] renderers emit (whitespace-insensitive).
+
+   Every token carries the line/column of its first character so that parse
+   errors — and the statement index consumed by the static analyzer — point
+   at the offending spot in the operator's configuration text. *)
 
 exception Error of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+type pos = { line : int; col : int }
+
+type located_statement = {
+  ls_kind : [ `Path_selection | `Route_attribute | `Route_filter ];
+  ls_rpa : string;
+  ls_statement : string;
+  ls_pos : pos;
+}
+
+let fail_at pos fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Error (Printf.sprintf "line %d, column %d: %s" pos.line pos.col s)))
+    fmt
 
 (* ---------------- lexer ---------------- *)
 
@@ -43,70 +60,93 @@ let is_word_char c =
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
-  let push t = tokens := t :: !tokens in
+  let line = ref 1 and bol = ref 0 in
   let i = ref 0 in
+  let here () = { line = !line; col = !i - !bol + 1 } in
+  let push t pos = tokens := (t, pos) :: !tokens in
   while !i < n do
     let c = src.[!i] in
+    let pos = here () in
     (match c with
-     | ' ' | '\t' | '\n' | '\r' -> incr i
-     | '{' -> push Lbrace; incr i
-     | '}' -> push Rbrace; incr i
-     | '[' -> push Lbracket; incr i
-     | ']' -> push Rbracket; incr i
-     | '(' -> push Lparen; incr i
-     | ')' -> push Rparen; incr i
-     | '=' -> push Equals; incr i
-     | ',' -> push Comma; incr i
-     | ';' -> push Semicolon; incr i
-     | '%' -> push Percent; incr i
+     | '\n' ->
+       incr i;
+       incr line;
+       bol := !i
+     | ' ' | '\t' | '\r' -> incr i
+     | '{' -> push Lbrace pos; incr i
+     | '}' -> push Rbrace pos; incr i
+     | '[' -> push Lbracket pos; incr i
+     | ']' -> push Rbracket pos; incr i
+     | '(' -> push Lparen pos; incr i
+     | ')' -> push Rparen pos; incr i
+     | '=' -> push Equals pos; incr i
+     | ',' -> push Comma pos; incr i
+     | ';' -> push Semicolon pos; incr i
+     | '%' -> push Percent pos; incr i
      | '"' ->
        let start = !i + 1 in
        let rec find j =
-         if j >= n then fail "unterminated string"
+         if j >= n then fail_at pos "unterminated string"
          else if src.[j] = '"' then j
+         else if src.[j] = '\n' then fail_at pos "unterminated string"
          else find (j + 1)
        in
        let close = find start in
-       push (Quoted (String.sub src start (close - start)));
+       push (Quoted (String.sub src start (close - start))) pos;
        i := close + 1
      | _ when is_word_char c ->
        let start = !i in
        while !i < n && is_word_char src.[!i] do
          incr i
        done;
-       push (Word (String.sub src start (!i - start)))
-     | _ -> fail "unexpected character %C" c);
+       push (Word (String.sub src start (!i - start))) pos
+     | _ -> fail_at pos "unexpected character %C" c);
   done;
-  List.rev !tokens
+  (List.rev !tokens, { line = !line; col = n - !bol + 1 })
 
 (* ---------------- token stream ---------------- *)
 
-type stream = { mutable tokens : token list }
+type stream = {
+  mutable tokens : (token * pos) list;
+  mutable last : pos;  (** position of the most recently examined token *)
+  eof : pos;
+  mutable index : located_statement list;  (** reverse order *)
+}
 
-let peek s = match s.tokens with [] -> None | t :: _ -> Some t
+let fail s fmt = fail_at s.last fmt
+
+let peek s =
+  match s.tokens with
+  | [] -> None
+  | (t, p) :: _ ->
+    s.last <- p;
+    Some t
 
 let next s =
   match s.tokens with
-  | [] -> fail "unexpected end of input"
-  | t :: rest ->
+  | [] ->
+    s.last <- s.eof;
+    fail s "unexpected end of input"
+  | (t, p) :: rest ->
     s.tokens <- rest;
+    s.last <- p;
     t
 
 let expect s want =
   let got = next s in
   if got <> want then
-    fail "expected %s, found %s" (token_to_string want) (token_to_string got)
+    fail s "expected %s, found %s" (token_to_string want) (token_to_string got)
 
 let word s =
   match next s with
   | Word w -> w
-  | t -> fail "expected a word, found %s" (token_to_string t)
+  | t -> fail s "expected a word, found %s" (token_to_string t)
 
 let int_word s =
   let w = word s in
   match int_of_string_opt w with
   | Some n -> n
-  | None -> fail "expected an integer, found %s" w
+  | None -> fail s "expected an integer, found %s" w
 
 let accept s want =
   match peek s with
@@ -114,6 +154,14 @@ let accept s want =
     ignore (next s);
     true
   | Some _ | None -> false
+
+(* Reads a statement's name and records its position in the index. *)
+let statement_name s ~kind ~rpa =
+  let name = word s in
+  s.index <-
+    { ls_kind = kind; ls_rpa = rpa; ls_statement = name; ls_pos = s.last }
+    :: s.index;
+  name
 
 (* ---------------- shared pieces ---------------- *)
 
@@ -132,26 +180,27 @@ let comma_words s =
     go []
   end
 
-let community_of_word w =
+let community_of_word s w =
   match Net.Community.of_string w with
   | Ok c -> c
-  | Error e -> fail "bad community %s: %s" w e
+  | Error e -> fail s "bad community %s: %s" w e
 
-let prefix_of_word w =
+let prefix_of_word s w =
   match Net.Prefix.of_string w with
   | Ok p -> p
-  | Error e -> fail "bad prefix %s: %s" w e
+  | Error e -> fail s "bad prefix %s: %s" w e
 
 let parse_destination s =
   (* after "destination =": tagged(a:b) or [p1, p2] *)
   match next s with
   | Word "tagged" ->
     expect s Lparen;
-    let c = community_of_word (word s) in
+    let c = community_of_word s (word s) in
     expect s Rparen;
     Destination.Tagged c
-  | Lbracket -> Destination.Prefixes (List.map prefix_of_word (comma_words s))
-  | t -> fail "expected destination, found %s" (token_to_string t)
+  | Lbracket ->
+    Destination.Prefixes (List.map (prefix_of_word s) (comma_words s))
+  | t -> fail s "expected destination, found %s" (token_to_string t)
 
 (* Signature key-value lines, ending before a terminator keyword. *)
 let parse_signature s ~stop =
@@ -172,13 +221,13 @@ let parse_signature s ~stop =
        | "as_path_regex" ->
          (match next s with
           | Quoted src -> as_path_regex := Some src
-          | t -> fail "expected quoted regex, found %s" (token_to_string t))
+          | t -> fail s "expected quoted regex, found %s" (token_to_string t))
        | "communities" ->
          expect s Lbracket;
-         communities := List.map community_of_word (comma_words s)
+         communities := List.map (community_of_word s) (comma_words s)
        | "communities_none" ->
          expect s Lbracket;
-         none_of := List.map community_of_word (comma_words s)
+         none_of := List.map (community_of_word s) (comma_words s)
        | "origin_asn" -> origin_asn := Some (Net.Asn.of_int (int_word s))
        | "neighbor_asns" ->
          expect s Lbracket;
@@ -186,12 +235,12 @@ let parse_signature s ~stop =
            Some (List.map (fun w ->
                match int_of_string_opt w with
                | Some n -> Net.Asn.of_int n
-               | None -> fail "bad ASN %s" w)
+               | None -> fail s "bad ASN %s" w)
                (comma_words s))
-       | other -> fail "unknown signature field %s" other);
+       | other -> fail s "unknown signature field %s" other);
       go ()
-    | Some t -> fail "unexpected %s in signature" (token_to_string t)
-    | None -> fail "unexpected end of signature"
+    | Some t -> fail s "unexpected %s in signature" (token_to_string t)
+    | None -> fail s "unexpected end of signature"
   in
   go ();
   Signature.make ?as_path_regex:!as_path_regex ~communities:!communities
@@ -221,9 +270,9 @@ let parse_path_set s =
   expect s Rbrace;
   Path_selection.path_set ~name ?min_next_hop signature
 
-let parse_ps_statement s =
+let parse_ps_statement ~rpa s =
   (* "Statement" already consumed *)
-  let name = word s in
+  let name = statement_name s ~kind:`Path_selection ~rpa in
   expect s Lbrace;
   expect s (Word "destination");
   expect s Equals;
@@ -239,8 +288,8 @@ let parse_ps_statement s =
     | Some Rbracket ->
       ignore (next s);
       List.rev acc
-    | Some t -> fail "expected PathSet or ], found %s" (token_to_string t)
-    | None -> fail "unterminated PathSetList"
+    | Some t -> fail s "expected PathSet or ], found %s" (token_to_string t)
+    | None -> fail s "unterminated PathSetList"
   in
   let path_sets = sets [] in
   let bgp_native_min_next_hop =
@@ -256,7 +305,7 @@ let parse_ps_statement s =
       match word s with
       | "true" -> true
       | "false" -> false
-      | other -> fail "expected true/false, found %s" other
+      | other -> fail s "expected true/false, found %s" other
     end
     else false
   in
@@ -278,7 +327,7 @@ let parse_path_selection s =
   (* "PathSelectionRpa" already consumed *)
   let name = word s in
   expect s Lbrace;
-  Path_selection.make ~name (parse_statements s parse_ps_statement)
+  Path_selection.make ~name (parse_statements s (parse_ps_statement ~rpa:name))
 
 (* ---------------- RouteAttributeRpa ---------------- *)
 
@@ -292,8 +341,8 @@ let parse_next_hop_weight s =
   expect s Rbrace;
   Route_attribute.next_hop_weight ~name signature ~weight
 
-let parse_ra_statement s =
-  let name = word s in
+let parse_ra_statement ~rpa s =
+  let name = statement_name s ~kind:`Route_attribute ~rpa in
   expect s Lbrace;
   expect s (Word "destination");
   expect s Equals;
@@ -309,8 +358,8 @@ let parse_ra_statement s =
     | Some Rbracket ->
       ignore (next s);
       List.rev acc
-    | Some t -> fail "expected NextHopWeight or ], found %s" (token_to_string t)
-    | None -> fail "unterminated NextHopWeightList"
+    | Some t -> fail s "expected NextHopWeight or ], found %s" (token_to_string t)
+    | None -> fail s "unterminated NextHopWeightList"
   in
   let next_hop_weights = weights [] in
   let default_weight =
@@ -326,7 +375,7 @@ let parse_ra_statement s =
       let w = word s in
       match float_of_string_opt w with
       | Some f -> Some f
-      | None -> fail "bad expiration time %s" w
+      | None -> fail s "bad expiration time %s" w
     end
     else None
   in
@@ -337,7 +386,7 @@ let parse_ra_statement s =
 let parse_route_attribute s =
   let name = word s in
   expect s Lbrace;
-  Route_attribute.make ~name (parse_statements s parse_ra_statement)
+  Route_attribute.make ~name (parse_statements s (parse_ra_statement ~rpa:name))
 
 (* ---------------- RouteFilterRpa ---------------- *)
 
@@ -383,7 +432,7 @@ let parse_peer_signature s =
       List.map (fun w ->
           match int_of_string_opt w with
           | Some d -> d
-          | None -> fail "bad device id %s" w)
+          | None -> fail s "bad device id %s" w)
         ds
   in
   expect s Rbrace;
@@ -394,7 +443,7 @@ let parse_prefix_set s =
   expect s Lbrace;
   expect s (Word "prefix");
   expect s Equals;
-  let covering = prefix_of_word (word s) in
+  let covering = prefix_of_word s (word s) in
   let min_mask_length = ref None in
   let max_mask_length = ref None in
   while accept s Semicolon do
@@ -405,7 +454,7 @@ let parse_prefix_set s =
     | "max_mask" ->
       expect s Equals;
       max_mask_length := Some (int_word s)
-    | other -> fail "unknown prefix-set field %s" other
+    | other -> fail s "unknown prefix-set field %s" other
   done;
   expect s Rbrace;
   Route_filter.prefix_rule ?min_mask_length:!min_mask_length
@@ -424,14 +473,14 @@ let parse_filter s =
       | Some Rbracket ->
         ignore (next s);
         List.rev acc
-      | Some t -> fail "expected PrefixSet or ], found %s" (token_to_string t)
-      | None -> fail "unterminated filter"
+      | Some t -> fail s "expected PrefixSet or ], found %s" (token_to_string t)
+      | None -> fail s "unterminated filter"
     in
     Route_filter.Allow_list (rules [])
-  | t -> fail "expected filter, found %s" (token_to_string t)
+  | t -> fail s "expected filter, found %s" (token_to_string t)
 
-let parse_rf_statement s =
-  let name = word s in
+let parse_rf_statement ~rpa s =
+  let name = statement_name s ~kind:`Route_filter ~rpa in
   expect s Lbrace;
   expect s (Word "PeerSignature");
   let peer = parse_peer_signature s in
@@ -447,18 +496,18 @@ let parse_rf_statement s =
 let parse_route_filter s =
   let name = word s in
   expect s Lbrace;
-  Route_filter.make ~name (parse_statements s parse_rf_statement)
+  Route_filter.make ~name (parse_statements s (parse_rf_statement ~rpa:name))
 
 (* ---------------- top level ---------------- *)
 
-let parse src =
+let parse_located src =
   match tokenize src with
   | exception Error e -> Result.Error e
-  | tokens ->
-    let s = { tokens } in
+  | tokens, eof ->
+    let s = { tokens; last = { line = 1; col = 1 }; eof; index = [] } in
     let rec go acc =
       match peek s with
-      | None -> Ok acc
+      | None -> Ok (acc, List.rev s.index)
       | Some (Word "PathSelectionRpa") ->
         ignore (next s);
         let ps = parse_path_selection s in
@@ -471,11 +520,19 @@ let parse src =
         ignore (next s);
         let rf = parse_route_filter s in
         go { acc with Rpa.route_filter = acc.Rpa.route_filter @ [ rf ] }
-      | Some t -> Result.Error (Printf.sprintf "expected an RPA block, found %s" (token_to_string t))
+      | Some t ->
+        fail s "expected an RPA block, found %s" (token_to_string t)
     in
     (try go Rpa.empty with Error e -> Result.Error e)
+
+let parse src = Result.map fst (parse_located src)
 
 let parse_exn src =
   match parse src with
   | Ok rpa -> rpa
   | Error e -> invalid_arg (Printf.sprintf "Rpa_parser: %s" e)
+
+let find_statement index ~kind ~statement =
+  List.find_opt
+    (fun ls -> ls.ls_kind = kind && String.equal ls.ls_statement statement)
+    index

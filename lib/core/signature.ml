@@ -53,6 +53,12 @@ let matches t (attr : Net.Attr.t) =
   in
   regex_ok && communities_ok && origin_ok && neighbor_ok
 
+let as_path_regex t = t.as_path_regex
+let communities t = t.communities
+let none_of t = t.none_of
+let origin_asn t = t.origin_asn
+let neighbor_asns t = t.neighbor_asns
+
 let equal a b =
   Option.equal Net.Path_regex.equal a.as_path_regex b.as_path_regex
   && List.equal Net.Community.equal a.communities b.communities

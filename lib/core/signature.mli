@@ -34,6 +34,21 @@ val matches : t -> Net.Attr.t -> bool
 
 val equal : t -> t -> bool
 
+(** {1 Accessors}
+
+    The static analyzer decomposes a signature into its criteria to run
+    language-level emptiness/overlap/subsumption checks; these expose the
+    conjuncts without breaking abstraction elsewhere. *)
+
+val as_path_regex : t -> Net.Path_regex.t option
+val communities : t -> Net.Community.t list
+val none_of : t -> Net.Community.t list
+val origin_asn : t -> Net.Asn.t option
+
+val neighbor_asns : t -> Net.Asn.t list option
+(** [None] = unconstrained; [Some \[\]] matches no path (an any-of over the
+    empty set), which the analyzer reports as an unmatchable signature. *)
+
 val pp : Format.formatter -> t -> unit
 
 val config_lines : t -> string list

@@ -22,6 +22,25 @@ let qualify spec =
       errors = [ Printexc.to_string e ];
     }
   | net, plan, intent_checks ->
+    (* Static analysis first: a plan with error-severity lint findings
+       fails qualification without touching the emulated network. *)
+    let lint_errors =
+      match Controller.linter () with
+      | None -> []
+      | Some engine ->
+        List.filter_map
+          (fun f ->
+            if f.Controller.lint_error then
+              Some
+                (Printf.sprintf "lint %s: %s" f.Controller.lint_code
+                   f.Controller.lint_message)
+            else None)
+          (engine (Bgp.Network.graph net) plan)
+    in
+    if lint_errors <> [] then
+      { outcome_name = spec.spec_name; deployed = false;
+        intent_failures = []; errors = lint_errors }
+    else
     let controller = Controller.create net in
     (match Controller.deploy controller plan with
      | Error errors ->

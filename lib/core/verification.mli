@@ -28,6 +28,10 @@ type outcome = {
 val passed : outcome -> bool
 
 val qualify : spec -> outcome
+(** Builds the spec, runs the registered static analyzer (see
+    {!Controller.set_linter}) over its plan — error-severity findings fail
+    qualification before anything is deployed — then deploys through the
+    real controller and evaluates the intent checks. *)
 
 val qualify_all : spec list -> outcome list
 

@@ -217,9 +217,23 @@ let parse src =
 
 (* ---------------- NFA ---------------- *)
 
+(* Transition labels are kept symbolic (range sets, possibly complemented)
+   rather than compiled to closures: the static analyzer's product and
+   subsumption constructions need to inspect them to partition the ASN
+   alphabet into equivalence classes. *)
+type label =
+  | In of (int * int) list
+  | Not_in of (int * int) list
+
+let label_matches lbl token =
+  match lbl with
+  | In ranges -> List.exists (fun (lo, hi) -> lo <= token && token <= hi) ranges
+  | Not_in ranges ->
+    not (List.exists (fun (lo, hi) -> lo <= token && token <= hi) ranges)
+
 type transition =
   | Eps of int
-  | Tok of (int -> bool) * int
+  | Tok of label * int
 
 type nfa = {
   transitions : transition list array;
@@ -246,21 +260,19 @@ let rec build b ast =
   match ast with
   | Lit asn ->
     let s = new_state b and e = new_state b in
-    add_edge b s (Tok ((fun x -> x = asn), e));
+    add_edge b s (Tok (In [ (asn, asn) ], e));
     (s, e)
   | Any ->
     let s = new_state b and e = new_state b in
-    add_edge b s (Tok ((fun _ -> true), e));
+    add_edge b s (Tok (Not_in [], e));
     (s, e)
   | Klass ranges ->
     let s = new_state b and e = new_state b in
-    let test x = List.exists (fun (lo, hi) -> lo <= x && x <= hi) ranges in
-    add_edge b s (Tok (test, e));
+    add_edge b s (Tok (In ranges, e));
     (s, e)
   | Neg_klass ranges ->
     let s = new_state b and e = new_state b in
-    let test x = not (List.exists (fun (lo, hi) -> lo <= x && x <= hi) ranges) in
-    add_edge b s (Tok (test, e));
+    add_edge b s (Tok (Not_in ranges, e));
     (s, e)
   | Cat items ->
     let s = new_state b in
@@ -370,7 +382,8 @@ let step nfa states token =
       List.fold_left
         (fun acc edge ->
           match edge with
-          | Tok (test, target) when test token -> Int_set.add target acc
+          | Tok (lbl, target) when label_matches lbl token ->
+            Int_set.add target acc
           | Tok _ | Eps _ -> acc)
         acc nfa.transitions.(s))
     states Int_set.empty
@@ -397,3 +410,54 @@ let matches_asns t asn_list =
   walk initial tokens
 
 let matches t path = matches_asns t (As_path.asns path)
+
+(* ---------------- Symbolic view ---------------- *)
+
+type sym = {
+  sym_transitions : (label option * int) list array;
+  sym_start : int;
+  sym_accept : int;
+}
+
+(* Close the unanchored sides with explicit any-token self-loops so the
+   automaton's language over complete ASN sequences coincides with
+   {!matches_asns}: an unanchored start behaves as a leading [.*], an
+   unanchored end as a trailing [.*]. Product constructions then never need
+   to know about anchoring. *)
+let symbolic t =
+  let n = Array.length t.nfa.transitions in
+  let extra =
+    (if t.anchored_start then 0 else 1) + if t.anchored_end then 0 else 1
+  in
+  let table = Array.make (n + extra) [] in
+  Array.iteri
+    (fun i edges ->
+      table.(i) <-
+        List.map
+          (function Eps j -> (None, j) | Tok (lbl, j) -> (Some lbl, j))
+          edges)
+    t.nfa.transitions;
+  let next = ref n in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let start =
+    if t.anchored_start then t.nfa.start
+    else begin
+      let s = fresh () in
+      table.(s) <- [ (Some (Not_in []), s); (None, t.nfa.start) ];
+      s
+    end
+  in
+  let accept =
+    if t.anchored_end then t.nfa.accept
+    else begin
+      let e = fresh () in
+      table.(t.nfa.accept) <- (None, e) :: table.(t.nfa.accept);
+      table.(e) <- [ (Some (Not_in []), e) ];
+      e
+    end
+  in
+  { sym_transitions = table; sym_start = start; sym_accept = accept }

@@ -46,3 +46,30 @@ val pp : Format.formatter -> t -> unit
 
 val equal : t -> t -> bool
 (** Source-string equality (used for RPA signature caching). *)
+
+(** {1 Symbolic automaton view}
+
+    The static analyzer (lib/analysis) runs product, emptiness and
+    subsumption constructions over compiled patterns. Those algorithms need
+    transition labels they can inspect — not predicates — so the NFA is
+    exposed with symbolic labels over inclusive ASN ranges. *)
+
+type label =
+  | In of (int * int) list  (** token inside one of the inclusive ranges *)
+  | Not_in of (int * int) list
+      (** token outside all ranges; [Not_in \[\]] matches any token *)
+
+val label_matches : label -> int -> bool
+
+type sym = {
+  sym_transitions : (label option * int) list array;
+      (** per-state edge list; [None] labels are epsilon transitions *)
+  sym_start : int;
+  sym_accept : int;
+}
+
+val symbolic : t -> sym
+(** A fully-anchored view of the compiled automaton: unanchored pattern
+    sides are closed with any-token self-loops (a leading/trailing [.*]),
+    so the language of [symbolic t] over complete ASN sequences is exactly
+    the set of paths accepted by {!matches_asns}. *)

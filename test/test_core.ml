@@ -107,6 +107,28 @@ let test_rpa_merge () =
   check_bool "empty is empty" true (Rpa.is_empty Rpa.empty);
   check_bool "merged not empty" false (Rpa.is_empty merged)
 
+let test_rpa_merge_dedupes () =
+  (* Merging the same RPA twice used to concatenate its blocks verbatim,
+     doubling statement_count and the Table 3 RPA-LOC metric. *)
+  let a = sample_path_selection_rpa () in
+  let twice = Rpa.merge a a in
+  check_int "self-merge is idempotent" (Rpa.statement_count a)
+    (Rpa.statement_count twice);
+  check_int "loc unchanged" (Rpa.loc a) (Rpa.loc twice);
+  let b =
+    Apps.Min_next_hop_guard.rpa ~destination:Destination.backbone_default
+      ~threshold:(Path_selection.Fraction 0.75) ~keep_fib_warm:true
+  in
+  let ab = Rpa.merge a b in
+  (* Re-merging an already-present RPA adds nothing... *)
+  check_int "re-merge adds nothing" (Rpa.statement_count ab)
+    (Rpa.statement_count (Rpa.merge ab b));
+  check_int "re-merge left arg" (Rpa.statement_count ab)
+    (Rpa.statement_count (Rpa.merge ab a));
+  (* ...while genuinely different blocks still accumulate. *)
+  check_bool "distinct blocks kept" true
+    (Rpa.statement_count ab > Rpa.statement_count a)
+
 (* ---------------- Engine: selection ---------------- *)
 
 let bb = Net.Community.Well_known.backbone_default_route
@@ -607,6 +629,76 @@ let test_parser_empty_input () =
   | Ok rpa -> check_bool "empty rpa" true (Rpa.is_empty rpa)
   | Error e -> Alcotest.failf "parse error: %s" e
 
+let test_parser_error_positions () =
+  (* Errors carry "line L, column C:" pointing at the offending token. *)
+  let expect_prefix prefix src =
+    match Rpa_parser.parse src with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+    | Error e ->
+      check_bool
+        (Printf.sprintf "%S starts with %S (got %S)" src prefix e)
+        true
+        (String.length e >= String.length prefix
+         && String.sub e 0 (String.length prefix) = prefix)
+  in
+  expect_prefix "line 1, column 1:" "Nonsense y { }";
+  expect_prefix "line 2, column 3:"
+    "PathSelectionRpa x {\n  oops s { } }";
+  expect_prefix "line 3, column 17:"
+    "PathSelectionRpa x {\n Statement s {\n  destination = nope\n } }";
+  (* Unterminated input points past the last token. *)
+  (match Rpa_parser.parse "PathSelectionRpa x {" with
+   | Ok _ -> Alcotest.fail "expected a parse error"
+   | Error e ->
+     check_bool "mentions end of input" true
+       (String.length e > 0
+        &&
+        let re = "unexpected end of input" in
+        let n = String.length e and m = String.length re in
+        let rec found i = i + m <= n && (String.sub e i m = re || found (i + 1)) in
+        found 0))
+
+let test_parser_located_statements () =
+  let src =
+    "PathSelectionRpa steer {\n\
+     Statement first {\n\
+    \ destination = tagged(65100:1)\n\
+    \ PathSetList = []\n\
+     }\n\
+     Statement second {\n\
+    \ destination = tagged(65100:2)\n\
+    \ PathSetList = []\n\
+     }\n\
+     }\n\
+     RouteAttributeRpa weights {\n\
+     Statement w {\n\
+    \ destination = tagged(65100:3)\n\
+     NextHopWeightList = []\n\
+     }\n\
+     }"
+  in
+  match Rpa_parser.parse_located src with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok (rpa, index) ->
+    check_int "three located statements" 3 (List.length index);
+    check_int "rpa statements" 3 (Rpa.statement_count rpa);
+    (match
+       Rpa_parser.find_statement index ~kind:`Path_selection ~statement:"second"
+     with
+     | None -> Alcotest.fail "statement 'second' not in index"
+     | Some ls ->
+       check_int "second line" 6 ls.Rpa_parser.ls_pos.Rpa_parser.line;
+       check_int "second col" 11 ls.Rpa_parser.ls_pos.Rpa_parser.col;
+       check_bool "rpa name" true (ls.Rpa_parser.ls_rpa = "steer"));
+    (match
+       Rpa_parser.find_statement index ~kind:`Route_attribute ~statement:"w"
+     with
+     | None -> Alcotest.fail "statement 'w' not in index"
+     | Some ls -> check_int "weights line" 12 ls.Rpa_parser.ls_pos.Rpa_parser.line);
+    check_bool "kind mismatch misses" true
+      (Rpa_parser.find_statement index ~kind:`Route_filter ~statement:"w"
+       = None)
+
 (* ---------------- Nsdb ---------------- *)
 
 let test_nsdb_set_get () =
@@ -1092,6 +1184,7 @@ let () =
         [
           quick "config and loc" test_rpa_config_and_loc;
           quick "merge" test_rpa_merge;
+          quick "merge dedupes" test_rpa_merge_dedupes;
         ] );
       ( "engine",
         [
@@ -1121,6 +1214,8 @@ let () =
           quick "errors" test_parser_errors;
           quick "whitespace insensitive" test_parser_whitespace_insensitive;
           quick "empty input" test_parser_empty_input;
+          quick "error positions" test_parser_error_positions;
+          quick "located statements" test_parser_located_statements;
         ] );
       ( "nsdb",
         [

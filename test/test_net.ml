@@ -283,6 +283,37 @@ let test_regex_negated_class () =
   check_bool "avoids asn" true (matches "^[^65000]{3}$" [ 1; 2; 3 ]);
   check_bool "contains asn" false (matches "^[^65000]{3}$" [ 1; 65000; 3 ])
 
+let test_regex_at_repetition_cap () =
+  (* {1024} is accepted at compile time; make sure the expanded automaton
+     actually runs and counts correctly at the cap. *)
+  let sevens n = List.init n (fun _ -> 7) in
+  check_bool "exactly 1024" true (matches "^7{1024}$" (sevens 1024));
+  check_bool "one short" false (matches "^7{1024}$" (sevens 1023));
+  check_bool "one over" false (matches "^7{1024}$" (sevens 1025));
+  check_bool "open at cap" true (matches "^7{1024,}$" (sevens 2000))
+
+let test_regex_unanchored_subpath () =
+  (* Without anchors the pattern matches any contiguous sub-path. *)
+  check_bool "infix" true (matches "2 3" [ 1; 2; 3; 4 ]);
+  check_bool "prefix" true (matches "1 2" [ 1; 2; 3; 4 ]);
+  check_bool "suffix" true (matches "3 4" [ 1; 2; 3; 4 ]);
+  check_bool "not contiguous" false (matches "2 4" [ 1; 2; 3; 4 ]);
+  check_bool "wrong order" false (matches "3 2" [ 1; 2; 3; 4 ]);
+  check_bool "class infix" true (matches "[2-3] 4" [ 1; 3; 4 ]);
+  check_bool "negated infix" true (matches "[^9] 4" [ 9; 3; 4 ]);
+  check_bool "negated infix miss" false (matches "[^3] 4" [ 1; 3; 4 ]);
+  check_bool "left-anchored prefix only" true (matches "^1 2" [ 1; 2; 9 ]);
+  check_bool "right-anchored suffix only" true (matches "3 4$" [ 9; 3; 4 ])
+
+let test_regex_separator_tolerant_repetition () =
+  (* '_' and spaces are interchangeable separators, including around
+     quantifiers and bounded repetitions. *)
+  check_bool "underscore braces" true (matches "^7_{2}$" [ 7; 7 ]);
+  check_bool "underscore plus" true (matches "^1_5_+_2$" [ 1; 5; 5; 2 ]);
+  check_bool "underscore opt" true (matches "^1_5_?_2$" [ 1; 2 ]);
+  check_bool "mixed separators" true (matches "^1 _ 2_ 3$" [ 1; 2; 3 ]);
+  check_bool "bounded with spaces" true (matches "^7 {2,3} 8$" [ 7; 7; 7; 8 ])
+
 let regex_qcheck =
   let path_gen = QCheck.Gen.(list_size (int_bound 6) (int_range 1 50)) in
   let arb = QCheck.make ~print:(fun l -> String.concat " " (List.map string_of_int l)) path_gen in
@@ -374,6 +405,10 @@ let () =
           quick "bound cap" test_regex_bound_cap;
           quick "spaced quantifier" test_regex_spaced_quantifier;
           quick "negated class" test_regex_negated_class;
+          quick "at repetition cap" test_regex_at_repetition_cap;
+          quick "unanchored sub-path" test_regex_unanchored_subpath;
+          quick "separator-tolerant repetition"
+            test_regex_separator_tolerant_repetition;
         ]
         @ List.map (QCheck_alcotest.to_alcotest ~long:false) regex_qcheck );
       ( "attr",
