@@ -809,6 +809,63 @@ let chaos_gr () =
   emit_summary "blackhole_seconds_gr_off" !bh_off
 
 (* ------------------------------------------------------------------ *)
+(* Decision pipeline: incremental (dirty-set) vs the full-table oracle *)
+
+let decision () =
+  header "Decision pipeline: incremental (dirty-set) vs full-table oracle"
+    "bit-identical traces and FIBs; chaos decision count drops >= 5x";
+  let seeds = [ 42; 7; 1 ] in
+  let iters = 5 in
+  let decisions = Obs.Metrics.counter "bgp.speaker.decisions" in
+  let chaos_once mode seed =
+    ignore
+      (Experiments.Scenarios.Chaos.run_mode ~seed ~eval_mode:mode ~gr:true ())
+  in
+  let measure mode =
+    (* Decision counts are deterministic per seed: one counting pass. *)
+    Obs.Metrics.reset Obs.Metrics.default;
+    List.iter (chaos_once mode) seeds;
+    let count = Obs.Metrics.value decisions in
+    (* Timed passes: every [network.converge] interval, from spans. The
+       cap must clear [iters] full-table chaos runs' decision spans, or
+       the later converge spans get dropped and skew the percentiles. *)
+    let recorder = Obs.Span.create ~max_spans:1_000_000 () in
+    Obs.Span.with_recorder recorder (fun () ->
+        for _ = 1 to iters do
+          List.iter (chaos_once mode) seeds
+        done);
+    let ms =
+      List.map
+        (fun s -> s *. 1000.0)
+        (Obs.Span.durations_s recorder ~name:"network.converge")
+    in
+    (count, Dsim.Stats.summarize ms)
+  in
+  let full_count, full_s = measure Bgp.Speaker.Full_table in
+  let incr_count, incr_s = measure Bgp.Speaker.Incremental in
+  let ratio = float_of_int full_count /. float_of_int incr_count in
+  let p50_speedup = full_s.Dsim.Stats.p50 /. incr_s.Dsim.Stats.p50 in
+  let p99_speedup = full_s.Dsim.Stats.p99 /. incr_s.Dsim.Stats.p99 in
+  pf "%-12s %10s %14s %14s\n" "mode" "decisions" "converge p50" "converge p99";
+  pf "%-12s %10d %12.3fms %12.3fms\n" "full-table" full_count
+    full_s.Dsim.Stats.p50 full_s.Dsim.Stats.p99;
+  pf "%-12s %10d %12.3fms %12.3fms\n" "incremental" incr_count
+    incr_s.Dsim.Stats.p50 incr_s.Dsim.Stats.p99;
+  pf "decision ratio %.2fx; converge p50 %.2fx, p99 %.2fx faster\n" ratio
+    p50_speedup p99_speedup;
+  let mode_json count s =
+    Obs.Json.Obj
+      [ ("decisions", Obs.Json.Int count); ("converge_ms", summary_json s) ]
+  in
+  emit "seeds" (Obs.Json.Int (List.length seeds));
+  emit "iters" (Obs.Json.Int iters);
+  emit "full_table" (mode_json full_count full_s);
+  emit "incremental" (mode_json incr_count incr_s);
+  emit "decision_ratio" (Obs.Json.Float ratio);
+  emit "converge_p50_speedup" (Obs.Json.Float p50_speedup);
+  emit "converge_p99_speedup" (Obs.Json.Float p99_speedup)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -831,6 +888,7 @@ let sections =
     ("micro", micro);
     ("chaos", chaos);
     ("chaos_gr", chaos_gr);
+    ("decision", decision);
   ]
 
 let () =

@@ -35,6 +35,16 @@ type t = {
   (* (device, peer, session) -> last time the device heard anything —
      keepalive or routing message — from the peer over the session. *)
   last_heard : (int * int * int, float) Hashtbl.t;
+  (* Per-instant advertisement batching, opt-in via [set_advert_batching]:
+     outboxes produced at one simulation instant are coalesced — last
+     message wins per (src, dst, session, prefix) — and sent in one flush
+     at the end of the instant, instead of one wire message per transition.
+     Changes message count (and hence the fault model's draw stream), never
+     converged state: the survivor of each coalesced chain is exactly the
+     message whose content the receiver would have ended the instant with. *)
+  mutable batching : bool;
+  pending : (int * int * int * Msg.t) Queue.t;
+  mutable flush_scheduled : bool;
 }
 
 let graph t = t.topo
@@ -73,6 +83,9 @@ let create ?(seed = 42) ?(config = Speaker.default_config)
       liveness = None;
       liveness_until = 0.0;
       last_heard = Hashtbl.create 256;
+      batching = false;
+      pending = Queue.create ();
+      flush_scheduled = false;
     }
   in
   List.iter
@@ -104,18 +117,20 @@ let record_fib_diff t device before after =
     Obs.Metrics.incr m_fib_changes;
     Trace.record t.trace_log (Trace.Fib_change { time; device; prefix; state })
   in
-  (* Removed or changed entries. *)
+  (* Removed or changed entries. Typed comparison: polymorphic [<>] on
+     attribute-bearing state would walk (or miscompare) interned values. *)
   List.iter
     (fun (prefix, state_before) ->
       match find prefix after with
       | None -> change prefix None
       | Some state_after ->
-        if state_after <> state_before then change prefix (Some state_after))
+        if not (Speaker.fib_state_equal state_after state_before) then
+          change prefix (Some state_after))
     before;
   (* New entries. *)
   List.iter
     (fun (prefix, state_after) ->
-      if find prefix before = None then change prefix (Some state_after))
+      if Option.is_none (find prefix before) then change prefix (Some state_after))
     after
 
 (* ---------------- Message dispatch ---------------- *)
@@ -148,10 +163,8 @@ let close_connection t a b session =
   Hashtbl.replace t.epochs (conn_key a b session)
     (connection_epoch t a b session + 1)
 
-let rec dispatch t src (outbox : Speaker.outbox) =
-  List.iter
-    (fun (dst, session, msg) ->
-      Obs.Metrics.incr m_messages_sent;
+let rec send_one t src (dst, session, msg) =
+  Obs.Metrics.incr m_messages_sent;
       Trace.record t.trace_log
         (Trace.Message_sent { time = now t; src; dst; session; msg });
       (* The base latency is drawn before consulting the fault model so the
@@ -184,8 +197,49 @@ let rec dispatch t src (outbox : Speaker.outbox) =
                even if it has since been re-established. *)
             if connection_epoch t src dst session = epoch then
               deliver t ~src ~dst ~session msg)
-      end)
-    outbox
+      end
+
+(* End-of-instant flush: coalesce the instant's pending messages so each
+   (src, dst, session, prefix) carries only its final content — earlier
+   same-instant messages were already superseded before they could be sent.
+   Keepalive and End-of-RIB markers are never coalesced. The survivor keeps
+   its position (that of the last occurrence), so ordering relative to Eor
+   markers is preserved. *)
+and flush_pending t () =
+  t.flush_scheduled <- false;
+  let msgs = List.rev (Queue.fold (fun acc m -> m :: acc) [] t.pending) in
+  Queue.clear t.pending;
+  let seen = Hashtbl.create 16 in
+  let coalesced =
+    List.rev msgs
+    |> List.filter (fun (src, dst, session, msg) ->
+           match msg with
+           | Msg.Keepalive | Msg.Eor -> true
+           | Msg.Update { prefix; _ } | Msg.Withdraw { prefix } ->
+             let key = (src, dst, session, Net.Intern.Prefix_id.id prefix) in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.replace seen key ();
+               true
+             end)
+    |> List.rev
+  in
+  List.iter (fun (src, dst, session, msg) -> send_one t src (dst, session, msg))
+    coalesced
+
+and dispatch t src (outbox : Speaker.outbox) =
+  if t.batching then
+    List.iter
+      (fun (dst, session, msg) ->
+        Queue.add (src, dst, session, msg) t.pending;
+        if not t.flush_scheduled then begin
+          t.flush_scheduled <- true;
+          (* A zero-delay event runs after everything already queued at this
+             instant — i.e. at the end of the instant's causal cascade. *)
+          Dsim.Event_queue.schedule t.event_queue ~delay:0.0 (flush_pending t)
+        end)
+      outbox
+  else List.iter (send_one t src) outbox
 
 and deliver t ~src ~dst ~session msg =
   (* A message in flight when the session goes down is lost. *)
@@ -215,6 +269,16 @@ let transition t device f =
 
 let schedule ?(delay = 0.0) t f =
   Dsim.Event_queue.schedule t.event_queue ~delay f
+
+let set_advert_batching t enabled =
+  t.batching <- enabled;
+  (* Disabling must not strand queued messages: flush them synchronously. *)
+  if (not enabled) && not (Queue.is_empty t.pending) then flush_pending t ()
+
+let advert_batching t = t.batching
+
+let set_eval_mode t mode =
+  Hashtbl.iter (fun _ sp -> Speaker.set_eval_mode sp mode) t.speakers
 
 (* ---------------- Session liveness ---------------- *)
 
@@ -533,7 +597,7 @@ let fib_snapshot t prefix =
       | Some state -> (device, state) :: acc
       | None -> acc)
     t.speakers []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let known_prefixes t =
   let set = Hashtbl.create 64 in

@@ -53,6 +53,28 @@ val drain_device : ?delay:float -> t -> int -> unit
 
 val undrain_device : ?delay:float -> t -> int -> unit
 
+(** {1 Evaluation mode & batching} *)
+
+val set_eval_mode : t -> Speaker.eval_mode -> unit
+(** Switches every speaker between the incremental dirty-set decision
+    pipeline (the default) and the full-table-per-transition oracle. Both
+    modes converge to bit-identical FIBs, Adj-RIB-Outs, traces, and message
+    sequences at every quiescent point (enforced by the test suite); only
+    the decision count differs. Switch before scheduling work — an
+    in-flight dirty set is not migrated. *)
+
+val set_advert_batching : t -> bool -> unit
+(** Opt-in per-instant advertisement coalescing: messages produced at one
+    simulation instant are queued and flushed at the end of the instant,
+    keeping only the final message per (src, dst, session, prefix) — a
+    transient advert superseded within the same instant is never sent.
+    Converged state is unchanged; the message count (and therefore the
+    per-message latency/fault draw streams, i.e. the exact trace) differs
+    from the unbatched run. Off by default. Disabling flushes any queued
+    messages synchronously. *)
+
+val advert_batching : t -> bool
+
 (** {1 Session liveness & graceful restart}
 
     Entirely opt-in: without {!enable_liveness} the network behaves exactly

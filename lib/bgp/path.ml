@@ -4,7 +4,10 @@ type t = {
   attr : Net.Attr.t;
 }
 
-let make ~peer ~session ~attr = { peer; session; attr }
+(* Every candidate path is built here, so interning at the constructor
+   guarantees the decision process and the RIB tables only ever see
+   canonical attributes (pointer-equality fast path everywhere). *)
+let make ~peer ~session ~attr = { peer; session; attr = Net.Attr.intern attr }
 
 let as_path_length t = Net.As_path.length t.attr.Net.Attr.as_path
 

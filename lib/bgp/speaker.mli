@@ -25,6 +25,9 @@ type fib_state =
 
 and entry = { next_hop : int; session : int; weight : int }
 
+val fib_state_equal : fib_state -> fib_state -> bool
+(** Typed structural equality (no polymorphic compare). *)
+
 type t
 
 val create : ?config:config -> ?hooks:Rib_policy.hooks -> Topology.Node.t -> t
@@ -53,6 +56,22 @@ type outbox = (int * int * Msg.t) list
     layer (it knows topology and virtual time). *)
 
 type env = { now : float; peer_layer : int -> Topology.Node.layer option }
+
+(** How batch transitions (session resets, policy pushes, resyncs) decide
+    which prefixes to re-run the decision process on. *)
+type eval_mode =
+  | Incremental
+      (** Mutations mark their prefix dirty; a transition drains the dirty
+          set. Duplicate updates and no-op withdraws skip the re-decide
+          entirely. The default. *)
+  | Full_table
+      (** Re-decide every known prefix on every transition — the original
+          behavior, kept as the debug oracle. Both modes are bit-identical
+          in FIBs, Adj-RIB-Outs, and emitted messages; they differ only in
+          decision count. *)
+
+val set_eval_mode : t -> eval_mode -> unit
+val eval_mode : t -> eval_mode
 
 val originate : t -> env -> Net.Prefix.t -> Net.Attr.t -> outbox
 val withdraw_origin : t -> env -> Net.Prefix.t -> outbox
@@ -118,9 +137,11 @@ val fib_longest_match : t -> Net.Prefix.t -> (Net.Prefix.t * fib_state) option
 
 val rib_in_size : t -> int
 val advertised_to : t -> peer:int -> (Net.Prefix.t * Net.Attr.t) list
-val candidates : t -> Net.Prefix.t -> Path.t list
+val candidates : ?env:env -> t -> Net.Prefix.t -> Path.t list
 (** Post-policy paths currently admitted for the prefix (before selection),
-    as used by the decision process. *)
+    as used by the decision process. Pass the live [env] when inspecting a
+    running network so session-dependent filtering reflects simulated time;
+    without it a zero-time placeholder environment is used. *)
 
 val originated : t -> (Net.Prefix.t * Net.Attr.t) list
 

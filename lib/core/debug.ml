@@ -186,5 +186,9 @@ let explain_route net agent ~device prefix =
                  (Bgp.Speaker.peers speaker)));
       }
     in
-    Some (explain engine ~ctx ~candidates:(Bgp.Speaker.candidates speaker prefix))
+    (* Candidates gathered under the live environment, so session-dependent
+       filtering reflects the network's current simulated time. *)
+    Some
+      (explain engine ~ctx
+         ~candidates:(Bgp.Speaker.candidates ~env speaker prefix))
   | Some _ | None -> None

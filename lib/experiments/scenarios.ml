@@ -562,7 +562,9 @@ module Faulted_deploy = struct
      two runs converged to bit-identical forwarding state iff the digests
      match. *)
   let fib_digest net =
-    let prefixes = List.sort compare (Bgp.Network.known_prefixes net) in
+    let prefixes =
+      List.sort Net.Prefix.compare (Bgp.Network.known_prefixes net)
+    in
     let snapshot =
       List.map (fun p -> (p, Bgp.Network.fib_snapshot net p)) prefixes
     in
@@ -798,13 +800,15 @@ module Chaos = struct
          (Bgp.Trace.events trace))
 
   let fib_digest net =
-    let prefixes = List.sort compare (Bgp.Network.known_prefixes net) in
+    let prefixes =
+      List.sort Net.Prefix.compare (Bgp.Network.known_prefixes net)
+    in
     let snapshot =
       List.map (fun p -> (p, Bgp.Network.fib_snapshot net p)) prefixes
     in
     Digest.to_hex (Digest.string (Marshal.to_string snapshot []))
 
-  let run_mode ?(seed = 42) ?(profile = Dsim.Fault.severe) ~gr () =
+  let run_mode ?(seed = 42) ?(profile = Dsim.Fault.severe) ?eval_mode ~gr () =
     Obs.Span.with_span "scenario.chaos"
       ~attrs:(fun () ->
         [ ("seed", string_of_int seed); ("gr", string_of_bool gr) ])
@@ -812,7 +816,19 @@ module Chaos = struct
     let default = Net.Prefix.default_v4 in
     let x = Topology.Clos.expansion () in
     let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
+    Option.iter (Bgp.Network.set_eval_mode net) eval_mode;
     Bgp.Network.originate net x.backbone default (tagged_attr ());
+    (* Each FSW also originates its rack prefix: the fabric carries a
+       realistic multi-prefix table, so the chaos window exercises the
+       decision pipeline across prefixes (the loss accounting below still
+       follows the default route only). *)
+    List.iteri
+      (fun i fsw ->
+        let rack =
+          Net.Prefix.of_string_exn (Printf.sprintf "10.%d.0.0/24" (i land 0xff))
+        in
+        Bgp.Network.originate net fsw rack (tagged_attr ()))
+      x.Topology.Clos.xfsws;
     ignore (Bgp.Network.converge net);
     let t0 = Bgp.Network.now net in
     let initial = Bgp.Network.fib_snapshot net default in
@@ -892,9 +908,9 @@ module Chaos = struct
       fib_digest = fib_digest net;
     }
 
-  let run ?seed ?profile () =
-    let gr_on = run_mode ?seed ?profile ~gr:true () in
-    let gr_off = run_mode ?seed ?profile ~gr:false () in
+  let run ?seed ?profile ?eval_mode () =
+    let gr_on = run_mode ?seed ?profile ?eval_mode ~gr:true () in
+    let gr_off = run_mode ?seed ?profile ?eval_mode ~gr:false () in
     {
       gr_on;
       gr_off;

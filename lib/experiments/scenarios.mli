@@ -254,10 +254,23 @@ module Chaos : sig
   val horizon : float
 
   val run_mode :
-    ?seed:int -> ?profile:Dsim.Fault.profile -> gr:bool -> unit -> mode_result
+    ?seed:int ->
+    ?profile:Dsim.Fault.profile ->
+    ?eval_mode:Bgp.Speaker.eval_mode ->
+    gr:bool ->
+    unit ->
+    mode_result
+  (** [eval_mode] selects the speakers' decision pipeline (default
+      {!Bgp.Speaker.Incremental}); results are bit-identical across modes
+      at the same seed — the oracle-parity tests rely on this. *)
 
-  val run : ?seed:int -> ?profile:Dsim.Fault.profile -> unit -> result
-  (** Both modes at the same seed. *)
+  val run :
+    ?seed:int ->
+    ?profile:Dsim.Fault.profile ->
+    ?eval_mode:Bgp.Speaker.eval_mode ->
+    unit ->
+    result
+  (** Both GR modes at the same seed. *)
 end
 
 (** Section 6.4 / Figure 13: effective capacity of ECMP vs RPA-TE vs ideal

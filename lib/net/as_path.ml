@@ -2,36 +2,45 @@ type segment =
   | Seq of Asn.t list
   | Set of Asn.t list
 
-type t = segment list
+(* RFC 4271 path length is consulted on every decision-process comparison
+   (the hottest compare in the simulator), so it is computed once at
+   construction and carried alongside the segments. *)
+type t = { segs : segment list; len : int }
 
-let empty = []
+let seg_len = function Seq asns -> List.length asns | Set _ -> 1
 
-let of_asns = function [] -> [] | asns -> [ Seq asns ]
+let of_segs segs =
+  { segs; len = List.fold_left (fun acc s -> acc + seg_len s) 0 segs }
+
+let empty = { segs = []; len = 0 }
+
+let of_asns = function
+  | [] -> empty
+  | asns -> { segs = [ Seq asns ]; len = List.length asns }
 
 let of_segments segs =
-  List.filter (function Seq [] | Set [] -> false | Seq _ | Set _ -> true) segs
+  of_segs
+    (List.filter (function Seq [] | Set [] -> false | Seq _ | Set _ -> true) segs)
 
-let segments t = t
+let segments t = t.segs
 
-let prepend asn = function
-  | Seq asns :: rest -> Seq (asn :: asns) :: rest
-  | (([] | Set _ :: _) as t) -> Seq [ asn ] :: t
+let prepend asn t =
+  match t.segs with
+  | Seq asns :: rest -> { segs = Seq (asn :: asns) :: rest; len = t.len + 1 }
+  | [] | Set _ :: _ -> { segs = Seq [ asn ] :: t.segs; len = t.len + 1 }
 
 let rec prepend_n n asn t =
   if n <= 0 then t else prepend_n (n - 1) asn (prepend asn t)
 
-let length t =
-  List.fold_left
-    (fun acc -> function Seq asns -> acc + List.length asns | Set _ -> acc + 1)
-    0 t
+let length t = t.len
 
 let mem asn t =
   List.exists
     (function Seq asns | Set asns -> List.exists (Asn.equal asn) asns)
-    t
+    t.segs
 
 let asns t =
-  List.concat_map (function Seq asns | Set asns -> asns) t
+  List.concat_map (function Seq asns | Set asns -> asns) t.segs
 
 let origin_asn t =
   match List.rev (asns t) with [] -> None | last :: _ -> Some last
@@ -44,7 +53,7 @@ let to_string t =
     | Set asns ->
       "{" ^ String.concat " " (List.map Asn.to_string asns) ^ "}"
   in
-  String.concat " " (List.map seg_to_string t)
+  String.concat " " (List.map seg_to_string t.segs)
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
@@ -55,5 +64,7 @@ let compare_segment a b =
   | Seq _, Set _ -> -1
   | Set _, Seq _ -> 1
 
-let compare = List.compare compare_segment
-let equal a b = compare a b = 0
+let compare a b =
+  if a == b then 0 else List.compare compare_segment a.segs b.segs
+
+let equal a b = a == b || (a.len = b.len && compare a b = 0)

@@ -29,7 +29,9 @@ val prepend_n : int -> Asn.t -> t -> t
     Section 3.2). *)
 
 val length : t -> int
-(** RFC 4271 path length: each ASN in a [Seq] counts 1, each [Set] counts 1. *)
+(** RFC 4271 path length: each ASN in a [Seq] counts 1, each [Set] counts 1.
+    O(1) — the length is cached in the representation because the decision
+    process consults it on every preference comparison. *)
 
 val mem : Asn.t -> t -> bool
 (** Loop detection: is the ASN anywhere in the path? *)

@@ -31,23 +31,62 @@ let set_local_pref local_pref t = { t with local_pref }
 let set_link_bandwidth link_bandwidth t = { t with link_bandwidth }
 
 let compare a b =
-  let c = Int.compare (origin_rank a.origin) (origin_rank b.origin) in
-  if c <> 0 then c
+  if a == b then 0
   else
-    let c = As_path.compare a.as_path b.as_path in
+    let c = Int.compare (origin_rank a.origin) (origin_rank b.origin) in
     if c <> 0 then c
     else
-      let c = Int.compare a.local_pref b.local_pref in
+      let c = As_path.compare a.as_path b.as_path in
       if c <> 0 then c
       else
-        let c = Int.compare a.med b.med in
+        let c = Int.compare a.local_pref b.local_pref in
         if c <> 0 then c
         else
-          let c = Community.Set.compare a.communities b.communities in
+          let c = Int.compare a.med b.med in
           if c <> 0 then c
-          else Option.compare Int.compare a.link_bandwidth b.link_bandwidth
+          else
+            let c = Community.Set.compare a.communities b.communities in
+            if c <> 0 then c
+            else Option.compare Int.compare a.link_bandwidth b.link_bandwidth
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
+
+(* Hash-consing: RIB slots across the fleet hold a handful of distinct
+   attribute values, so interning makes storage shared and turns the
+   hot-path [equal] (Adj-RIB-Out change detection runs it once per peer per
+   decision) into a pointer check. Hashing goes through the interned ids of
+   the two structured fields — flat integer hashing instead of a structural
+   walk. *)
+module Hc = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal a b = compare a b = 0
+
+  let hash t =
+    Hashtbl.hash
+      ( origin_rank t.origin,
+        Intern.As_path_id.id t.as_path,
+        t.local_pref,
+        t.med,
+        Intern.Community_set_id.id t.communities,
+        t.link_bandwidth )
+end)
+
+let hc : t Hc.t = Hc.create 1024
+
+let intern t =
+  match Hc.find_opt hc t with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        t with
+        as_path = Intern.As_path_id.canonical t.as_path;
+        communities = Intern.Community_set_id.canonical t.communities;
+      }
+    in
+    Hc.replace hc c c;
+    c
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>lp=%d med=%d origin=%s path=[%a] comms=%a%a@]"

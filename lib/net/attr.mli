@@ -43,6 +43,16 @@ val has_community : Community.t -> t -> bool
 val set_local_pref : int -> t -> t
 val set_link_bandwidth : int option -> t -> t
 
+val intern : t -> t
+(** The hash-consed canonical representative: structurally equal to the
+    argument, with canonical (shared) AS-path and community-set fields.
+    Two interned equal attributes are physically identical, so {!equal}
+    on them is a pointer check. Speakers intern every attribute they
+    store; interning is idempotent and never changes semantics. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
+(** Structural equality with a physical-equality fast path (which interned
+    attributes hit). *)
+
 val pp : Format.formatter -> t -> unit

@@ -306,6 +306,48 @@ let test_wcmp_advertises_total_capacity () =
     check_bool "aggregated capacity" true (attr.Attr.link_bandwidth = Some 8)
   | _ -> Alcotest.fail "expected update to peer 3"
 
+(* ---------------- candidate ordering ---------------- *)
+
+(* Regression for the sort-key change in [raw_routes]: candidates must come
+   out in (peer, session) order regardless of Adj-RIB-In insertion (hash)
+   order, and the multipath set must preserve that order. The old
+   implementation sorted whole (peer, session, attr) triples polymorphically;
+   the key alone must produce the identical order. *)
+let test_candidates_sorted_by_peer_session () =
+  let sp = speaker 9 [] in
+  List.iter (fun peer -> Bgp.Speaker.add_peer sp ~peer ~sessions:2) [ 3; 1; 2 ];
+  (* Scrambled arrival order, identical attributes (equal-cost everywhere). *)
+  List.iter
+    (fun (peer, session) ->
+      ignore (Bgp.Speaker.receive sp env ~peer ~session (update p10)))
+    [ (2, 1); (1, 0); (3, 0); (1, 1); (2, 0); (3, 1) ];
+  let keys =
+    List.map
+      (fun (p : Bgp.Path.t) -> (p.Bgp.Path.peer, p.Bgp.Path.session))
+      (Bgp.Speaker.candidates sp p10)
+  in
+  Alcotest.(check (list (pair int int)))
+    "(peer, session) sorted"
+    [ (1, 0); (1, 1); (2, 0); (2, 1); (3, 0); (3, 1) ]
+    keys;
+  (* The decision tiebreak (lowest peer, then session) picks (1, 0), and the
+     equal-cost FIB set lists next hops in the same canonical order. *)
+  (match Bgp.Speaker.fib_lookup sp p10 with
+   | Some (Bgp.Speaker.Entries entries) ->
+     Alcotest.(check (list (pair int int)))
+       "fib entries in candidate order"
+       [ (1, 0); (1, 1); (2, 0); (2, 1); (3, 0); (3, 1) ]
+       (List.map (fun e -> (e.Bgp.Speaker.next_hop, e.Bgp.Speaker.session)) entries)
+   | Some Bgp.Speaker.Local | None -> Alcotest.fail "expected ECMP entries");
+  (* Raw Adj-RIB-In inspection shares the ordering contract. *)
+  let raw_keys =
+    List.map (fun (p, s, _) -> (p, s)) (Bgp.Speaker.adj_rib_in sp p10)
+  in
+  Alcotest.(check (list (pair int int)))
+    "adj_rib_in sorted"
+    [ (1, 0); (1, 1); (2, 0); (2, 1); (3, 0); (3, 1) ]
+    raw_keys
+
 (* ---------------- longest prefix match ---------------- *)
 
 let test_fib_longest_match () =
@@ -357,5 +399,7 @@ let () =
           quick "advertised attr shape" test_advertised_attr_shape;
           quick "wcmp capacity aggregation" test_wcmp_advertises_total_capacity;
         ] );
+      ( "decision",
+        [ quick "candidates sorted" test_candidates_sorted_by_peer_session ] );
       ("fib", [ quick "longest match" test_fib_longest_match ]);
     ]
