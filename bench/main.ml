@@ -866,6 +866,66 @@ let decision () =
   emit "converge_p99_speedup" (Obs.Json.Float p99_speedup)
 
 (* ------------------------------------------------------------------ *)
+(* Causal tracing: enabled vs disabled converge cost.
+
+   The disabled path — every recording site behind a single [Obs.Causal.on]
+   bool test — is exactly what the gated [decision] section times, so any
+   regression in disabled-tracing overhead trips the bench-decision
+   p50/p99 gate above. This section quantifies the *enabled* path on the
+   same chaos converge workload so the recording cost stays visible. *)
+
+let causal () =
+  header "Causal tracing: enabled vs disabled converge cost"
+    "disabled path rides the bench-decision gate; enabled path measured here";
+  let seeds = [ 42; 7; 1 ] in
+  let iters = 5 in
+  let measure traced =
+    let recorder = Obs.Span.create ~max_spans:1_000_000 () in
+    let events = ref 0 in
+    Obs.Span.with_recorder recorder (fun () ->
+        for _ = 1 to iters do
+          List.iter
+            (fun seed ->
+              let once () =
+                ignore (Experiments.Scenarios.Chaos.run_mode ~seed ~gr:true ())
+              in
+              if traced then begin
+                (* Fresh log per run: bounds recorder growth and matches how
+                   [centralium trace] uses the layer. *)
+                let log = Obs.Causal.create () in
+                Obs.Causal.with_recorder log once;
+                events := !events + Obs.Causal.length log
+              end
+              else once ())
+            seeds
+        done);
+    let ms =
+      List.map
+        (fun s -> s *. 1000.0)
+        (Obs.Span.durations_s recorder ~name:"network.converge")
+    in
+    (!events, Dsim.Stats.summarize ms)
+  in
+  let _, off_s = measure false in
+  let events_on, on_s = measure true in
+  let overhead_p50 = on_s.Dsim.Stats.p50 /. off_s.Dsim.Stats.p50 in
+  let overhead_p99 = on_s.Dsim.Stats.p99 /. off_s.Dsim.Stats.p99 in
+  pf "%-12s %14s %14s\n" "tracing" "converge p50" "converge p99";
+  pf "%-12s %12.3fms %12.3fms\n" "disabled" off_s.Dsim.Stats.p50
+    off_s.Dsim.Stats.p99;
+  pf "%-12s %12.3fms %12.3fms\n" "enabled" on_s.Dsim.Stats.p50
+    on_s.Dsim.Stats.p99;
+  pf "enabled/disabled overhead: p50 %.2fx, p99 %.2fx (%d events recorded)\n"
+    overhead_p50 overhead_p99 events_on;
+  emit "seeds" (Obs.Json.Int (List.length seeds));
+  emit "iters" (Obs.Json.Int iters);
+  emit "disabled" (summary_json off_s);
+  emit "enabled" (summary_json on_s);
+  emit "causal_events" (Obs.Json.Int events_on);
+  emit "causal_overhead_p50" (Obs.Json.Float overhead_p50);
+  emit "causal_overhead_p99" (Obs.Json.Float overhead_p99)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -889,6 +949,7 @@ let sections =
     ("chaos", chaos);
     ("chaos_gr", chaos_gr);
     ("decision", decision);
+    ("causal", causal);
   ]
 
 let () =

@@ -712,6 +712,126 @@ let chaos_cmd =
           account blackhole-seconds with graceful restart on/off")
     Term.(const run $ seeds $ base_seed $ profile $ crash_after $ gr $ out)
 
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let run scenario seed prefix_s gr_s format out =
+    match Net.Prefix.of_string prefix_s with
+    | Error e ->
+      Printf.eprintf "trace: bad --prefix %S: %s\n" prefix_s e;
+      1
+    | Ok prefix ->
+      (match
+         match gr_s with
+         | "on" -> Some true
+         | "off" -> Some false
+         | _ -> None
+       with
+       | None ->
+         Printf.eprintf "trace: unknown --gr mode %S (on | off)\n" gr_s;
+         1
+       | Some gr ->
+         let format =
+           match format with
+           | `Human -> Experiments.Trace_run.Human
+           | `Json -> Experiments.Trace_run.Json
+           | `Perfetto -> Experiments.Trace_run.Perfetto
+         in
+         let with_sink k =
+           match out with
+           | None -> k print_string
+           | Some path ->
+             let oc = open_out path in
+             Fun.protect
+               ~finally:(fun () -> close_out_noerr oc)
+               (fun () -> k (output_string oc))
+         in
+         let result =
+           with_sink (fun write ->
+               Experiments.Trace_run.run ~seed ~gr ~prefix ~scenario ~format
+                 ~write ())
+         in
+         (match result with
+          | Error e ->
+            Printf.eprintf "trace: %s\n" e;
+            1
+          | Ok s ->
+            (match out with
+             | Some path -> pf "wrote %s\n" path
+             | None -> ());
+            pf
+              "trace: scenario=%s seed=%d prefix=%s — %d causal events, \
+               critical path %s%s\n"
+              s.Experiments.Trace_run.scenario s.seed s.prefix s.causal_events
+              (match s.convergence_s with
+               | Some t ->
+                 Printf.sprintf "%d events / %.6fs" s.critical_events t
+               | None -> "(none)")
+              (if s.attributed_segments > 0 then
+                 Printf.sprintf
+                   ", %.6f of %.6f blackhole-seconds attributed over %d \
+                    segments"
+                   s.attributed_seconds s.blackhole_seconds
+                   s.attributed_segments
+               else "");
+            0))
+  in
+  let scenario =
+    Arg.(
+      value & pos 0 string "chaos"
+      & info [] ~docv:"SCENARIO"
+          ~doc:"converge | chaos (default chaos)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
+  in
+  let prefix =
+    Arg.(
+      value & opt string "0.0.0.0/0"
+      & info [ "prefix" ] ~docv:"PREFIX"
+          ~doc:"prefix to trace (default: the default route)")
+  in
+  let gr =
+    Arg.(
+      value & opt string "on"
+      & info [ "gr" ] ~docv:"MODE"
+          ~doc:"graceful-restart mode for the chaos scenario (on | off)")
+  in
+  let format =
+    Arg.(
+      value
+      & vflag `Human
+          [
+            ( `Json,
+              info [ "json" ]
+                ~doc:
+                  "emit the full causal DAG, critical path, and blackhole \
+                   attribution as one JSON document (deterministic at a \
+                   given seed)" );
+            ( `Perfetto,
+              info [ "perfetto" ]
+                ~doc:
+                  "emit a Perfetto / Chrome trace-event JSON file of the \
+                   span tree and causal DAG (open in ui.perfetto.dev)" );
+          ])
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"write the trace to FILE instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a scenario under the causal trace-context layer and print \
+          the traced prefix's provenance: the convergence critical path \
+          (per-edge delays summing to the convergence time) and, for the \
+          chaos scenario, the blackhole attribution joining loss intervals \
+          to the FIB events that opened and closed them")
+    Term.(const run $ scenario $ seed $ prefix $ gr $ format $ out)
+
 (* ---------------- apps ---------------- *)
 
 let apps_cmd =
@@ -736,5 +856,6 @@ let () =
        (Cmd.group ~default info
           [
             topology_cmd; rpa_cmd; parse_cmd; lint_cmd; simulate_cmd;
-            observe_cmd; table3_cmd; verify_cmd; chaos_cmd; apps_cmd;
+            observe_cmd; table3_cmd; verify_cmd; chaos_cmd; trace_cmd;
+            apps_cmd;
           ]))

@@ -8,6 +8,12 @@ let prefix = function
   | Update { prefix; _ } | Withdraw { prefix } -> Some prefix
   | Keepalive | Eor -> None
 
+let kind_label = function
+  | Update _ -> "update"
+  | Withdraw _ -> "withdraw"
+  | Keepalive -> "keepalive"
+  | Eor -> "eor"
+
 let pp ppf = function
   | Update { prefix; attr } ->
     Format.fprintf ppf "UPDATE %a %a" Net.Prefix.pp prefix Net.Attr.pp attr

@@ -15,4 +15,8 @@ val prefix : t -> Net.Prefix.t option
 (** The prefix a routing message is about; [None] for session-level
     messages ([Keepalive], [Eor]). *)
 
+val kind_label : t -> string
+(** ["update" | "withdraw" | "keepalive" | "eor"] — stable labels for
+    traces and causal events. *)
+
 val pp : Format.formatter -> t -> unit

@@ -12,6 +12,18 @@ type latency_model = Dsim.Rng.t -> float
 
 let default_latency rng = 0.0001 +. Dsim.Rng.exponential rng ~mean:0.001
 
+(* Causal-trace helpers. Keepalives prove liveness but never carry routes,
+   so they are not causally recorded (hold expiry shows up as its own
+   Session root event instead). *)
+let causal_msg = function
+  | Msg.Keepalive -> false
+  | Msg.Update _ | Msg.Withdraw _ | Msg.Eor -> true
+
+let msg_pid msg =
+  match Msg.prefix msg with
+  | Some p -> Net.Intern.Prefix_id.id p
+  | None -> -1
+
 type t = {
   topo : Topology.Graph.t;
   event_queue : Dsim.Event_queue.t;
@@ -43,7 +55,9 @@ type t = {
      converged state: the survivor of each coalesced chain is exactly the
      message whose content the receiver would have ended the instant with. *)
   mutable batching : bool;
-  pending : (int * int * int * Msg.t) Queue.t;
+  (* (src, dst, session, msg, causal cause id) — the cause is captured at
+     enqueue time so causality survives the end-of-instant flush. *)
+  pending : (int * int * int * Msg.t * int) Queue.t;
   mutable flush_scheduled : bool;
 }
 
@@ -102,6 +116,10 @@ let create ?(seed = 42) ?(config = Speaker.default_config)
   (* Spans recorded while this network runs are stamped with its virtual
      clock (a no-op unless a span recorder is installed). *)
   Obs.Span.set_sim_clock (fun () -> Dsim.Event_queue.now t.event_queue);
+  (* The causal cursor must not leak across queue events: a hold-timer
+     firing right after a delivery is not caused by that delivery. The
+     hook is one option match per event when tracing is off. *)
+  Dsim.Event_queue.set_on_step t.event_queue (Some Obs.Causal.new_turn);
   t
 
 (* ---------------- FIB tracking ---------------- *)
@@ -115,6 +133,11 @@ let record_fib_diff t device before after =
   in
   let change prefix state =
     Obs.Metrics.incr m_fib_changes;
+    if Obs.Causal.on () then
+      ignore
+        (Obs.Causal.fib ~time ~device
+           ~prefix:(Net.Intern.Prefix_id.id prefix)
+           ~note:(match state with None -> "remove" | Some _ -> "install"));
     Trace.record t.trace_log (Trace.Fib_change { time; device; prefix; state })
   in
   (* Removed or changed entries. Typed comparison: polymorphic [<>] on
@@ -163,7 +186,7 @@ let close_connection t a b session =
   Hashtbl.replace t.epochs (conn_key a b session)
     (connection_epoch t a b session + 1)
 
-let rec send_one t src (dst, session, msg) =
+let rec send_one ?(cause = -1) t src (dst, session, msg) =
   Obs.Metrics.incr m_messages_sent;
       Trace.record t.trace_log
         (Trace.Message_sent { time = now t; src; dst; session; msg });
@@ -176,8 +199,15 @@ let rec send_one t src (dst, session, msg) =
         | None -> Dsim.Fault.pass
         | Some f -> Dsim.Fault.fate f
       in
+      (* [cause] is the causal context carried through the batching queue;
+         outside batching the ambient cursor is the context. *)
+      let parent_hint = if cause >= 0 then cause else Obs.Causal.cause () in
       if fate.Dsim.Fault.dropped then begin
         Obs.Metrics.incr m_messages_dropped;
+        (if Obs.Causal.on () && causal_msg msg then
+           ignore
+             (Obs.Causal.drop_at_send ~time:(now t) ~src ~dst ~session
+                ~prefix:(msg_pid msg) ~note:(Msg.kind_label msg) ~parent_hint));
         Trace.record t.trace_log
           (Trace.Message_dropped { time = now t; src; dst; session; msg })
       end
@@ -191,12 +221,25 @@ let rec send_one t src (dst, session, msg) =
           else Float.max arrival (!chan +. 1e-9) (* FIFO within a session *)
         in
         chan := Float.max !chan delivery;
+        let cid =
+          if Obs.Causal.on () && causal_msg msg then
+            Obs.Causal.send ~time:(now t) ~src ~dst ~session
+              ~prefix:(msg_pid msg) ~note:(Msg.kind_label msg) ~parent_hint
+              ~d_prop:delay ~d_fault:fate.Dsim.Fault.extra_delay
+              ~d_queue:(delivery -. arrival)
+          else -1
+        in
         let epoch = connection_epoch t src dst session in
         Dsim.Event_queue.schedule_at t.event_queue ~time:delivery (fun () ->
             (* Lost with its connection if the session dropped in between —
                even if it has since been re-established. *)
             if connection_epoch t src dst session = epoch then
-              deliver t ~src ~dst ~session msg)
+              deliver t ~src ~dst ~session ~cause:cid msg
+            else if cid >= 0 then
+              ignore
+                (Obs.Causal.drop_in_flight ~time:(now t) ~device:dst ~peer:src
+                   ~session ~prefix:(msg_pid msg) ~note:"conn-closed"
+                   ~parent:cid))
       end
 
 (* End-of-instant flush: coalesce the instant's pending messages so each
@@ -212,7 +255,7 @@ and flush_pending t () =
   let seen = Hashtbl.create 16 in
   let coalesced =
     List.rev msgs
-    |> List.filter (fun (src, dst, session, msg) ->
+    |> List.filter (fun (src, dst, session, msg, _cause) ->
            match msg with
            | Msg.Keepalive | Msg.Eor -> true
            | Msg.Update { prefix; _ } | Msg.Withdraw { prefix } ->
@@ -224,14 +267,17 @@ and flush_pending t () =
              end)
     |> List.rev
   in
-  List.iter (fun (src, dst, session, msg) -> send_one t src (dst, session, msg))
+  List.iter
+    (fun (src, dst, session, msg, cause) ->
+      send_one ~cause t src (dst, session, msg))
     coalesced
 
 and dispatch t src (outbox : Speaker.outbox) =
   if t.batching then
     List.iter
       (fun (dst, session, msg) ->
-        Queue.add (src, dst, session, msg) t.pending;
+        let cause = if Obs.Causal.on () then Obs.Causal.cause () else -1 in
+        Queue.add (src, dst, session, msg, cause) t.pending;
         if not t.flush_scheduled then begin
           t.flush_scheduled <- true;
           (* A zero-delay event runs after everything already queued at this
@@ -241,7 +287,13 @@ and dispatch t src (outbox : Speaker.outbox) =
       outbox
   else List.iter (send_one t src) outbox
 
-and deliver t ~src ~dst ~session msg =
+and deliver t ~src ~dst ~session ~cause msg =
+  let causal_drop note =
+    if Obs.Causal.on () && causal_msg msg then
+      ignore
+        (Obs.Causal.drop_in_flight ~time:(now t) ~device:dst ~peer:src
+           ~session ~prefix:(msg_pid msg) ~note ~parent:cause)
+  in
   (* A message in flight when the session goes down is lost. *)
   if session_alive t src dst then begin
     let sp = speaker t dst in
@@ -252,12 +304,18 @@ and deliver t ~src ~dst ~session msg =
       match msg with
       | Msg.Keepalive -> () (* liveness proof only; no RIB work *)
       | Msg.Update _ | Msg.Withdraw _ | Msg.Eor ->
+        (if Obs.Causal.on () then
+           ignore
+             (Obs.Causal.recv ~time:(now t) ~device:dst ~peer:src ~session
+                ~prefix:(msg_pid msg) ~note:(Msg.kind_label msg) ~parent:cause));
         let before = fib_assoc sp in
         let outbox = Speaker.receive sp (env t) ~peer:src ~session msg in
         record_fib_diff t dst before (fib_assoc sp);
         dispatch t dst outbox
     end
+    else causal_drop "session-down"
   end
+  else causal_drop "link-down"
 
 (* Runs [f] on the speaker, records FIB changes, dispatches messages. *)
 let transition t device f =
@@ -296,6 +354,15 @@ let record_session_event t device ~peer ~session event =
    and a hard flush otherwise. *)
 let session_loss t device ~peer ~session ~reason =
   close_connection t device peer session;
+  (* The Session event parents whatever context caused the loss (restart,
+     bounce, hold expiry = root) and becomes the cause of the flush /
+     stale marks — and, under GR, of the sweep its timer fires later. *)
+  let sev =
+    if Obs.Causal.on () then
+      Obs.Causal.session_event ~time:(now t) ~device ~peer ~session
+        ~note:reason ~parent:(Obs.Causal.cause ())
+    else -1
+  in
   (match t.liveness with
    | Some c when c.Liveness.graceful_restart ->
      record_session_event t device ~peer ~session reason;
@@ -314,6 +381,10 @@ let session_loss t device ~peer ~session ~reason =
          in
          if pending then begin
            record_session_event t device ~peer ~session "stale-swept";
+           (if Obs.Causal.on () then
+              ignore
+                (Obs.Causal.sweep ~time:(now t) ~device ~peer ~session
+                   ~note:"stale-swept" ~parent:sev));
            transition t device (fun sp env ->
                Speaker.sweep_stale sp env ~peer ~session ~before:marked_at)
          end)
@@ -333,13 +404,25 @@ let session_loss t device ~peer ~session ~reason =
 let bounce_session t a b session =
   Obs.Metrics.incr m_reconnects;
   record_session_event t a ~peer:b ~session "reconnected";
+  (* A root event: bounces come from timers or heal actions, not from
+     route propagation. Re-set as the cause before each per-end step so
+     sibling session_loss calls don't chain to each other. *)
+  let bev =
+    if Obs.Causal.on () then
+      Obs.Causal.session_event ~time:(now t) ~device:a ~peer:b ~session
+        ~note:"reconnected" ~parent:(-1)
+    else -1
+  in
   List.iter
     (fun (d, p) ->
-      if Speaker.session_up (speaker t d) ~peer:p ~session then
-        session_loss t d ~peer:p ~session ~reason:"bounced")
+      if Speaker.session_up (speaker t d) ~peer:p ~session then begin
+        Obs.Causal.set_cause bev;
+        session_loss t d ~peer:p ~session ~reason:"bounced"
+      end)
     [ (a, b); (b, a) ];
   List.iter
     (fun (d, p) ->
+      Obs.Causal.set_cause bev;
       transition t d (fun sp env -> Speaker.set_session sp env ~peer:p ~session ~up:true);
       if t.liveness <> None then heard t d ~peer:p ~session)
     [ (a, b); (b, a) ]
@@ -448,10 +531,18 @@ let enable_liveness ?(config = Liveness.default) ~until t =
 
 let originate ?delay t device prefix attr =
   schedule ?delay t (fun () ->
+      (if Obs.Causal.on () then
+         ignore
+           (Obs.Causal.origin ~time:(now t) ~device
+              ~prefix:(Net.Intern.Prefix_id.id prefix) ~withdraw:false));
       transition t device (fun sp env -> Speaker.originate sp env prefix attr))
 
 let withdraw_origin ?delay t device prefix =
   schedule ?delay t (fun () ->
+      (if Obs.Causal.on () then
+         ignore
+           (Obs.Causal.origin ~time:(now t) ~device
+              ~prefix:(Net.Intern.Prefix_id.id prefix) ~withdraw:true));
       transition t device (fun sp env -> Speaker.withdraw_origin sp env prefix))
 
 let set_link ?delay t a b ~up =
@@ -460,6 +551,10 @@ let set_link ?delay t a b ~up =
       | None -> invalid_arg (Printf.sprintf "Network.set_link: no link %d-%d" a b)
       | Some link ->
         if link.Topology.Graph.up <> up then begin
+          (if Obs.Causal.on () then
+             ignore
+               (Obs.Causal.config ~time:(now t) ~device:a ~peer:b
+                  ~note:(if up then "link-up" else "link-down")));
           Topology.Graph.set_link_up t.topo a b up;
           for session = 0 to link.Topology.Graph.sessions - 1 do
             if not up then close_connection t a b session;
@@ -474,17 +569,24 @@ let set_link ?delay t a b ~up =
           done
         end)
 
+let causal_config t device peer note =
+  if Obs.Causal.on () then
+    ignore (Obs.Causal.config ~time:(now t) ~device ~peer ~note)
+
 let set_hooks ?delay t device hooks =
   schedule ?delay t (fun () ->
+      causal_config t device (-1) "set-hooks";
       transition t device (fun sp env -> Speaker.set_hooks sp env hooks))
 
 let set_egress_policy_all ?delay t device policy =
   schedule ?delay t (fun () ->
+      causal_config t device (-1) "egress-policy";
       transition t device (fun sp env ->
           Speaker.set_egress_policy_all sp env policy))
 
 let set_ingress_policy ?delay t ~node ~peer policy =
   schedule ?delay t (fun () ->
+      causal_config t node peer "ingress-policy";
       transition t node (fun sp env ->
           Speaker.set_ingress_policy sp env ~peer policy))
 
@@ -502,6 +604,13 @@ let restart_device ?(delay = 0.0) t device ~recovery =
   schedule ~delay t (fun () ->
       let sp = speaker t device in
       let before = fib_assoc sp in
+      (* The crash is a causal root: everything that follows — peer session
+         losses, stale marks and sweeps, the eventual recovery resync —
+         parents to this event. *)
+      let rev =
+        if Obs.Causal.on () then Obs.Causal.restart ~time:(now t) ~device
+        else -1
+      in
       (* The crash itself: no goodbye messages, state just vanishes.
          In-flight messages addressed to the device are discarded on
          arrival because its sessions are marked down. *)
@@ -518,6 +627,9 @@ let restart_device ?(delay = 0.0) t device ~recovery =
       List.iter
         (fun ((peer : Topology.Node.t), (link : Topology.Graph.link)) ->
           for session = 0 to link.Topology.Graph.sessions - 1 do
+            (* Each peer's loss chains to the restart, not to whatever the
+               previous peer's loss left as the cursor. *)
+            Obs.Causal.set_cause rev;
             session_loss t peer.Topology.Node.id ~peer:device ~session
               ~reason:"peer-restarted"
           done)
@@ -533,6 +645,10 @@ let restart_device ?(delay = 0.0) t device ~recovery =
              if Speaker.fib_stale_prefixes sp <> [] then begin
                record_session_event t device ~peer:device ~session:(-1)
                  "fib-stale-swept";
+               (if Obs.Causal.on () then
+                  ignore
+                    (Obs.Causal.sweep ~time:(now t) ~device ~peer:device
+                       ~session:(-1) ~note:"fib-stale-swept" ~parent:rev));
                transition t device Speaker.sweep_own_stale
              end)
        | Some _ | None -> ());
@@ -541,13 +657,23 @@ let restart_device ?(delay = 0.0) t device ~recovery =
          re-origination by the restarted device (followed by End-of-RIB
          markers under graceful restart, sweeping surviving stale marks). *)
       Dsim.Event_queue.schedule t.event_queue ~delay:recovery (fun () ->
+          (* The recovery resync (full-table resends, re-origination, EoR
+             markers) chains to the restart via this event. *)
+          let recov =
+            if Obs.Causal.on () then
+              Obs.Causal.session_event ~time:(now t) ~device ~peer:(-1)
+                ~session:(-1) ~note:"recovered" ~parent:rev
+            else -1
+          in
           List.iter
             (fun ((peer : Topology.Node.t), (link : Topology.Graph.link)) ->
               if link.Topology.Graph.up then
                 for session = 0 to link.Topology.Graph.sessions - 1 do
+                  Obs.Causal.set_cause recov;
                   transition t device (fun sp env ->
                       Speaker.set_session sp env ~peer:peer.Topology.Node.id
                         ~session ~up:true);
+                  Obs.Causal.set_cause recov;
                   transition t peer.Topology.Node.id (fun sp env ->
                       Speaker.set_session sp env ~peer:device ~session ~up:true);
                   if t.liveness <> None then begin

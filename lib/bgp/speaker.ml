@@ -383,6 +383,8 @@ let commit t p desired : outbox =
    without committing) does not inflate the decision count or spans. *)
 let evaluate t env p : outbox =
   Obs.Metrics.incr m_decisions;
+  if Obs.Causal.on () then
+    ignore (Obs.Causal.decide ~time:env.now ~device:(id t) ~prefix:p);
   Obs.Span.with_span "speaker.decision"
     ~attrs:(fun () ->
       [

@@ -21,6 +21,7 @@ type explanation = {
   selected_count : int;
   advertised : string option;
   weights_prescribed : bool;
+  critical_path : string list;
 }
 
 let statements_of engine =
@@ -124,6 +125,7 @@ let explain engine ~(ctx : Bgp.Rib_policy.ctx) ~candidates =
             p.Bgp.Path.attr.Net.Attr.as_path)
         selection.Bgp.Rib_policy.advertise;
     weights_prescribed;
+    critical_path = [];
   }
 
 let pp_trial ppf t =
@@ -151,7 +153,12 @@ let pp_explanation ppf e =
     e.selected_count
     (Option.value e.advertised ~default:"(withdrawn)")
     (if e.weights_prescribed then "prescribed by Route Attribute RPA"
-     else "native")
+     else "native");
+  if e.critical_path <> [] then begin
+    Format.fprintf ppf "how this route got here (convergence %s):@."
+      "critical path";
+    List.iter (fun line -> Format.fprintf ppf "%s@." line) e.critical_path
+  end
 
 let active_rpas net agent ~device =
   let native = Bgp.Rib_policy.is_native (Bgp.Speaker.hooks (Bgp.Network.speaker net device)) in
@@ -163,7 +170,23 @@ let active_rpas net agent ~device =
     if native then [ "(native BGP, no RPAs)" ]
     else [ "WARNING: speaker runs RPA hooks unknown to the agent" ]
 
-let explain_route net agent ~device prefix =
+(* The causal citation: the chain of events that put the current FIB entry
+   for [prefix] on [device], rendered for the operator. *)
+let causal_citation causal ~device prefix =
+  match causal with
+  | None -> []
+  | Some log ->
+    let prefix_name id =
+      if id < 0 then "-" else Net.Prefix.to_string (Net.Intern.Prefix_id.value id)
+    in
+    (match
+       Obs.Causal.critical_path ~device log
+         ~prefix:(Net.Intern.Prefix_id.id prefix)
+     with
+     | Some chain -> Obs.Causal.chain_lines ~prefix_name chain
+     | None -> [])
+
+let explain_route ?causal net agent ~device prefix =
   let speaker = Bgp.Network.speaker net device in
   match Switch_agent.current_rpa agent ~device with
   | Some rpa when not (Rpa.is_empty rpa) ->
@@ -188,7 +211,9 @@ let explain_route net agent ~device prefix =
     in
     (* Candidates gathered under the live environment, so session-dependent
        filtering reflects the network's current simulated time. *)
-    Some
-      (explain engine ~ctx
-         ~candidates:(Bgp.Speaker.candidates ~env speaker prefix))
+    let e =
+      explain engine ~ctx
+        ~candidates:(Bgp.Speaker.candidates ~env speaker prefix)
+    in
+    Some { e with critical_path = causal_citation causal ~device prefix }
   | Some _ | None -> None

@@ -33,6 +33,11 @@ type explanation = {
   selected_count : int;
   advertised : string option;  (** rendered path, [None] = withdrawn *)
   weights_prescribed : bool;  (** a Route Attribute statement applied *)
+  critical_path : string list;
+      (** when a causal log was supplied to {!explain_route}: the rendered
+          convergence critical path of the device's FIB entry — how the
+          route got here, hop by hop with per-edge delays. Empty
+          otherwise. *)
 }
 
 val explain :
@@ -51,7 +56,11 @@ val active_rpas : Bgp.Network.t -> Switch_agent.t -> device:int -> string list
     speaker's hooks are native. *)
 
 val explain_route :
+  ?causal:Obs.Causal.t ->
   Bgp.Network.t -> Switch_agent.t -> device:int -> Net.Prefix.t ->
   explanation option
 (** Tool (2): explains the device's live evaluation for a prefix using its
-    actual candidates; [None] if no RPA is installed (native BGP). *)
+    actual candidates; [None] if no RPA is installed (native BGP). When
+    [causal] is the run's causal log, the explanation also cites the
+    convergence critical path of the device's FIB entry
+    ({!Obs.Causal.critical_path}). *)

@@ -79,7 +79,14 @@ type loss_integral = {
   duration : float;
 }
 
-let loss_integrals ~initial ~timeline ~demands ~from_time ~until =
+type loss_segment = {
+  seg_from : float;
+  seg_until : float;
+  seg_blackholed : float;
+  seg_lost : float;
+}
+
+let loss_segments ~initial ~timeline ~demands ~from_time ~until =
   let total = Traffic.total_demand demands in
   let fractions snapshot =
     let result = Traffic.route_snapshot snapshot ~demands in
@@ -89,28 +96,38 @@ let loss_integrals ~initial ~timeline ~demands ~from_time ~until =
   List.iter
     (fun (device, state) -> Hashtbl.replace initial_snapshot device state)
     initial;
-  (* Piecewise-constant integration: each FIB snapshot holds from its
+  (* Piecewise-constant decomposition: each FIB snapshot holds from its
      change instant until the next one (the initial snapshot from
      [from_time]); the last segment extends to [until]. Segments are
-     clamped to the [from_time, until) window. *)
+     clamped to the [from_time, until) window; empty ones are dropped. *)
   let rec segments snapshot start = function
     | [] -> [ (snapshot, start, until) ]
     | (time, next) :: rest -> (snapshot, start, time) :: segments next time rest
   in
-  List.fold_left
-    (fun acc (snapshot, start, stop) ->
-      let width = Float.min stop until -. Float.max start from_time in
-      if width <= 0.0 then acc
-      else begin
+  List.filter_map
+    (fun (snapshot, start, stop) ->
+      let seg_from = Float.max start from_time in
+      let seg_until = Float.min stop until in
+      if seg_until -. seg_from <= 0.0 then None
+      else
         let blackholed, lost = fractions snapshot in
-        {
-          blackhole_seconds = acc.blackhole_seconds +. (blackholed *. width);
-          loss_seconds = acc.loss_seconds +. (lost *. width);
-          duration = acc.duration +. width;
-        }
-      end)
-    { blackhole_seconds = 0.0; loss_seconds = 0.0; duration = 0.0 }
+        Some { seg_from; seg_until; seg_blackholed = blackholed; seg_lost = lost })
     (segments initial_snapshot from_time timeline)
+
+let loss_integrals ~initial ~timeline ~demands ~from_time ~until =
+  (* Folding the clamped segments in order reproduces the pre-decomposition
+     arithmetic bit for bit, so integral totals and per-segment attribution
+     can never disagree. *)
+  List.fold_left
+    (fun acc seg ->
+      let width = seg.seg_until -. seg.seg_from in
+      {
+        blackhole_seconds = acc.blackhole_seconds +. (seg.seg_blackholed *. width);
+        loss_seconds = acc.loss_seconds +. (seg.seg_lost *. width);
+        duration = acc.duration +. width;
+      })
+    { blackhole_seconds = 0.0; loss_seconds = 0.0; duration = 0.0 }
+    (loss_segments ~initial ~timeline ~demands ~from_time ~until)
 
 let max_link_utilization (result : Traffic.result) ~capacity =
   Hashtbl.fold

@@ -52,6 +52,30 @@ type loss_integral = {
   duration : float;  (** width of the integration window actually covered *)
 }
 
+(** One piecewise-constant piece of the loss integral: the FIB snapshot in
+    force over [[seg_from, seg_until)] black-holed / lost these demand
+    fractions. *)
+type loss_segment = {
+  seg_from : float;
+  seg_until : float;
+  seg_blackholed : float;
+  seg_lost : float;
+}
+
+val loss_segments :
+  initial:(int * Bgp.Speaker.fib_state) list ->
+  timeline:(float * (int, Bgp.Speaker.fib_state) Hashtbl.t) list ->
+  demands:(int * float) list ->
+  from_time:float ->
+  until:float ->
+  loss_segment list
+(** The decomposition {!loss_integrals} integrates: segments clamped to
+    [[from_time, until)], zero-width ones dropped, in timeline order.
+    Summing [seg_blackholed x width] in order reproduces
+    [blackhole_seconds] bit for bit — the causal blackhole attribution
+    ({!Obs.Causal.attribute}) relies on this to account for 100% of the
+    integral. *)
+
 val loss_integrals :
   initial:(int * Bgp.Speaker.fib_state) list ->
   timeline:(float * (int, Bgp.Speaker.fib_state) Hashtbl.t) list ->

@@ -8,11 +8,15 @@ type t = {
   mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
+  mutable on_step : (unit -> unit) option;
 }
 
 let dummy = { time = 0.0; seq = 0; thunk = ignore }
 
-let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0 }
+let create () =
+  { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0; on_step = None }
+
+let set_on_step t hook = t.on_step <- hook
 
 let now t = t.clock
 
@@ -85,6 +89,7 @@ let step t =
   | None -> false
   | Some { time; thunk; seq = _ } ->
     t.clock <- time;
+    (match t.on_step with None -> () | Some hook -> hook ());
     thunk ();
     true
 

@@ -29,6 +29,13 @@ val pending : t -> int
 val step : t -> bool
 (** Executes the earliest event. Returns [false] if the queue was empty. *)
 
+val set_on_step : t -> (unit -> unit) option -> unit
+(** Installs (or clears) a hook run by {!step} after the clock advances and
+    before the event thunk executes. Instrumentation only: the hook must not
+    schedule events or otherwise affect the simulation. Used by the causal
+    tracer to reset its ambient cursor at every event boundary so causality
+    never leaks between unrelated queue events. *)
+
 val run : ?max_events:int -> t -> int
 (** Runs events until the queue is empty or [max_events] have executed
     (default unlimited). Returns the number executed. *)

@@ -254,6 +254,9 @@ let run ?(seed = 42) ~scenario ~write () =
                ("git_rev", Obs.Json.String (git_rev ()));
              ]);
         List.iter (fun e -> emit (Bgp.Trace.event_to_json e)) events;
+        (* Chaos schedules or caught exceptions can leave scopes open at the
+           export point; force-close them so the span tree is well-formed. *)
+        Obs.Span.close_open recorder;
         let spans = Obs.Span.spans recorder in
         List.iter (fun s -> emit (tagged "span" (Obs.Span.span_to_json s))) spans;
         emit

@@ -785,6 +785,7 @@ module Chaos = struct
     final_violations : (int option * Net.Prefix.t option * string) list;
     trace_events : int;
     fib_digest : string;
+    loss_segments : Dataplane.Metrics.loss_segment list;
   }
 
   type result = { gr_on : mode_result; gr_off : mode_result; gr_wins : bool }
@@ -870,6 +871,10 @@ module Chaos = struct
       Dataplane.Metrics.loss_integrals ~initial ~timeline ~demands
         ~from_time:t0 ~until
     in
+    let loss_segments =
+      Dataplane.Metrics.loss_segments ~initial ~timeline ~demands
+        ~from_time:t0 ~until
+    in
     let transient_violations =
       List.map
         (fun (time, _, _, kind, _) -> (time, kind))
@@ -906,6 +911,7 @@ module Chaos = struct
       final_violations;
       trace_events = Bgp.Trace.length trace_log;
       fib_digest = fib_digest net;
+      loss_segments;
     }
 
   let run ?seed ?profile ?eval_mode () =

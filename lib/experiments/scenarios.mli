@@ -241,6 +241,9 @@ module Chaos : sig
         (** must be empty: the healed network has no excuse *)
     trace_events : int;
     fib_digest : string;
+    loss_segments : Dataplane.Metrics.loss_segment list;
+        (** the piecewise decomposition the integrals summed (default
+            route), for joining loss intervals to causal events *)
   }
 
   type result = {

@@ -1,0 +1,519 @@
+(* Per-prefix provenance DAG for route propagation.
+
+   Every causally relevant act in the BGP layer — an origin announce, a
+   message send, its delivery, the decision it triggers, the FIB change
+   that decision commits — appends one immutable event whose [parent]
+   points at the event that caused it. Event ids are assigned in log
+   order, and since the simulation clock is monotone the log is sorted by
+   time: analysis never needs to sort.
+
+   Recording is ambient, like [Span]: sites test [on ()] (one bool read)
+   and do nothing when no recorder is installed, so disabled tracing is
+   free on the hot path. The "current cause" cursor threads causality
+   through synchronous call chains (deliver -> receive -> decide -> fib)
+   without changing any simulation signature; [new_turn] — installed as
+   the event queue's on-step hook — clears it at every event boundary so
+   causality never leaks between unrelated queue events.
+
+   Devices and prefixes are plain ints: the obs library sits below net,
+   so callers pass [Net.Intern.Prefix_id.id] values and supply a
+   [prefix_name] callback at export time. *)
+
+type kind =
+  | Origin
+  | Origin_withdraw
+  | Recv
+  | Decide
+  | Send
+  | Drop
+  | Fib
+  | Restart
+  | Session
+  | Sweep
+  | Config
+
+let kind_label = function
+  | Origin -> "origin"
+  | Origin_withdraw -> "origin-withdraw"
+  | Recv -> "recv"
+  | Decide -> "decide"
+  | Send -> "send"
+  | Drop -> "drop"
+  | Fib -> "fib"
+  | Restart -> "restart"
+  | Session -> "session"
+  | Sweep -> "sweep"
+  | Config -> "config"
+
+type event = {
+  id : int;
+  parent : int;  (* -1 = root *)
+  kind : kind;
+  time : float;  (* sim seconds *)
+  device : int;
+  peer : int;     (* -1 when not applicable *)
+  session : int;  (* -1 when not applicable *)
+  prefix : int;   (* interned prefix id; -1 when not prefix-scoped *)
+  note : string;
+  (* Wire-trip attribution, set on [Send] events only: drawn propagation
+     latency, extra fault-model delay, and FIFO queue wait at the head of
+     the channel. Their sum is the edge delay to the matching [Recv]. *)
+  d_prop : float;
+  d_queue : float;
+  d_fault : float;
+}
+
+type t = {
+  mutable events : event array;
+  mutable len : int;
+  (* (device, prefix id) -> id of that device's latest Decide event, used
+     to parent same-instant Send/Fib events to the decision that caused
+     them even when the cursor has moved on. *)
+  last_decision : (int * int, int) Hashtbl.t;
+  mutable cursor : int;
+}
+
+let dummy =
+  {
+    id = -1;
+    parent = -1;
+    kind = Config;
+    time = 0.0;
+    device = -1;
+    peer = -1;
+    session = -1;
+    prefix = -1;
+    note = "";
+    d_prop = 0.0;
+    d_queue = 0.0;
+    d_fault = 0.0;
+  }
+
+let create () =
+  {
+    events = Array.make 1024 dummy;
+    len = 0;
+    last_decision = Hashtbl.create 512;
+    cursor = -1;
+  }
+
+(* [enabled] mirrors [ambient <> None] so hot-path guards cost one bool
+   read instead of an option match. *)
+let enabled = ref false
+let ambient : t option ref = ref None
+
+let on () = !enabled
+let installed () = !ambient
+
+let with_recorder t f =
+  let previous = !ambient in
+  ambient := Some t;
+  enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      ambient := previous;
+      enabled := Option.is_some previous)
+    f
+
+let new_turn () = match !ambient with Some t -> t.cursor <- -1 | None -> ()
+let cause () = match !ambient with Some t -> t.cursor | None -> -1
+let set_cause id = match !ambient with Some t -> t.cursor <- id | None -> ()
+
+let append t ev =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let record t ~parent ~kind ~time ~device ~peer ~session ~prefix ~note ~d_prop
+    ~d_queue ~d_fault =
+  let id = t.len in
+  append t
+    { id; parent; kind; time; device; peer; session; prefix; note; d_prop;
+      d_queue; d_fault };
+  id
+
+let record0 t ~parent ~kind ~time ~device ~peer ~session ~prefix ~note =
+  record t ~parent ~kind ~time ~device ~peer ~session ~prefix ~note
+    ~d_prop:0.0 ~d_queue:0.0 ~d_fault:0.0
+
+let with_t f = match !ambient with None -> -1 | Some t -> f t
+
+(* The decision made by [device] for [prefix] at exactly this instant, if
+   any — the correct parent for a Send/Fib the decision just caused. An
+   older decision (different timestamp) is stale state, e.g. a session
+   resend replaying Adj-RIB-Out: fall through to [fallback]. *)
+let instant_decision t ~device ~prefix ~time ~fallback =
+  match Hashtbl.find_opt t.last_decision (device, prefix) with
+  | Some id when t.events.(id).time = time -> id
+  | Some _ | None -> fallback
+
+(* ---------------- Recording sites ---------------- *)
+
+let origin ~time ~device ~prefix ~withdraw =
+  with_t @@ fun t ->
+  let kind = if withdraw then Origin_withdraw else Origin in
+  let id =
+    record0 t ~parent:(-1) ~kind ~time ~device ~peer:(-1) ~session:(-1)
+      ~prefix ~note:""
+  in
+  t.cursor <- id;
+  id
+
+let recv ~time ~device ~peer ~session ~prefix ~note ~parent =
+  with_t @@ fun t ->
+  let id =
+    record0 t ~parent ~kind:Recv ~time ~device ~peer ~session ~prefix ~note
+  in
+  t.cursor <- id;
+  id
+
+let decide ~time ~device ~prefix =
+  with_t @@ fun t ->
+  let id =
+    record0 t ~parent:t.cursor ~kind:Decide ~time ~device ~peer:(-1)
+      ~session:(-1) ~prefix ~note:""
+  in
+  Hashtbl.replace t.last_decision (device, prefix) id;
+  id
+
+let send ~time ~src ~dst ~session ~prefix ~note ~parent_hint ~d_prop ~d_queue
+    ~d_fault =
+  with_t @@ fun t ->
+  let parent = instant_decision t ~device:src ~prefix ~time ~fallback:parent_hint in
+  record t ~parent ~kind:Send ~time ~device:src ~peer:dst ~session ~prefix
+    ~note ~d_prop ~d_queue ~d_fault
+
+let drop_at_send ~time ~src ~dst ~session ~prefix ~note ~parent_hint =
+  with_t @@ fun t ->
+  let parent = instant_decision t ~device:src ~prefix ~time ~fallback:parent_hint in
+  record0 t ~parent ~kind:Drop ~time ~device:src ~peer:dst ~session ~prefix
+    ~note
+
+let drop_in_flight ~time ~device ~peer ~session ~prefix ~note ~parent =
+  with_t @@ fun t ->
+  record0 t ~parent ~kind:Drop ~time ~device ~peer ~session ~prefix ~note
+
+let fib ~time ~device ~prefix ~note =
+  with_t @@ fun t ->
+  let parent = instant_decision t ~device ~prefix ~time ~fallback:t.cursor in
+  record0 t ~parent ~kind:Fib ~time ~device ~peer:(-1) ~session:(-1) ~prefix
+    ~note
+
+let restart ~time ~device =
+  with_t @@ fun t ->
+  (* The crash wipes the device's RIBs: its old decisions can no longer
+     cause anything, so forget them. Peers' decisions stay valid. *)
+  let stale =
+    Hashtbl.fold
+      (fun ((d, _) as key) _ acc -> if d = device then key :: acc else acc)
+      t.last_decision []
+  in
+  List.iter (Hashtbl.remove t.last_decision) stale;
+  let id =
+    record0 t ~parent:t.cursor ~kind:Restart ~time ~device ~peer:(-1)
+      ~session:(-1) ~prefix:(-1) ~note:""
+  in
+  t.cursor <- id;
+  id
+
+let session_event ~time ~device ~peer ~session ~note ~parent =
+  with_t @@ fun t ->
+  let id =
+    record0 t ~parent ~kind:Session ~time ~device ~peer ~session ~prefix:(-1)
+      ~note
+  in
+  t.cursor <- id;
+  id
+
+let sweep ~time ~device ~peer ~session ~note ~parent =
+  with_t @@ fun t ->
+  let id =
+    record0 t ~parent ~kind:Sweep ~time ~device ~peer ~session ~prefix:(-1)
+      ~note
+  in
+  t.cursor <- id;
+  id
+
+let config ~time ~device ~peer ~note =
+  with_t @@ fun t ->
+  let id =
+    record0 t ~parent:(-1) ~kind:Config ~time ~device ~peer ~session:(-1)
+      ~prefix:(-1) ~note
+  in
+  t.cursor <- id;
+  id
+
+(* ---------------- Inspection ---------------- *)
+
+let length t = t.len
+let events t = List.init t.len (fun i -> t.events.(i))
+let event t id = if id >= 0 && id < t.len then Some t.events.(id) else None
+
+let default_prefix_name p = if p < 0 then "-" else Printf.sprintf "pfx#%d" p
+
+let event_to_json ?(prefix_name = default_prefix_name) ev =
+  let base =
+    [
+      ("id", Json.Int ev.id);
+      ("parent", if ev.parent < 0 then Json.Null else Json.Int ev.parent);
+      ("kind", Json.String (kind_label ev.kind));
+      ("t", Json.Float ev.time);
+      ("device", Json.Int ev.device);
+      ("peer", if ev.peer < 0 then Json.Null else Json.Int ev.peer);
+      ("session", if ev.session < 0 then Json.Null else Json.Int ev.session);
+      ("prefix",
+       if ev.prefix < 0 then Json.Null else Json.String (prefix_name ev.prefix));
+      ("note", Json.String ev.note);
+    ]
+  in
+  let wire =
+    if ev.kind = Send then
+      [
+        ("d_prop", Json.Float ev.d_prop);
+        ("d_queue", Json.Float ev.d_queue);
+        ("d_fault", Json.Float ev.d_fault);
+      ]
+    else []
+  in
+  Json.Obj (base @ wire)
+
+let to_json ?prefix_name t =
+  Json.List (List.map (event_to_json ?prefix_name) (events t))
+
+(* ---------------- Critical path ---------------- *)
+
+type edge = {
+  e_from : int;
+  e_to : int;
+  e_label : string;
+  e_delay : float;
+  e_parts : (string * float) list;
+}
+
+type chain = {
+  c_prefix : int;
+  c_events : event list;  (* root first *)
+  c_edges : edge list;    (* between consecutive [c_events] *)
+  c_total : float;        (* terminal time - root time *)
+}
+
+(* Last FIB change for [prefix] (optionally at [device]) — the log is
+   time-sorted, so scanning backwards finds the quiescence point: the
+   latest install/remove, ties broken by highest id. *)
+let terminal_fib ?device t ~prefix =
+  let rec scan i =
+    if i < 0 then None
+    else
+      let ev = t.events.(i) in
+      if
+        ev.kind = Fib && ev.prefix = prefix
+        && (match device with None -> true | Some d -> ev.device = d)
+      then Some ev
+      else scan (i - 1)
+  in
+  scan (t.len - 1)
+
+let edge_between a b =
+  let delay = b.time -. a.time in
+  let plain label =
+    { e_from = a.id; e_to = b.id; e_label = label; e_delay = delay; e_parts = [] }
+  in
+  match (a.kind, b.kind) with
+  | Send, (Recv | Drop) ->
+    {
+      e_from = a.id;
+      e_to = b.id;
+      e_label = "wire";
+      e_delay = delay;
+      e_parts =
+        [ ("prop", a.d_prop); ("fault", a.d_fault); ("queue", a.d_queue) ];
+    }
+  | _, Decide -> plain "decision"
+  | _, Send -> plain "emit"
+  | _, Drop -> plain "drop"
+  | _, Fib -> plain "install"
+  | _, Sweep -> plain "sweep-timer"
+  | _, Session -> plain "session"
+  | _, _ -> plain "causes"
+
+let critical_path ?device t ~prefix =
+  match terminal_fib ?device t ~prefix with
+  | None -> None
+  | Some terminal ->
+    let rec ancestors ev acc =
+      if ev.parent < 0 then ev :: acc
+      else ancestors t.events.(ev.parent) (ev :: acc)
+    in
+    let evs = ancestors terminal [] in
+    let rec edges = function
+      | a :: (b :: _ as rest) -> edge_between a b :: edges rest
+      | [ _ ] | [] -> []
+    in
+    let root = List.hd evs in
+    Some
+      {
+        c_prefix = prefix;
+        c_events = evs;
+        c_edges = edges evs;
+        c_total = terminal.time -. root.time;
+      }
+
+let event_descr ev =
+  match ev.kind with
+  | Origin -> Printf.sprintf "origin announce at device %d" ev.device
+  | Origin_withdraw -> Printf.sprintf "origin withdraw at device %d" ev.device
+  | Recv ->
+    Printf.sprintf "recv %s at device %d from %d (session %d)" ev.note
+      ev.device ev.peer ev.session
+  | Decide -> Printf.sprintf "decision at device %d" ev.device
+  | Send ->
+    Printf.sprintf "send %s from device %d to %d (session %d)" ev.note
+      ev.device ev.peer ev.session
+  | Drop ->
+    Printf.sprintf "drop (%s) %d -> %d" ev.note ev.device ev.peer
+  | Fib -> Printf.sprintf "fib %s at device %d" ev.note ev.device
+  | Restart -> Printf.sprintf "speaker restart at device %d" ev.device
+  | Session ->
+    Printf.sprintf "session %s at device %d (peer %d)" ev.note ev.device
+      ev.peer
+  | Sweep -> Printf.sprintf "sweep (%s) at device %d" ev.note ev.device
+  | Config -> Printf.sprintf "config %s at device %d" ev.note ev.device
+
+let chain_lines ?(prefix_name = default_prefix_name) chain =
+  match chain.c_events with
+  | [] -> []
+  | root :: _ ->
+    let header =
+      Printf.sprintf "critical path for %s: %d events, %.6fs total"
+        (prefix_name chain.c_prefix)
+        (List.length chain.c_events)
+        chain.c_total
+    in
+    let rec go evs edges acc =
+      match (evs, edges) with
+      | [], _ -> List.rev acc
+      | ev :: evs', edges ->
+        let edge_txt, edges' =
+          match edges with
+          | [] -> ("", [])
+          | e :: rest ->
+            let parts =
+              if e.e_parts = [] then ""
+              else
+                " ("
+                ^ String.concat ", "
+                    (List.map
+                       (fun (k, v) -> Printf.sprintf "%s %.6f" k v)
+                       e.e_parts)
+                ^ ")"
+            in
+            (Printf.sprintf "  [+%.6f %s%s]" e.e_delay e.e_label parts, rest)
+        in
+        let line =
+          Printf.sprintf "  t=+%.6f  %s%s" (ev.time -. root.time)
+            (event_descr ev) edge_txt
+        in
+        go evs' edges' (line :: acc)
+    in
+    (* Edge i sits between event i and event i+1; print it on event i+1's
+       line (the edge that led here). *)
+    let first_line = Printf.sprintf "  t=+%.6f  %s" 0.0 (event_descr root) in
+    header :: first_line :: go (List.tl chain.c_events) chain.c_edges []
+
+let chain_to_json ?(prefix_name = default_prefix_name) chain =
+  Json.Obj
+    [
+      ("prefix", Json.String (prefix_name chain.c_prefix));
+      ("total_s", Json.Float chain.c_total);
+      ("events",
+       Json.List (List.map (event_to_json ~prefix_name) chain.c_events));
+      ("edges",
+       Json.List
+         (List.map
+            (fun e ->
+              Json.Obj
+                [
+                  ("from", Json.Int e.e_from);
+                  ("to", Json.Int e.e_to);
+                  ("label", Json.String e.e_label);
+                  ("delay_s", Json.Float e.e_delay);
+                  ("parts",
+                   Json.Obj
+                     (List.map (fun (k, v) -> (k, Json.Float v)) e.e_parts));
+                ])
+            chain.c_edges));
+    ]
+
+(* ---------------- Blackhole attribution ---------------- *)
+
+type attributed = {
+  a_from : float;
+  a_until : float;
+  a_fraction : float;
+  a_seconds : float;
+  a_opened_by : int list;
+  a_closed_by : int list;
+}
+
+let fib_ids_at t ~prefix time =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let ev = t.events.(i) in
+      let acc =
+        if ev.kind = Fib && ev.prefix = prefix && ev.time = time then
+          ev.id :: acc
+        else acc
+      in
+      (* Log is time-sorted: once past events strictly before [time], stop. *)
+      if ev.time < time then acc else go (i - 1) acc
+  in
+  go (t.len - 1) []
+
+let last_fib_before t ~prefix time =
+  let rec scan i =
+    if i < 0 then []
+    else
+      let ev = t.events.(i) in
+      if ev.kind = Fib && ev.prefix = prefix && ev.time < time then [ ev.id ]
+      else scan (i - 1)
+  in
+  scan (t.len - 1)
+
+let attribute t ~prefix ~segments =
+  List.filter_map
+    (fun (sfrom, suntil, fraction) ->
+      let width = suntil -. sfrom in
+      if width <= 0.0 || fraction = 0.0 then None
+      else
+        let opened =
+          match fib_ids_at t ~prefix sfrom with
+          | [] -> last_fib_before t ~prefix sfrom
+          | ids -> ids
+        in
+        let closed = fib_ids_at t ~prefix suntil in
+        Some
+          {
+            a_from = sfrom;
+            a_until = suntil;
+            a_fraction = fraction;
+            a_seconds = fraction *. width;
+            a_opened_by = opened;
+            a_closed_by = closed;
+          })
+    segments
+
+let attributed_to_json a =
+  Json.Obj
+    [
+      ("from_s", Json.Float a.a_from);
+      ("until_s", Json.Float a.a_until);
+      ("fraction", Json.Float a.a_fraction);
+      ("seconds", Json.Float a.a_seconds);
+      ("opened_by", Json.List (List.map (fun i -> Json.Int i) a.a_opened_by));
+      ("closed_by", Json.List (List.map (fun i -> Json.Int i) a.a_closed_by));
+    ]

@@ -1,0 +1,167 @@
+(* Perfetto / Chrome trace-event exporter.
+
+   Renders the span tree and the causal DAG into the trace-event JSON
+   format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+   spans as complete ("X") slices, causal events as thread instants ("i"),
+   and causal parent links as flow arrows ("s"/"f"). Open the result at
+   https://ui.perfetto.dev or chrome://tracing.
+
+   Timestamps are microseconds. Spans prefer virtual (simulation) time so
+   slices line up with the causal events; spans recorded without a sim
+   clock fall back to wall time relative to the earliest span. *)
+
+let us s = s *. 1e6
+
+let span_events spans =
+  let wall0 =
+    List.fold_left
+      (fun acc (s : Span.span) -> Float.min acc s.wall_start_s)
+      Float.infinity spans
+  in
+  List.concat_map
+    (fun (s : Span.span) ->
+      let ts, dur =
+        match (s.sim_start, s.sim_stop) with
+        | Some a, Some b -> (us a, us (b -. a))
+        | _ ->
+          ( us (s.wall_start_s -. wall0),
+            us (s.wall_stop_s -. s.wall_start_s) )
+      in
+      [
+        Json.Obj
+          [
+            ("name", Json.String s.name);
+            ("cat", Json.String "span");
+            ("ph", Json.String "X");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int 0);
+            ("ts", Json.Float ts);
+            ("dur", Json.Float dur);
+            ("args",
+             Json.Obj
+               (("span_id", Json.Int s.id)
+                :: ("parent",
+                    match s.parent with
+                    | Some p -> Json.Int p
+                    | None -> Json.Null)
+                :: List.map (fun (k, v) -> (k, Json.String v)) s.attrs));
+          ];
+      ])
+    spans
+
+let causal_events ?(prefix_name = Causal.default_prefix_name) causal =
+  let evs = Causal.events causal in
+  let tid ev = if ev.Causal.device < 0 then 0 else ev.Causal.device in
+  let instant (ev : Causal.event) =
+    Json.Obj
+      [
+        ("name",
+         Json.String
+           (Causal.kind_label ev.kind
+           ^ if ev.note = "" then "" else ":" ^ ev.note));
+        ("cat", Json.String "causal");
+        ("ph", Json.String "i");
+        ("s", Json.String "t");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (tid ev));
+        ("ts", Json.Float (us ev.time));
+        ("args",
+         Json.Obj
+           [
+             ("id", Json.Int ev.id);
+             ("parent",
+              if ev.parent < 0 then Json.Null else Json.Int ev.parent);
+             ("prefix",
+              if ev.prefix < 0 then Json.Null
+              else Json.String (prefix_name ev.prefix));
+             ("peer", if ev.peer < 0 then Json.Null else Json.Int ev.peer);
+             ("session",
+              if ev.session < 0 then Json.Null else Json.Int ev.session);
+           ]);
+      ]
+  in
+  let flows (ev : Causal.event) =
+    if ev.parent < 0 then []
+    else
+      match Causal.event causal ev.parent with
+      | None -> []
+      | Some parent ->
+        [
+          Json.Obj
+            [
+              ("name", Json.String "cause");
+              ("cat", Json.String "causal-flow");
+              ("ph", Json.String "s");
+              ("id", Json.Int ev.id);
+              ("pid", Json.Int 1);
+              ("tid", Json.Int (tid parent));
+              ("ts", Json.Float (us parent.time));
+            ];
+          Json.Obj
+            [
+              ("name", Json.String "cause");
+              ("cat", Json.String "causal-flow");
+              ("ph", Json.String "f");
+              ("bp", Json.String "e");
+              ("id", Json.Int ev.id);
+              ("pid", Json.Int 1);
+              ("tid", Json.Int (tid ev));
+              ("ts", Json.Float (us ev.time));
+            ];
+        ]
+  in
+  List.concat_map (fun ev -> instant ev :: flows ev) evs
+
+let metadata ?causal () =
+  let process pid name =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  let threads =
+    match causal with
+    | None -> []
+    | Some c ->
+      let devices =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (ev : Causal.event) ->
+               if ev.device >= 0 then Some ev.device else None)
+             (Causal.events c))
+      in
+      List.map
+        (fun d ->
+          Json.Obj
+            [
+              ("name", Json.String "thread_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int 1);
+              ("tid", Json.Int d);
+              ("args",
+               Json.Obj
+                 [ ("name", Json.String (Printf.sprintf "device %d" d)) ]);
+            ])
+        devices
+  in
+  process 0 "spans" :: process 1 "simulation" :: threads
+
+let perfetto ?spans ?causal ?prefix_name () =
+  let events =
+    metadata ?causal ()
+    @ (match spans with
+      | Some recorder -> span_events (Span.spans recorder)
+      | None -> [])
+    @
+    match causal with
+    | Some c -> causal_events ?prefix_name c
+    | None -> []
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]

@@ -1,0 +1,19 @@
+(** Perfetto / Chrome trace-event exporter.
+
+    Renders a {!Span} tree and/or a {!Causal} DAG as one trace-event JSON
+    document ([{"traceEvents": [...]}]) loadable in https://ui.perfetto.dev
+    or chrome://tracing: spans become complete ("X") slices on pid 0,
+    causal events become per-device thread instants on pid 1, and causal
+    parent links become flow arrows.
+
+    Timestamps are microseconds of virtual (simulation) time; spans
+    recorded without a sim clock fall back to wall time relative to the
+    earliest span. With only causal input (no spans), the document is
+    deterministic at a fixed seed. *)
+
+val perfetto :
+  ?spans:Span.t ->
+  ?causal:Causal.t ->
+  ?prefix_name:(int -> string) ->
+  unit ->
+  Json.t

@@ -28,7 +28,15 @@ let escape_to buf s =
   Buffer.add_char buf '"'
 
 let float_to buf f =
-  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  if Float.is_finite f then begin
+    (* Shortest-first rendering that still round-trips: %.12g covers every
+       float produced by the simulators' arithmetic in practice, but when
+       re-parsing it would lose bits fall back to %.17g, which is always
+       exact for a double. Keeps exports both compact and bit-faithful. *)
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s
+  end
   else Buffer.add_string buf "null"
 
 let rec to_buffer buf = function

@@ -17,7 +17,11 @@ type t =
 
 val to_string : t -> string
 (** Compact (single-line) rendering. Non-finite floats render as [null] —
-    JSON has no representation for them. *)
+    JSON has no representation for them. Finite floats render with the
+    shortest of [%.12g] / [%.17g] that parses back to the identical bit
+    pattern, so numeric exports round-trip exactly. Control characters in
+    strings are escaped ([\uXXXX] or the named escapes), so every emitted
+    line is valid JSON. *)
 
 val to_buffer : Buffer.t -> t -> unit
 

@@ -9,7 +9,9 @@ type span = {
   sim_stop : float option;
 }
 
-(* An open scope; becomes a [span] when it closes. *)
+(* An open scope; becomes a [span] when it closes. [o_closed] guards
+   against double-recording when a scope is force-closed by [close_open]
+   and its own [Fun.protect] unwind runs afterwards. *)
 type open_span = {
   o_id : int;
   o_parent : int option;
@@ -17,6 +19,7 @@ type open_span = {
   o_attrs : (string * string) list;
   o_wall_start : float;
   o_sim_start : float option;
+  mutable o_closed : bool;
 }
 
 type t = {
@@ -74,28 +77,58 @@ let with_span ?attrs name f =
           o_attrs = (match attrs with Some a -> a () | None -> []);
           o_wall_start = Sys.time ();
           o_sim_start = sim_now t;
+          o_closed = false;
         }
       in
       t.next_id <- t.next_id + 1;
       t.stack <- o :: t.stack;
       let close () =
-        (match t.stack with
-         | top :: rest when top.o_id = o.o_id -> t.stack <- rest
-         | _ ->
-           (* An inner scope escaped without closing (exception in a
-              nested Fun.protect) — drop back to this span's frame. *)
-           let rec unwind = function
-             | top :: rest when top.o_id <> o.o_id -> unwind rest
-             | _ :: rest -> rest
-             | [] -> []
-           in
-           t.stack <- unwind t.stack);
+        if not o.o_closed then begin
+          o.o_closed <- true;
+          (match t.stack with
+           | top :: rest when top.o_id = o.o_id -> t.stack <- rest
+           | _ ->
+             (* An inner scope escaped without closing (exception in a
+                nested Fun.protect) — drop back to this span's frame. *)
+             let rec unwind = function
+               | top :: rest when top.o_id <> o.o_id -> unwind rest
+               | _ :: rest -> rest
+               | [] -> []
+             in
+             t.stack <- unwind t.stack);
+          t.rev_spans <-
+            {
+              id = o.o_id;
+              parent = o.o_parent;
+              name = o.o_name;
+              attrs = o.o_attrs;
+              wall_start_s = o.o_wall_start;
+              wall_stop_s = Sys.time ();
+              sim_start = o.o_sim_start;
+              sim_stop = sim_now t;
+            }
+            :: t.rev_spans;
+          t.completed <- t.completed + 1
+        end
+      in
+      Fun.protect ~finally:close f
+    end
+
+let open_scopes t = List.length t.stack
+
+let close_open t =
+  (* Innermost first, so parents always close at or after their children
+     and the exported tree stays well-formed. *)
+  List.iter
+    (fun o ->
+      if not o.o_closed then begin
+        o.o_closed <- true;
         t.rev_spans <-
           {
             id = o.o_id;
             parent = o.o_parent;
             name = o.o_name;
-            attrs = o.o_attrs;
+            attrs = o.o_attrs @ [ ("truncated", "true") ];
             wall_start_s = o.o_wall_start;
             wall_stop_s = Sys.time ();
             sim_start = o.o_sim_start;
@@ -103,9 +136,9 @@ let with_span ?attrs name f =
           }
           :: t.rev_spans;
         t.completed <- t.completed + 1
-      in
-      Fun.protect ~finally:close f
-    end
+      end)
+    t.stack;
+  t.stack <- []
 
 let spans t = List.sort (fun a b -> compare a.id b.id) t.rev_spans
 

@@ -52,7 +52,20 @@ val with_span :
 (** {1 Inspection & export} *)
 
 val spans : t -> span list
-(** Completed spans in start order. Scopes still open are not included. *)
+(** Completed spans in start order. Scopes still open are not included —
+    call {!close_open} first when exporting a run that may have been cut
+    short. *)
+
+val open_scopes : t -> int
+(** Number of scopes currently open (not yet recorded). *)
+
+val close_open : t -> unit
+(** Force-closes every scope still open, innermost first, stamping each
+    with the current clocks and a [("truncated", "true")] attribute. The
+    exporters call this before reading {!spans} so span trees stay
+    well-formed when a run is interrupted (chaos schedules, exceptions
+    caught above the recorder). A scope force-closed here is not recorded
+    a second time when its own [with_span] unwind later runs. *)
 
 val dropped : t -> int
 

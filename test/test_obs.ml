@@ -35,6 +35,22 @@ let json_escapes () =
   check Alcotest.string "infinity becomes null" "null"
     (Obs.Json.to_string (Obs.Json.Float Float.infinity))
 
+let json_float_roundtrip () =
+  (* Finite floats must survive to_string -> of_string bit-exactly: the
+     emitter prefers the short %.12g form but falls back to %.17g when the
+     short form does not re-parse to the same value. *)
+  List.iter
+    (fun f ->
+      let s = Obs.Json.to_string (Obs.Json.Float f) in
+      match float_of_string_opt s with
+      | Some f' ->
+        checkb (Printf.sprintf "%s round-trips bit-exactly" s) true (f' = f)
+      | None -> Alcotest.failf "emitted unparseable float %S" s)
+    [
+      0.1 +. 0.2; 1.0 /. 3.0; 0.001; 1e-300; 123456.789; max_float;
+      -0.152123; 4.9e-324 (* smallest subnormal *);
+    ]
+
 let json_parse_errors () =
   let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
   List.iter
@@ -218,6 +234,36 @@ let spans_sim_clock () =
     checkb "sim_stop stamped" true (s.Obs.Span.sim_stop = Some 2.5)
   | _ -> Alcotest.fail "expected 1 span"
 
+let spans_close_open () =
+  (* A crash (or chaos schedule) can leave scopes open at export time;
+     close_open records them once — with a truncated marker — and the
+     normal unwind afterwards must not record them again. *)
+  let r = Obs.Span.create () in
+  Obs.Span.with_recorder r (fun () ->
+      Obs.Span.with_span "outer" (fun () ->
+          Obs.Span.with_span "inner" (fun () ->
+              checki "two scopes open" 2 (Obs.Span.open_scopes r);
+              Obs.Span.close_open r;
+              checki "none open after force-close" 0 (Obs.Span.open_scopes r))));
+  let spans = Obs.Span.spans r in
+  checki "each scope recorded exactly once" 2 (List.length spans);
+  let ids = List.map (fun (s : Obs.Span.span) -> s.Obs.Span.id) spans in
+  checkb "ids distinct" true
+    (List.length (List.sort_uniq compare ids) = List.length ids);
+  checkb "force-closed spans are marked truncated" true
+    (List.for_all
+       (fun (s : Obs.Span.span) ->
+         List.assoc_opt "truncated" s.Obs.Span.attrs = Some "true")
+       spans);
+  (* Parents still form a tree over recorded ids. *)
+  checkb "parents resolve" true
+    (List.for_all
+       (fun (s : Obs.Span.span) ->
+         match s.Obs.Span.parent with
+         | None -> true
+         | Some p -> List.mem p ids)
+       spans)
+
 (* ---------------- Trace memoization ---------------- *)
 
 let trace_events_memoized () =
@@ -371,6 +417,47 @@ let contains ~needle haystack =
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
+let observe_span_tree_well_formed_under_chaos () =
+  (* Speaker crashes/restarts and the chaos schedule must not leave the
+     exported span tree dangling: every span line's parent must reference
+     an exported span id. *)
+  let lines = ref [] in
+  match
+    Experiments.Observe.run ~seed:42 ~scenario:"chaos_gr"
+      ~write:(fun l -> lines := l :: !lines)
+      ()
+  with
+  | Error e -> Alcotest.failf "observe failed: %s" e
+  | Ok s ->
+    checkb "spans exported" true (s.Experiments.Observe.spans > 0);
+    let spans =
+      List.filter_map
+        (fun l ->
+          match Obs.Json.of_string l with
+          | Ok j when Obs.Json.member "type" j = Some (Obs.Json.String "span")
+            ->
+            Some j
+          | Ok _ -> None
+          | Error e -> Alcotest.failf "span line does not parse: %s" e)
+        !lines
+    in
+    checki "span lines match summary" s.spans (List.length spans);
+    let id_of j =
+      match Obs.Json.member "id" j with
+      | Some v -> Option.get (Obs.Json.to_int v)
+      | None -> Alcotest.fail "span without id"
+    in
+    let ids = List.map id_of spans in
+    checkb "span ids unique" true
+      (List.length (List.sort_uniq compare ids) = List.length ids);
+    checkb "every parent references an exported span" true
+      (List.for_all
+         (fun j ->
+           match Obs.Json.member "parent" j with
+           | None | Some Obs.Json.Null -> true
+           | Some v -> List.mem (Option.get (Obs.Json.to_int v)) ids)
+         spans)
+
 let observe_unknown_scenario () =
   match
     Experiments.Observe.run ~scenario:"nonexistent" ~write:(fun _ -> ()) ()
@@ -390,6 +477,8 @@ let () =
           Alcotest.test_case "round-trip" `Quick json_roundtrip;
           Alcotest.test_case "escapes" `Quick json_escapes;
           Alcotest.test_case "parse errors" `Quick json_parse_errors;
+          Alcotest.test_case "float precision round-trip" `Quick
+            json_float_roundtrip;
           Alcotest.test_case "accessors" `Quick json_accessors;
         ] );
       ( "metrics",
@@ -410,6 +499,7 @@ let () =
           Alcotest.test_case "exception safety" `Quick spans_survive_exceptions;
           Alcotest.test_case "cap" `Quick spans_cap;
           Alcotest.test_case "sim clock" `Quick spans_sim_clock;
+          Alcotest.test_case "force-close open scopes" `Quick spans_close_open;
         ] );
       ( "trace",
         [ Alcotest.test_case "events memoized" `Quick trace_events_memoized ] );
@@ -422,5 +512,7 @@ let () =
         [
           Alcotest.test_case "JSONL export" `Slow observe_jsonl;
           Alcotest.test_case "unknown scenario" `Quick observe_unknown_scenario;
+          Alcotest.test_case "span tree well-formed under chaos" `Slow
+            observe_span_tree_well_formed_under_chaos;
         ] );
     ]
