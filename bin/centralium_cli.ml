@@ -561,8 +561,126 @@ let chaos_gr_sweep seeds base_seed gr_mode out =
         0
       end)
 
+(* Controller HA failover sweep: kill the leader mid-rollout at a
+   per-seed phase offset, let a standby take over from the journal under
+   a higher fencing epoch, and assert bit-identical convergence plus a
+   clean dual-leader / stale-epoch-write audit
+   (ISSUE: `centralium chaos --ha`). *)
+let chaos_ha_sweep seeds base_seed profile_name members crash_at out =
+  match
+    match profile_name with
+    | "none" -> Some Dsim.Mgmt_fault.none
+    | "flaky" -> Some Dsim.Mgmt_fault.flaky
+    | "hostile" -> Some Dsim.Mgmt_fault.hostile
+    | _ -> None
+  with
+  | None ->
+    Printf.eprintf "chaos: unknown profile %S (none | flaky | hostile)\n"
+      profile_name;
+    1
+  | Some profile ->
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let failures = ref 0 in
+        for k = 0 to seeds - 1 do
+          let seed = base_seed + k in
+          (* Stagger the kill across seeds so the sweep exercises crashes
+             at different phase offsets of the same rollout. *)
+          let offset = crash_at +. (0.007 *. float_of_int k) in
+          let c =
+            Experiments.Scenarios.Failover.crash_vs_uninterrupted ~seed
+              ~profile ~members ~leader_crash_offsets:[ offset ] ()
+          in
+          let i = c.Experiments.Scenarios.Failover.interrupted in
+          let u = c.Experiments.Scenarios.Failover.uninterrupted in
+          let violations (r : Experiments.Scenarios.Failover.result) =
+            List.length r.ha_violations
+            + List.length r.phase_violations
+            + List.length r.final_violations
+          in
+          let ok =
+            c.Experiments.Scenarios.Failover.digests_match
+            && i.outcome = "completed"
+            && u.outcome = "completed"
+            && i.elections >= 2 (* the kill forced a real takeover *)
+            && violations i = 0 && violations u = 0
+          in
+          if not ok then incr failures;
+          pf
+            "seed %d: %s — crash@%.0fms: %s by member %s after %d \
+             elections (takeover %s ms), uninterrupted %s, violations \
+             %d/%d, digests %s\n"
+            seed
+            (if ok then "OK" else "FAIL")
+            (offset *. 1000.) i.outcome
+            (match i.completed_by with
+             | Some m -> string_of_int m
+             | None -> "-")
+            i.elections
+            (String.concat ","
+               (List.map (Printf.sprintf "%.1f") i.takeover_ms))
+            u.outcome (violations i) (violations u)
+            (if c.Experiments.Scenarios.Failover.digests_match then "match"
+             else "DIFFER");
+          let line =
+            Obs.Json.Obj
+              [
+                ("type", Obs.Json.String "chaos_ha_seed");
+                ("seed", Obs.Json.Int seed);
+                ("ok", Obs.Json.Bool ok);
+                ("profile", Obs.Json.String profile_name);
+                ("members", Obs.Json.Int members);
+                ("crash_at_s", Obs.Json.Float offset);
+                ("interrupted_outcome", Obs.Json.String i.outcome);
+                ("uninterrupted_outcome", Obs.Json.String u.outcome);
+                ( "completed_by",
+                  match i.completed_by with
+                  | Some m -> Obs.Json.Int m
+                  | None -> Obs.Json.Null );
+                ("elections", Obs.Json.Int i.elections);
+                ( "takeover_ms",
+                  Obs.Json.List
+                    (List.map (fun t -> Obs.Json.Float t) i.takeover_ms) );
+                ("fenced_attempts", Obs.Json.Int i.fenced_attempts);
+                ("dead_members", Obs.Json.Int i.dead_members);
+                ("applied", Obs.Json.Int i.applied);
+                ("skipped_in_sync", Obs.Json.Int i.skipped_in_sync);
+                ( "journal_status",
+                  match i.journal_status with
+                  | Some s -> Obs.Json.String s
+                  | None -> Obs.Json.Null );
+                ("ha_violations", Obs.Json.Int (List.length i.ha_violations));
+                ("violations_interrupted", Obs.Json.Int (violations i));
+                ("violations_uninterrupted", Obs.Json.Int (violations u));
+                ( "digests_match",
+                  Obs.Json.Bool c.Experiments.Scenarios.Failover.digests_match
+                );
+                ("fib_digest", Obs.Json.String i.fib_digest);
+              ]
+          in
+          output_string oc (Obs.Json.to_string line);
+          output_char oc '\n'
+        done;
+        if !failures > 0 then begin
+          pf "chaos --ha: %d/%d seeds FAILED (details in %s)\n" !failures
+            seeds out;
+          1
+        end
+        else begin
+          pf
+            "chaos --ha: all %d seeds failed over deterministically — \
+             standby takeovers, bit-identical forwarding state, zero \
+             dual-leader/stale-epoch violations (%s)\n"
+            seeds out;
+          0
+        end)
+
 let chaos_cmd =
-  let run seeds base_seed profile_name crash_after gr out =
+  let run seeds base_seed profile_name crash_after gr ha members crash_at out =
+    if ha then chaos_ha_sweep seeds base_seed profile_name members crash_at out
+    else
     match gr with
     | Some mode ->
       (match mode with
@@ -695,6 +813,32 @@ let chaos_cmd =
              and both modes quiesce violation-free. Ignores --profile and \
              --crash-after.")
   in
+  let ha =
+    Arg.(
+      value & flag
+      & info [ "ha" ]
+          ~doc:
+            "switch to the controller-failover sweep: a $(b,--members)-way \
+             lease-elected controller cluster deploys the expansion plan, \
+             the leader is killed mid-rollout (at $(b,--crash-at) plus a \
+             per-seed stagger), and the sweep fails unless every standby \
+             takeover converges bit-identically to the uninterrupted run \
+             with zero dual-leader / stale-epoch-write violations. \
+             Ignores --gr and --crash-after.")
+  in
+  let members =
+    Arg.(
+      value & opt int 3
+      & info [ "members" ] ~doc:"controller cluster size for --ha")
+  in
+  let crash_at =
+    Arg.(
+      value & opt float 0.02
+      & info [ "crash-at" ] ~docv:"SECONDS"
+          ~doc:
+            "base leader-kill offset for --ha, seconds after cluster \
+             start (each seed adds its own stagger)")
+  in
   let out =
     Arg.(
       value & opt string "chaos.jsonl"
@@ -709,8 +853,15 @@ let chaos_cmd =
           bit-identical convergence with zero invariant violations. With \
           --gr: the data-plane scenario — converge under severe message \
           faults and speaker restarts with session liveness timers, and \
-          account blackhole-seconds with graceful restart on/off")
-    Term.(const run $ seeds $ base_seed $ profile $ crash_after $ gr $ out)
+          account blackhole-seconds with graceful restart on/off. With \
+          --ha: the controller-failover scenario — a lease-elected \
+          controller cluster loses its leader mid-rollout at a per-seed \
+          phase offset; a standby must take over under a higher fencing \
+          epoch and converge bit-identically with a clean \
+          dual-leader/stale-epoch audit")
+    Term.(
+      const run $ seeds $ base_seed $ profile $ crash_after $ gr $ ha
+      $ members $ crash_at $ out)
 
 (* ---------------- trace ---------------- *)
 

@@ -370,8 +370,8 @@ module Slow_roll = struct
                     Switch_agent.set_intended agent ~device rpa;
                     (match Switch_agent.reconcile_device agent device with
                      | `Applied -> incr applied
-                     | `In_sync | `Unreachable | `Rpc_lost | `Rpc_timeout
-                     | `Transient _ -> ())
+                     | `In_sync | `Unreachable | `Fenced | `Rpc_lost
+                     | `Rpc_timeout | `Transient _ -> ())
                   | None -> ())
                 devices;
               ignore (Bgp.Network.converge net);

@@ -8,6 +8,9 @@ let g_resume_phase = Obs.Metrics.gauge "controller.resume_phase"
 let m_journal_writes = Obs.Metrics.counter "controller.journal_writes"
 let m_nsdb_write_failures = Obs.Metrics.counter "controller.nsdb_write_failures"
 let m_gave_up = Obs.Metrics.counter "controller.gave_up"
+let m_fenced_writes = Obs.Metrics.counter "ha.fenced_writes"
+let m_status_conflicts = Obs.Metrics.counter "controller.status_conflicts"
+let m_journal_pruned = Obs.Metrics.counter "controller.journal_pruned"
 
 type plan = {
   plan_name : string;
@@ -61,7 +64,10 @@ type outcome =
   | Completed of report
   | Rolled_back of { partial : report; reasons : string list }
   | Crashed of { partial : report; completed_phases : int }
+  | Fenced of { partial : report; completed_phases : int }
   | Aborted of string list
+
+type fence_status = Fence_held of int | Fence_lost | Fence_crashed
 
 type retry_policy = {
   max_attempts : int;
@@ -94,15 +100,28 @@ type t = {
   switch_agent : Switch_agent.t;
   state_db : Nsdb.Replicated.t;
   nsdb_service : Service.t;
+  mutable journal_retain : int;
+  (* Audit trail for Invariant.Stale_epoch_write: (virtual time, epoch) of
+     every committed fenced NSDB write, most recent first. *)
+  mutable epoch_writes : (float * int) list;
 }
 
-let create ?seed net =
+let create ?seed ?agent ?nsdb net =
   {
     net;
-    switch_agent = Switch_agent.create ?seed net;
-    state_db = Nsdb.Replicated.create ~replicas:2;
+    switch_agent =
+      (match agent with
+       | Some a -> a
+       | None -> Switch_agent.create ?seed net);
+    state_db =
+      (match nsdb with Some db -> db | None -> Nsdb.Replicated.create ~replicas:2);
     nsdb_service = Service.create ~name:"nsdb" ~role:Service.Storage;
+    journal_retain = 8;
+    epoch_writes = [];
   }
+
+let set_journal_retention t n = t.journal_retain <- max 0 n
+let epoch_writes t = List.rev t.epoch_writes
 
 let network t = t.net
 let agent t = t.switch_agent
@@ -170,6 +189,19 @@ let lint_gate ~lint t plan =
 
 exception Crash_signal
 exception Budget_exceeded of int
+exception Fenced_signal
+
+(* Evaluate the fence before every externally-visible mutation. A leader
+   that has lost its lease fail-stops right here: no RPC, no NSDB write,
+   no intent update gets out under a superseded epoch. *)
+let fence_epoch fence =
+  match fence with
+  | None -> None
+  | Some f -> (
+    match f () with
+    | Fence_held epoch -> Some epoch
+    | Fence_lost -> raise Fenced_signal
+    | Fence_crashed -> raise Crash_signal)
 
 (* Mutable accumulation across phases, rollback and resume. *)
 type progress = {
@@ -225,20 +257,42 @@ let backoff t ~policy ~jrng ~prog ~attempt =
   Obs.Metrics.observe h_backoff_ms (wait *. 1000.0);
   ignore (Bgp.Network.run_until t.net ~time:(Bgp.Network.now t.net +. wait))
 
+(* The NSDB side of fencing: the HA layer records the maximum granted
+   epoch at ha/epoch; a write stamped below it comes from a deposed leader
+   and is rejected before touching any replica. *)
+let nsdb_fence_guard t ~epoch =
+  match epoch with
+  | None -> ()
+  | Some e -> (
+    match Nsdb.Replicated.get_one t.state_db ~path:"ha/epoch" with
+    | Some (Nsdb.Int granted) when e < granted ->
+      Obs.Metrics.incr m_fenced_writes;
+      raise Fenced_signal
+    | Some _ | None -> ())
+
+let record_epoch_write t ~epoch =
+  match epoch with
+  | None -> ()
+  | Some e -> t.epoch_writes <- (Bgp.Network.now t.net, e) :: t.epoch_writes
+
 (* NSDB writes go through the same fate model and retry loop as agent
    RPCs. A write that exhausts its attempts is dropped (and counted): the
    journal may then lag reality, which resume tolerates because re-running
    a phase is a no-op for in-sync devices. *)
-let nsdb_set t ~policy ~fault ~jrng ~prog ~path value =
+let nsdb_set t ~policy ~fault ~fence ~jrng ~prog ~path value =
   let rec attempt n =
+    let epoch = fence_epoch fence in
+    nsdb_fence_guard t ~epoch;
     let ok =
       match fault with
       | None -> true
       | Some f -> Dsim.Mgmt_fault.nsdb_write_ok f
     in
-    if ok then
+    if ok then begin
       Service.with_work t.nsdb_service (fun () ->
-          Nsdb.Replicated.set t.state_db ~path value)
+          Nsdb.Replicated.set t.state_db ~path value);
+      record_epoch_write t ~epoch
+    end
     else if n >= policy.max_attempts then
       Obs.Metrics.incr m_nsdb_write_failures
     else begin
@@ -248,19 +302,19 @@ let nsdb_set t ~policy ~fault ~jrng ~prog ~path value =
   in
   attempt 1
 
-let record_plan t ~policy ~fault ~jrng ~prog plan =
+let record_plan t ~policy ~fault ~fence ~jrng ~prog plan =
   (* The replicated NSDB keeps the fleet-wide intent for audit/consistency. *)
   List.iter
     (fun (device, rpa) ->
-      nsdb_set t ~policy ~fault ~jrng ~prog
+      nsdb_set t ~policy ~fault ~fence ~jrng ~prog
         ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
         (Nsdb.Rpa rpa))
     plan.rpas
 
-let clear_plan_record t ~policy ~fault ~jrng ~prog plan =
+let clear_plan_record t ~policy ~fault ~fence ~jrng ~prog plan =
   List.iter
     (fun (device, _) ->
-      nsdb_set t ~policy ~fault ~jrng ~prog
+      nsdb_set t ~policy ~fault ~fence ~jrng ~prog
         ~path:(Printf.sprintf "plans/%s/devices/%d" plan.plan_name device)
         (Nsdb.Rpa Rpa.empty))
     plan.rpas
@@ -282,9 +336,48 @@ let clear_plan_record t ~policy ~fault ~jrng ~prog plan =
 let journal_path plan what =
   Printf.sprintf "journal/%s/%s" plan.plan_name what
 
-let journal_write t ~policy ~fault ~jrng ~prog plan what value =
+let journal_write t ~policy ~fault ~fence ~jrng ~prog plan what value =
   Obs.Metrics.incr m_journal_writes;
-  nsdb_set t ~policy ~fault ~jrng ~prog ~path:(journal_path plan what) value
+  nsdb_set t ~policy ~fault ~fence ~jrng ~prog ~path:(journal_path plan what)
+    value
+
+(* Status transitions go through compare-and-set: the terminal states
+   (completed / rolled-back) are only reachable from "in-progress", so two
+   controllers racing the same plan cannot both claim the transition — the
+   loser observes the conflict instead of silently overwriting. *)
+let journal_transition t ~policy ~fault ~fence ~jrng ~prog plan ~expected
+    status =
+  Obs.Metrics.incr m_journal_writes;
+  let rec attempt n =
+    let epoch = fence_epoch fence in
+    nsdb_fence_guard t ~epoch;
+    let ok =
+      match fault with
+      | None -> true
+      | Some f -> Dsim.Mgmt_fault.nsdb_write_ok f
+    in
+    if ok then begin
+      let won =
+        Service.with_work t.nsdb_service (fun () ->
+            Nsdb.Replicated.compare_and_set t.state_db
+              ~path:(journal_path plan "status")
+              ~expected:(Some (Nsdb.String expected))
+              (Nsdb.String status))
+      in
+      if won then record_epoch_write t ~epoch
+      else Obs.Metrics.incr m_status_conflicts;
+      won
+    end
+    else if n >= policy.max_attempts then begin
+      Obs.Metrics.incr m_nsdb_write_failures;
+      false
+    end
+    else begin
+      backoff t ~policy ~jrng ~prog ~attempt:n;
+      attempt (n + 1)
+    end
+  in
+  attempt 1
 
 let journal_status t plan =
   match Nsdb.Replicated.get_one t.state_db ~path:(journal_path plan "status") with
@@ -302,6 +395,62 @@ let clear_journal t plan =
   Nsdb.Replicated.delete t.state_db
     ~path:(Printf.sprintf "journal/%s" plan.plan_name)
 
+(* {1 Journal garbage collection}
+
+   Completed journals used to accumulate forever in the replicated NSDB.
+   Each completion now stamps a monotonic sequence number (allocated with
+   compare-and-set on journal_meta/seq, so concurrent controllers get
+   distinct numbers) and GC prunes completed journal/<plan>/ subtrees
+   beyond the [retain] most recent — keeping enough history for failover
+   tests to inspect while bounding NSDB growth. In-progress and
+   rolled-back journals are never pruned: the former is a rollout to
+   resume, the latter an audit trail operators asked to keep. *)
+
+let next_journal_seq t =
+  let path = "journal_meta/seq" in
+  let rec claim () =
+    let current = Nsdb.Replicated.get_one t.state_db ~path in
+    let n = match current with Some (Nsdb.Int n) -> n | Some _ | None -> 0 in
+    if
+      Nsdb.Replicated.compare_and_set t.state_db ~path ~expected:current
+        (Nsdb.Int (n + 1))
+    then n + 1
+    else claim ()
+  in
+  claim ()
+
+let journal_gc ?retain t =
+  let retain =
+    max 0 (match retain with Some r -> r | None -> t.journal_retain)
+  in
+  let completed =
+    Nsdb.Replicated.get t.state_db ~path:"journal/*/status"
+    |> List.filter_map (fun (path, v) ->
+           match (v, String.split_on_char '/' path) with
+           | Nsdb.String "completed", [ "journal"; name; "status" ] ->
+             let seq =
+               match
+                 Nsdb.Replicated.get_one t.state_db
+                   ~path:(Printf.sprintf "journal/%s/completed_seq" name)
+               with
+               | Some (Nsdb.Int n) -> n
+               | Some _ | None -> 0
+             in
+             Some (seq, name)
+           | _ -> None)
+    |> List.sort compare
+  in
+  let excess = List.length completed - retain in
+  if excess > 0 then
+    List.iteri
+      (fun i (_, name) ->
+        if i < excess then begin
+          Nsdb.Replicated.delete t.state_db ~path:("journal/" ^ name);
+          Obs.Metrics.incr m_journal_pruned
+        end)
+      completed;
+  max 0 excess
+
 (* {1 The resilient phase runner} *)
 
 (* Reconcile one device, retrying retryable fates with backoff. A device
@@ -309,7 +458,7 @@ let clear_journal t plan =
    not budgeted — its installed RPA keeps running and distributed BGP
    keeps routing); exhausted RPC failures count against the phase's
    failure budget. *)
-let reconcile_with_retries t ~policy ~fault ~jrng ~prog device =
+let reconcile_with_retries t ~policy ~fault ~fence ~jrng ~prog device =
   let give_up ~attempts ~last_error =
     Obs.Metrics.incr m_gave_up;
     prog.p_gave_up <-
@@ -317,12 +466,17 @@ let reconcile_with_retries t ~policy ~fault ~jrng ~prog device =
   in
   let rec go attempt =
     check_crash fault;
-    match Switch_agent.reconcile_device t.switch_agent device with
+    let epoch = fence_epoch fence in
+    match Switch_agent.reconcile_device ?epoch t.switch_agent device with
     | `Applied -> prog.p_applied <- prog.p_applied + 1
     | `In_sync -> prog.p_in_sync <- prog.p_in_sync + 1
     | `Unreachable ->
       if attempt < policy.max_attempts then retry attempt
       else prog.p_unreachable <- device :: prog.p_unreachable
+    | `Fenced ->
+      (* The agent has already accepted a newer epoch: this controller is
+         deposed even if its own lease check has not noticed yet. *)
+      raise Fenced_signal
     | `Rpc_lost -> retry_or_give_up attempt "rpc lost"
     | `Rpc_timeout -> retry_or_give_up attempt "rpc timeout"
     | `Transient reason -> retry_or_give_up attempt reason
@@ -339,8 +493,8 @@ let reconcile_with_retries t ~policy ~fault ~jrng ~prog device =
    controller crash and [Budget_exceeded phase] when a phase accumulates
    more hard failures than the budget. [journal_cursor] persists the
    phase cursor after each completed phase. *)
-let run_phases_resilient t ~policy ~fault ~jrng ~prog ~intent_of ~phases
-    ~from_phase ~between_phases ~journal_cursor =
+let run_phases_resilient t ~policy ~fault ~fence ~jrng ~prog ~intent_of
+    ~phases ~from_phase ~between_phases ~journal_cursor =
   List.iteri
     (fun idx phase ->
       if idx >= from_phase then begin
@@ -348,10 +502,11 @@ let run_phases_resilient t ~policy ~fault ~jrng ~prog ~intent_of ~phases
         List.iter
           (fun device ->
             check_crash fault;
+            ignore (fence_epoch fence);
             (match intent_of device with
              | Some rpa -> Switch_agent.set_intended t.switch_agent ~device rpa
              | None -> Switch_agent.clear_intended t.switch_agent ~device);
-            reconcile_with_retries t ~policy ~fault ~jrng ~prog device)
+            reconcile_with_retries t ~policy ~fault ~fence ~jrng ~prog device)
           phase;
         (* Let BGP converge before the next phase picks up the RPA
            (Section 5.3.2: every layer must receive the new RPA after all
@@ -370,7 +525,7 @@ let run_phases_resilient t ~policy ~fault ~jrng ~prog ~intent_of ~phases
    clear the recorded intent so NSDB matches device state. Uses a scratch
    progress: the caller's report describes the deployment, not its
    undoing. *)
-let rollback t plan ~policy ~fault ~jrng ~through_phase =
+let rollback t plan ~policy ~fault ~fence ~jrng ~through_phase =
   Obs.Metrics.incr m_rollbacks;
   let scratch = fresh_progress () in
   let touched =
@@ -381,74 +536,89 @@ let rollback t plan ~policy ~fault ~jrng ~through_phase =
       List.iter
         (fun device ->
           Switch_agent.clear_intended t.switch_agent ~device;
-          reconcile_with_retries t ~policy ~fault ~jrng ~prog:scratch device;
+          reconcile_with_retries t ~policy ~fault ~fence ~jrng ~prog:scratch
+            device;
           Obs.Metrics.incr m_rollback_devices)
         phase;
       ignore (Bgp.Network.converge t.net))
     (Deployment.rollback_order touched);
-  clear_plan_record t ~policy ~fault ~jrng ~prog:scratch plan;
-  journal_write t ~policy ~fault ~jrng ~prog:scratch plan "status"
-    (Nsdb.String "rolled-back")
+  clear_plan_record t ~policy ~fault ~fence ~jrng ~prog:scratch plan;
+  ignore
+    (journal_transition t ~policy ~fault ~fence ~jrng ~prog:scratch plan
+       ~expected:"in-progress" "rolled-back")
 
 let fmt_failures kind failures =
   List.map (fun (name, e) -> Printf.sprintf "%s %s: %s" kind name e) failures
 
 (* Shared tail of deploy and resume: run phases from [from_phase], handle
-   crash/budget, post-check, roll back on failure. *)
-let execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
+   crash/budget/fencing, post-check, roll back on failure. *)
+let execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog ~between_phases
     ~from_phase ~resumed_from_phase =
   let intent_of device = List.assoc_opt device plan.rpas in
   let journal_cursor n =
-    journal_write t ~policy ~fault ~jrng ~prog plan "next_phase" (Nsdb.Int n)
+    journal_write t ~policy ~fault ~fence ~jrng ~prog plan "next_phase"
+      (Nsdb.Int n)
   in
   let total = List.length plan.phases in
-  match
-    run_phases_resilient t ~policy ~fault ~jrng ~prog ~intent_of
-      ~phases:plan.phases ~from_phase ~between_phases ~journal_cursor
-  with
-  | () -> (
-    match Health.failures plan.post_checks with
-    | [] ->
-      journal_write t ~policy ~fault ~jrng ~prog plan "status"
-        (Nsdb.String "completed");
-      Completed (report_of_progress t prog ~resumed_from_phase)
-    | failures ->
-      (* Post-checks failed: undo everything so the recorded intent and
-         the device state agree that this plan is not deployed. *)
-      rollback t plan ~policy ~fault ~jrng ~through_phase:(total - 1);
-      Rolled_back
-        {
-          partial = report_of_progress t prog ~resumed_from_phase;
-          reasons = fmt_failures "post-check" failures;
-        })
-  | exception Budget_exceeded idx ->
-    let reasons =
-      Printf.sprintf
-        "phase %d exceeded its failure budget (%d failures > budget %d)" idx
-        (List.length prog.p_gave_up) policy.failure_budget
-      :: List.rev_map
-           (fun f ->
-             Printf.sprintf "device %d: gave up after %d attempts (%s)"
-               f.failed_device f.attempts f.last_error)
-           prog.p_gave_up
-    in
-    rollback t plan ~policy ~fault ~jrng ~through_phase:idx;
-    Rolled_back
-      { partial = report_of_progress t prog ~resumed_from_phase; reasons }
-  | exception Crash_signal ->
-    (* The controller process is gone. Devices keep whatever RPA they
-       already run (fail static); the journal still says "in-progress",
-       so a restarted controller can {!resume}. *)
+  let interrupted kind =
+    (* The controller stops here — crashed, or deposed mid-phase. Devices
+       keep whatever RPA they already run (fail static); the journal still
+       says "in-progress", so the next leader can {!resume}. *)
     let completed_phases =
       Option.value (journal_next_phase t plan) ~default:from_phase
     in
-    Crashed
-      {
-        partial = report_of_progress t prog ~resumed_from_phase;
-        completed_phases;
-      }
+    let partial = report_of_progress t prog ~resumed_from_phase in
+    match kind with
+    | `Crash -> Crashed { partial; completed_phases }
+    | `Fence -> Fenced { partial; completed_phases }
+  in
+  try
+    match
+      run_phases_resilient t ~policy ~fault ~fence ~jrng ~prog ~intent_of
+        ~phases:plan.phases ~from_phase ~between_phases ~journal_cursor
+    with
+    | () -> (
+      match Health.failures plan.post_checks with
+      | [] ->
+        if
+          journal_transition t ~policy ~fault ~fence ~jrng ~prog plan
+            ~expected:"in-progress" "completed"
+        then begin
+          journal_write t ~policy ~fault ~fence ~jrng ~prog plan
+            "completed_seq"
+            (Nsdb.Int (next_journal_seq t));
+          ignore (journal_gc t)
+        end;
+        Completed (report_of_progress t prog ~resumed_from_phase)
+      | failures ->
+        (* Post-checks failed: undo everything so the recorded intent and
+           the device state agree that this plan is not deployed. *)
+        rollback t plan ~policy ~fault ~fence ~jrng
+          ~through_phase:(total - 1);
+        Rolled_back
+          {
+            partial = report_of_progress t prog ~resumed_from_phase;
+            reasons = fmt_failures "post-check" failures;
+          })
+    | exception Budget_exceeded idx ->
+      let reasons =
+        Printf.sprintf
+          "phase %d exceeded its failure budget (%d failures > budget %d)" idx
+          (List.length prog.p_gave_up) policy.failure_budget
+        :: List.rev_map
+             (fun f ->
+               Printf.sprintf "device %d: gave up after %d attempts (%s)"
+                 f.failed_device f.attempts f.last_error)
+             prog.p_gave_up
+      in
+      rollback t plan ~policy ~fault ~fence ~jrng ~through_phase:idx;
+      Rolled_back
+        { partial = report_of_progress t prog ~resumed_from_phase; reasons }
+  with
+  | Crash_signal -> interrupted `Crash
+  | Fenced_signal -> interrupted `Fence
 
-let deploy_resilient ?(policy = default_retry_policy) ?fault
+let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
     ?(between_phases = fun _ -> ()) ?(lint = `Warn) t plan =
   Obs.Span.with_span "controller.deploy"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
@@ -465,17 +635,33 @@ let deploy_resilient ?(policy = default_retry_policy) ?fault
        let jrng = Dsim.Rng.create policy.jitter_seed in
        let prog = fresh_progress () in
        Switch_agent.clear_deploy_times t.switch_agent;
-       record_plan t ~policy ~fault ~jrng ~prog plan;
-       journal_write t ~policy ~fault ~jrng ~prog plan "status"
-         (Nsdb.String "in-progress");
-       journal_write t ~policy ~fault ~jrng ~prog plan "total_phases"
-         (Nsdb.Int (List.length plan.phases));
-       journal_write t ~policy ~fault ~jrng ~prog plan "next_phase"
-         (Nsdb.Int 0);
-       execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
-         ~from_phase:0 ~resumed_from_phase:None)
+       match
+         record_plan t ~policy ~fault ~fence ~jrng ~prog plan;
+         journal_write t ~policy ~fault ~fence ~jrng ~prog plan "status"
+           (Nsdb.String "in-progress");
+         journal_write t ~policy ~fault ~fence ~jrng ~prog plan
+           "total_phases"
+           (Nsdb.Int (List.length plan.phases));
+         journal_write t ~policy ~fault ~fence ~jrng ~prog plan "next_phase"
+           (Nsdb.Int 0)
+       with
+       | () ->
+         execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog
+           ~between_phases ~from_phase:0 ~resumed_from_phase:None
+       | exception Crash_signal ->
+         Crashed
+           {
+             partial = report_of_progress t prog ~resumed_from_phase:None;
+             completed_phases = 0;
+           }
+       | exception Fenced_signal ->
+         Fenced
+           {
+             partial = report_of_progress t prog ~resumed_from_phase:None;
+             completed_phases = 0;
+           })
 
-let resume ?(policy = default_retry_policy) ?fault
+let resume ?(policy = default_retry_policy) ?fault ?fence
     ?(between_phases = fun _ -> ()) ?(lint = `Warn) t plan =
   Obs.Span.with_span "controller.resume"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
@@ -510,9 +696,26 @@ let resume ?(policy = default_retry_policy) ?fault
        Switch_agent.clear_deploy_times t.switch_agent;
        (* Re-record the intent: a crashed predecessor may have lost some
           plan-record writes. Idempotent for the ones that landed. *)
-       record_plan t ~policy ~fault ~jrng ~prog plan;
-       execute_deploy t plan ~policy ~fault ~jrng ~prog ~between_phases
-         ~from_phase ~resumed_from_phase:(Some from_phase))
+       match record_plan t ~policy ~fault ~fence ~jrng ~prog plan with
+       | () ->
+         execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog
+           ~between_phases ~from_phase ~resumed_from_phase:(Some from_phase)
+       | exception Crash_signal ->
+         Crashed
+           {
+             partial =
+               report_of_progress t prog
+                 ~resumed_from_phase:(Some from_phase);
+             completed_phases = from_phase;
+           }
+       | exception Fenced_signal ->
+         Fenced
+           {
+             partial =
+               report_of_progress t prog
+                 ~resumed_from_phase:(Some from_phase);
+             completed_phases = from_phase;
+           })
 
 let deploy ?(lint = `Warn) t plan =
   match deploy_resilient ~policy:single_shot_policy ~lint t plan with
@@ -522,6 +725,9 @@ let deploy ?(lint = `Warn) t plan =
   | Crashed _ ->
     (* Unreachable without a fault model; kept for exhaustiveness. *)
     Error [ "controller crashed mid-deploy" ]
+  | Fenced _ ->
+    (* Unreachable without a fence; kept for exhaustiveness. *)
+    Error [ "controller fenced mid-deploy" ]
 
 let remove t plan =
   match validate_plan t plan with
@@ -535,14 +741,14 @@ let remove t plan =
        let prog = fresh_progress () in
        Switch_agent.clear_deploy_times t.switch_agent;
        (match
-          run_phases_resilient t ~policy ~fault:None ~jrng ~prog
+          run_phases_resilient t ~policy ~fault:None ~fence:None ~jrng ~prog
             ~intent_of:(fun _ -> None)
             ~phases:(Deployment.rollback_order plan.phases) ~from_phase:0
             ~between_phases:(fun _ -> ())
             ~journal_cursor:(fun _ -> ())
         with
         | () ->
-          clear_plan_record t ~policy ~fault:None ~jrng ~prog plan;
+          clear_plan_record t ~policy ~fault:None ~fence:None ~jrng ~prog plan;
           clear_journal t plan;
           let report = report_of_progress t prog ~resumed_from_phase:None in
           (match Health.failures plan.post_checks with

@@ -89,8 +89,20 @@ type outcome =
   | Crashed of { partial : report; completed_phases : int }
       (** A scheduled controller crash stopped the rollout. The journal
           still says in-progress; call {!resume}. *)
+  | Fenced of { partial : report; completed_phases : int }
+      (** The controller was deposed mid-rollout: its [?fence] reported the
+          lease lost, or an agent/NSDB rejected a stale-epoch write. It
+          fail-stopped (abandoned the phase, touched nothing further); the
+          journal still says in-progress and the {e new} leader resumes. *)
   | Aborted of string list
       (** Validation or pre-checks failed; nothing was touched. *)
+
+type fence_status =
+  | Fence_held of int
+      (** The caller holds a valid lease; the int is its fencing epoch,
+          stamped onto every agent RPC and NSDB write. *)
+  | Fence_lost  (** Lease lost or superseded: fail-stop ([Fenced]). *)
+  | Fence_crashed  (** The HA layer scheduled this member's crash. *)
 
 type retry_policy = {
   max_attempts : int;  (** per device, >= 1 *)
@@ -112,11 +124,23 @@ val default_retry_policy : retry_policy
 
 type t
 
-val create : ?seed:int -> Bgp.Network.t -> t
+val create :
+  ?seed:int -> ?agent:Switch_agent.t -> ?nsdb:Nsdb.Replicated.t ->
+  Bgp.Network.t -> t
+(** [agent] and [nsdb] let several controller replicas share one switch
+    agent and one replicated NSDB — the HA deployment shape, where the
+    fleet's device state and the journal are common infrastructure and
+    only the controller process is replicated. By default each controller
+    gets a private agent and a fresh 2-replica NSDB (single-controller
+    operation, unchanged). *)
 
 val network : t -> Bgp.Network.t
 val agent : t -> Switch_agent.t
 val nsdb : t -> Nsdb.Replicated.t
+
+val epoch_writes : t -> (float * int) list
+(** Audit trail for {!Invariant.check_ha}: (virtual time, epoch) of every
+    committed NSDB write made under a fence, in commit order. *)
 
 val services : t -> Service.t list
 (** All service tasks of this controller deployment (for Figure 11). *)
@@ -132,6 +156,7 @@ val deploy : ?lint:lint_mode -> t -> plan -> (report, string list) result
 val deploy_resilient :
   ?policy:retry_policy ->
   ?fault:Dsim.Mgmt_fault.t ->
+  ?fence:(unit -> fence_status) ->
   ?between_phases:(int -> unit) ->
   ?lint:lint_mode ->
   t ->
@@ -143,11 +168,19 @@ val deploy_resilient :
     [between_phases] runs after each phase has converged — the hook for
     {!Invariant} sweeps while the controller is degraded. Backoff waits
     advance {e virtual} time, so BGP keeps converging while the controller
-    sleeps. *)
+    sleeps.
+
+    [fence] is the HA hook (see {!Ha.fence}): it is evaluated before every
+    agent RPC, intent update and NSDB write. While it returns
+    [Fence_held epoch], that epoch stamps the operation; [Fence_lost]
+    makes the deployment fail-stop with the [Fenced] outcome, and
+    [Fence_crashed] with [Crashed]. Unfenced deployments (the default)
+    behave exactly as before. *)
 
 val resume :
   ?policy:retry_policy ->
   ?fault:Dsim.Mgmt_fault.t ->
+  ?fence:(unit -> fence_status) ->
   ?between_phases:(int -> unit) ->
   ?lint:lint_mode ->
   t ->
@@ -164,6 +197,18 @@ val journal_status : t -> plan -> string option
 
 val journal_next_phase : t -> plan -> int option
 (** The journalled phase cursor: first phase not yet fully applied. *)
+
+val set_journal_retention : t -> int -> unit
+(** How many completed [journal/<plan>/] subtrees to keep (default 8).
+    Older completed journals are pruned by the GC pass that runs after
+    every successful deployment. In-progress and rolled-back journals are
+    never pruned. *)
+
+val journal_gc : ?retain:int -> t -> int
+(** Prunes completed journals beyond the [retain] most recent (default:
+    the controller's retention setting), ordered by their completion
+    sequence numbers. Returns how many subtrees were pruned. Also runs
+    automatically after each successful deployment. *)
 
 val remove : t -> plan -> (report, string list) result
 (** Removes the plan's RPAs in the {e reverse} phase order (the

@@ -11,6 +11,8 @@ type kind =
   | Compiled_mismatch
   | Session_stale
   | Stale_route
+  | Dual_leader
+  | Stale_epoch_write
 
 let kind_name = function
   | Forwarding_loop -> "forwarding-loop"
@@ -21,6 +23,8 @@ let kind_name = function
   | Compiled_mismatch -> "compiled-mismatch"
   | Session_stale -> "session-stale"
   | Stale_route -> "stale-route"
+  | Dual_leader -> "dual-leader"
+  | Stale_epoch_write -> "stale-epoch-write"
 
 type violation = {
   device : int option;
@@ -403,3 +407,66 @@ let monitor ?(period = 0.005) ~until net =
       Dsim.Event_queue.schedule queue ~delay:period tick
   in
   if period <= until then Dsim.Event_queue.schedule queue ~delay:period tick
+
+(* ---------------- Control-plane HA ---------------- *)
+
+let check_ha ~grants ~commits =
+  (* Dual leader: two different epochs' lease validity windows overlap —
+     at some instant two holders both believed they led. CAS-linearized
+     acquisition only claims expired leases, so any overlap means the
+     renewal/TTL arithmetic (or a partition workaround) is broken. The
+     same epoch granted to two holders is the same disease through a
+     different failure. *)
+  let dual =
+    let rec pairs = function
+      | [] -> []
+      | g :: rest -> List.map (fun g' -> (g, g')) rest @ pairs rest
+    in
+    List.filter_map
+      (fun ((h1, e1, s1, x1), (h2, e2, s2, x2)) ->
+        let overlap = Float.max s1 s2 < Float.min x1 x2 in
+        if (e1 <> e2 && overlap) || (e1 = e2 && h1 <> h2) then
+          Some
+            {
+              device = Some h2;
+              prefix = None;
+              kind = Dual_leader;
+              detail =
+                Printf.sprintf
+                  "leases overlap: holder %d epoch %d [%.6f, %.6f) vs holder \
+                   %d epoch %d [%.6f, %.6f)"
+                  h1 e1 s1 x1 h2 e2 s2 x2;
+            }
+        else None)
+      (pairs grants)
+  in
+  (* Stale-epoch write: a mutation committed under epoch e after some
+     epoch e' > e had already been granted — the fence (agent- or
+     NSDB-side) let a deposed leader's write through. Epoch 0 marks
+     unfenced single-controller operation and is exempt. *)
+  let stale =
+    List.filter_map
+      (fun (time, e) ->
+        if e = 0 then None
+        else
+          match
+            List.find_opt
+              (fun (_, e', s', _) -> e' > e && s' <= time)
+              grants
+          with
+          | Some (h', e', s', _) ->
+            Some
+              {
+                device = Some h';
+                prefix = None;
+                kind = Stale_epoch_write;
+                detail =
+                  Printf.sprintf
+                    "write committed at %.6f under epoch %d after epoch %d \
+                     was granted at %.6f"
+                    time e e' s';
+              }
+          | None -> None)
+      commits
+  in
+  dual @ stale

@@ -48,6 +48,14 @@ type kind =
           a FIB entry preserved across a restart — still present. Expected
           mid-restart; at quiescence it means the End-of-RIB / stale-path
           sweep machinery leaked. *)
+  | Dual_leader
+      (** two controller lease grants with different epochs have
+          overlapping validity windows (or one epoch was granted to two
+          holders) — at some instant two leaders both held the fleet *)
+  | Stale_epoch_write
+      (** a device or NSDB mutation was committed under a fencing epoch
+          after a higher epoch had already been granted — the fence let a
+          deposed leader's write through *)
 
 val kind_name : kind -> string
 (** Stable machine-readable tag, e.g. ["forwarding-loop"]. *)
@@ -89,6 +97,20 @@ val check_forwarding :
 (** The loop check alone, over an arbitrary forwarding function — no
     network required. Lets tests seed a known-bad FIB directly and assert
     the checker flags it. *)
+
+val check_ha :
+  grants:(int * int * float * float) list ->
+  commits:(float * int) list ->
+  violation list
+(** The control-plane HA invariants, over audit trails rather than the
+    network: [grants] is the lease-grant history ((holder, epoch, start,
+    expiry) — {!Ha.grants}) and [commits] the epoch-stamped committed
+    mutations ((time, epoch) — {!Ha.epoch_commits}). Reports
+    {!Dual_leader} for any overlap between different epochs' validity
+    windows (or one epoch with two holders) and {!Stale_epoch_write} for
+    any commit made under an epoch after a higher one was granted.
+    Commits with epoch 0 (unfenced single-controller operation) are
+    exempt. *)
 
 val check_compiled :
   Bgp.Network.t -> Fallback_compiler.compiled -> violation list

@@ -250,6 +250,20 @@ module Replicated = struct
   let delete t ~path =
     List.iter (fun i -> store_delete t.stores.(i) ~path) (alive t)
 
+  let compare_and_set t ~path ~expected value =
+    match leader t with
+    | None -> failwith "Nsdb.Replicated.compare_and_set: no live replica"
+    | Some i ->
+      let current = store_get_one t.stores.(i) ~path in
+      let matches =
+        match (current, expected) with
+        | None, None -> true
+        | Some cur, Some exp -> value_equal cur exp
+        | None, Some _ | Some _, None -> false
+      in
+      if matches then set t ~path value;
+      matches
+
   let fail_replica t i = t.dead.(i) <- true
 
   let recover_replica t i =

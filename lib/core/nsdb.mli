@@ -93,6 +93,15 @@ module Replicated : sig
   val delete : t -> path:string -> unit
   (** Removes the subtree rooted at [path] from every live replica. *)
 
+  val compare_and_set : t -> path:string -> expected:value option -> value -> bool
+  (** [compare_and_set t ~path ~expected v] atomically writes [v] at [path]
+      iff the leader's current value equals [expected] ([None] = the path
+      must be absent). Returns whether the write happened. On success the
+      write fans out to every live replica like {!set}. This is the
+      linearization point for the HA lease protocol and for journal status
+      transitions — it closes the read-modify-write race a separate
+      get/set pair leaves open. Raises [Failure] if no replica is alive. *)
+
   val leader : t -> int option
   (** Index of the current leader (lowest-index live replica). *)
 

@@ -4,6 +4,7 @@ let h_deploy_ms = Obs.Metrics.histogram "agent.deploy_ms"
 let m_rpc_lost = Obs.Metrics.counter "agent.rpc_lost"
 let m_rpc_timeout = Obs.Metrics.counter "agent.rpc_timeout"
 let m_rpc_transient = Obs.Metrics.counter "agent.rpc_transient"
+let m_fenced_rpcs = Obs.Metrics.counter "ha.fenced_rpcs"
 
 type t = {
   agent_service : Service.t;
@@ -19,6 +20,13 @@ type t = {
   mutable management : (Openr.Network.t * int) option;
   mutable mgmt_fault : Dsim.Mgmt_fault.t option;
   mutable rpc_deadline : float option;
+  (* Fencing: highest controller epoch this agent has accepted an RPC
+     from. RPCs stamped with a lower epoch come from a deposed leader and
+     are rejected without touching the device. *)
+  mutable accepted_epoch : int;
+  (* Audit trail for Invariant.Stale_epoch_write: (virtual time, epoch)
+     of every committed RPA apply, most recent first. *)
+  mutable epoch_commits : (float * int) list;
 }
 
 let rpa_path device = Printf.sprintf "devices/%d/rpa" device
@@ -37,6 +45,8 @@ let create ?(seed = 7) ?(measure_apply = false) net =
     management = None;
     mgmt_fault = None;
     rpc_deadline = None;
+    accepted_epoch = 0;
+    epoch_commits = [];
   }
 
 let service t = t.agent_service
@@ -95,7 +105,10 @@ let unexpected_unreachable t =
 let rpa_equal a b = Rpa.config_lines a = Rpa.config_lines b
 
 type rpc_failure = [ `Rpc_lost | `Rpc_timeout | `Transient of string ]
-type outcome = [ `Applied | `In_sync | `Unreachable | rpc_failure ]
+type outcome = [ `Applied | `In_sync | `Unreachable | `Fenced | rpc_failure ]
+
+let accepted_epoch t = t.accepted_epoch
+let epoch_commits t = List.rev t.epoch_commits
 
 (* Install the intended RPA into the device and update the current view.
    Returns the total simulated deploy latency. The apply cost is sampled
@@ -128,10 +141,21 @@ let apply_rpa t device intended ~rpc_latency =
   Nsdb.set (Service.current t.agent_service) ~path:(rpa_path device)
     (Nsdb.Rpa intended)
 
-let reconcile_device ?deadline t device =
+let reconcile_device ?deadline ?epoch t device =
   let deadline =
     match deadline with Some _ as d -> d | None -> t.rpc_deadline
   in
+  (* Fencing happens at the door, before the agent even looks at device
+     state: a deposed leader's RPC must not learn anything, let alone
+     mutate. An equal-or-newer epoch ratchets the acceptance floor up. *)
+  match epoch with
+  | Some e when e < t.accepted_epoch ->
+    Obs.Metrics.incr m_fenced_rpcs;
+    `Fenced
+  | _ ->
+  (match epoch with
+   | Some e -> t.accepted_epoch <- max t.accepted_epoch e
+   | None -> ());
   let intended = Option.value (intended_rpa t ~device) ~default:Rpa.empty in
   let current = Option.value (current_rpa t ~device) ~default:Rpa.empty in
   if rpa_equal intended current then `In_sync
@@ -159,6 +183,9 @@ let reconcile_device ?deadline t device =
              the evaluation engine. *)
           rpc_latency := Dsim.Rng.log_normal t.rng ~mu:(log 0.0003) ~sigma:0.8;
           apply_rpa t device intended ~rpc_latency:!rpc_latency);
+      t.epoch_commits <-
+        (Bgp.Network.now t.net, Option.value epoch ~default:t.accepted_epoch)
+        :: t.epoch_commits;
       (* A Time_out fate — and an RPC slower than the caller's deadline —
          both mean the device applied the RPA but the controller never saw
          the ack. The current view still advances (the agent keeps polling
@@ -180,7 +207,8 @@ let reconcile t ~devices =
     (fun applied device ->
       match reconcile_device t device with
       | `Applied -> applied + 1
-      | `In_sync | `Unreachable | `Rpc_lost | `Rpc_timeout | `Transient _ ->
+      | `In_sync | `Unreachable | `Fenced | `Rpc_lost | `Rpc_timeout
+      | `Transient _ ->
         applied)
     0 devices
 

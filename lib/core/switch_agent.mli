@@ -78,13 +78,31 @@ type rpc_failure = [ `Rpc_lost | `Rpc_timeout | `Transient of string ]
       (or arrived past the deadline); a retry observes [`In_sync].
     - [`Transient reason]: the agent answered with a retryable error. *)
 
-type outcome = [ `Applied | `In_sync | `Unreachable | rpc_failure ]
+type outcome = [ `Applied | `In_sync | `Unreachable | `Fenced | rpc_failure ]
+(** [`Fenced]: the RPC was stamped with an epoch older than one this agent
+    has already accepted — it came from a deposed leader and was rejected
+    without touching the device. Not retryable under the same epoch. *)
 
-val reconcile_device : ?deadline:float -> t -> int -> outcome
+val reconcile_device : ?deadline:float -> ?epoch:int -> t -> int -> outcome
 (** Applies the intended RPA of one device to its BGP speaker (via the
     network's event queue at the current virtual instant) and updates the
     current view. The simulated deployment time is recorded. [deadline]
-    overrides the agent-wide {!set_rpc_deadline} for this attempt. *)
+    overrides the agent-wide {!set_rpc_deadline} for this attempt.
+
+    [epoch] stamps the RPC with the caller's fencing epoch: a value below
+    the highest epoch this agent has accepted yields [`Fenced] (and bumps
+    the [ha.fenced_rpcs] counter); an equal-or-higher value ratchets the
+    acceptance floor before the RPC proceeds. Unstamped RPCs (single-
+    controller operation) bypass the fence. *)
+
+val accepted_epoch : t -> int
+(** Highest fencing epoch this agent has accepted (0 until any stamped
+    RPC arrives). *)
+
+val epoch_commits : t -> (float * int) list
+(** Audit trail for {!Invariant.check_ha}: (virtual time, epoch) of every
+    committed RPA apply, in commit order. Unstamped applies record the
+    acceptance floor at commit time. *)
 
 val reconcile : t -> devices:int list -> int
 (** Reconciles the given devices (in the given order); returns how many

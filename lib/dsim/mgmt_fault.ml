@@ -31,15 +31,43 @@ let hostile =
 
 type rpc_fate = Deliver | Lose | Time_out | Transient of string
 
+type ha_profile = {
+  leader_crash_times : float list;
+  lease_partitions : (float * float) list;
+  renewal_delay_prob : float;
+  renewal_delay_max_s : float;
+}
+
+let ha_none =
+  {
+    leader_crash_times = [];
+    lease_partitions = [];
+    renewal_delay_prob = 0.0;
+    renewal_delay_max_s = 0.0;
+  }
+
 type t = {
   rng : Rng.t;
   prof : profile;
   crash_after_ops : int option;
   mutable op_count : int;
+  ha : ha_profile;
+  (* Dedicated stream: HA timer jitter must not perturb the per-op fate
+     schedule, so turning HA knobs on cannot change which RPCs fail. *)
+  ha_rng : Rng.t;
+  mutable pending_crashes : float list;
 }
 
-let create ?crash_after_ops ~seed prof =
-  { rng = Rng.create seed; prof; crash_after_ops; op_count = 0 }
+let create ?crash_after_ops ?(ha = ha_none) ~seed prof =
+  {
+    rng = Rng.create seed;
+    prof;
+    crash_after_ops;
+    op_count = 0;
+    ha;
+    ha_rng = Rng.create (seed lxor 0x5eed_4a);
+    pending_crashes = List.sort compare ha.leader_crash_times;
+  }
 
 let profile t = t.prof
 let ops t = t.op_count
@@ -70,3 +98,22 @@ let crashed t =
   match t.crash_after_ops with
   | None -> false
   | Some n -> t.op_count >= n
+
+let ha_profile t = t.ha
+
+let leader_crash_due t ~now =
+  match t.pending_crashes with
+  | next :: rest when now >= next ->
+    t.pending_crashes <- rest;
+    true
+  | _ -> false
+
+let lease_reachable t ~now =
+  not (List.exists (fun (a, b) -> now >= a && now < b) t.ha.lease_partitions)
+
+let renewal_delay t =
+  let p = t.ha in
+  if p.renewal_delay_prob <= 0.0 then 0.0
+  else if Rng.float t.ha_rng 1.0 < p.renewal_delay_prob then
+    Rng.float t.ha_rng p.renewal_delay_max_s
+  else 0.0

@@ -44,13 +44,39 @@ type rpc_fate =
           the controller cannot know. *)
   | Transient of string  (** Retryable agent-side error. *)
 
+(** {1 High-availability chaos}
+
+    The HA layer is driven by {e simulated time} (lease TTLs, renewal
+    timers), so its fault knobs are time-based where the per-op model
+    above is count-based. All HA draws come from a dedicated RNG stream:
+    enabling them never perturbs the per-operation fate schedule. *)
+
+type ha_profile = {
+  leader_crash_times : float list;
+      (** Virtual times at which the {e current} leader fail-stops. Each
+          entry fires once, in sorted order (see {!leader_crash_due}). *)
+  lease_partitions : (float * float) list;
+      (** Half-open [\[start, stop)] windows during which the lease store
+          is unreachable: acquires and renewals fail, standing leases keep
+          expiring. *)
+  renewal_delay_prob : float;
+      (** Probability that a given lease renewal is delayed. *)
+  renewal_delay_max_s : float;
+      (** Upper bound of the uniform delay applied to a delayed renewal. *)
+}
+
+val ha_none : ha_profile
+(** No HA chaos: leaders never crash, the lease store is always
+    reachable, renewals are punctual. *)
+
 type t
 
-val create : ?crash_after_ops:int -> seed:int -> profile -> t
+val create : ?crash_after_ops:int -> ?ha:ha_profile -> seed:int -> profile -> t
 (** [crash_after_ops] schedules a controller crash: once that many
     management operations have been issued, {!crashed} turns true and the
     deployment loop must stop mid-flight (to be resumed from the journal
-    by a restarted controller). *)
+    by a restarted controller). [ha] (default {!ha_none}) adds the
+    time-based HA chaos schedule. *)
 
 val profile : t -> profile
 
@@ -66,3 +92,20 @@ val nsdb_write_ok : t -> bool
 
 val crashed : t -> bool
 (** True once the scheduled crash point has been reached. *)
+
+val ha_profile : t -> ha_profile
+
+val leader_crash_due : t -> now:float -> bool
+(** [leader_crash_due t ~now] consumes and reports the next scheduled
+    leader crash whose time is [<= now]. Each scheduled crash fires
+    exactly once; the HA driver polls this from its timer loop and
+    fail-stops whichever member currently leads. *)
+
+val lease_reachable : t -> now:float -> bool
+(** False while [now] falls inside a configured lease-store partition
+    window: the member cannot acquire or renew (its standing lease keeps
+    aging toward expiry). *)
+
+val renewal_delay : t -> float
+(** Draws the delay (in simulated seconds, often 0) to add to the next
+    lease renewal. Consumes the dedicated HA RNG stream only. *)

@@ -645,7 +645,8 @@ module Faulted_deploy = struct
     let report_of = function
       | Centralium.Controller.Completed r
       | Rolled_back { partial = r; _ }
-      | Crashed { partial = r; _ } ->
+      | Crashed { partial = r; _ }
+      | Fenced { partial = r; _ } ->
         Some r
       | Aborted _ -> None
     in
@@ -683,6 +684,7 @@ module Faulted_deploy = struct
       | Centralium.Controller.Completed _ -> "completed"
       | Rolled_back _ -> "rolled-back"
       | Crashed _ -> "crashed"
+      | Fenced _ -> "fenced"
       | Aborted _ -> "aborted"
     in
     let initial_report = report_of outcome in
@@ -760,6 +762,188 @@ module Faulted_deploy = struct
       run ~seed ~profile ~crash_after_ops ~resume:true ()
     in
     let uninterrupted = run ~seed ~profile ~resume:false () in
+    {
+      interrupted;
+      uninterrupted;
+      digests_match = interrupted.fib_digest = uninterrupted.fib_digest;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Failover = struct
+  type result = {
+    outcome : string;
+    attempts : (int * string) list;
+    completed_by : int option;
+    elections : int;
+    takeover_ms : float list;
+    fenced_attempts : int;
+    dead_members : int;
+    grants : (int * int * float * float) list;
+    applied : int;
+    skipped_in_sync : int;
+    journal_status : string option;
+    ha_violations : string list;
+    phase_violations : (int * string) list;
+    final_violations : string list;
+    fib_digest : string;
+  }
+
+  let outcome_name = function
+    | Centralium.Controller.Completed _ -> "completed"
+    | Rolled_back _ -> "rolled-back"
+    | Crashed _ -> "crashed"
+    | Fenced _ -> "fenced"
+    | Aborted _ -> "aborted"
+
+  let report_of = function
+    | Centralium.Controller.Completed r
+    | Rolled_back { partial = r; _ }
+    | Crashed { partial = r; _ }
+    | Fenced { partial = r; _ } ->
+      Some r
+    | Aborted _ -> None
+
+  let run ?(seed = 42) ?(profile = Dsim.Mgmt_fault.none) ?(members = 3)
+      ?(lease_ttl = 0.05) ?(tick_every = 0.01)
+      ?(leader_crash_offsets = []) ?(lease_partition_offsets = [])
+      ?(renewal_delay_prob = 0.0) () =
+    Obs.Span.with_span "scenario.failover"
+      ~attrs:(fun () ->
+        [
+          ("seed", string_of_int seed);
+          ("members", string_of_int members);
+          ("crashes", string_of_int (List.length leader_crash_offsets));
+        ])
+    @@ fun () ->
+    (* Same fixture as Faulted_deploy — expansion Clos plus the
+       out-of-band management star — but the controller is a cluster:
+       every member shares the one agent, NSDB and network, and only the
+       lease holder may drive the rollout. *)
+    let default = Net.Prefix.default_v4 in
+    let x = Topology.Clos.expansion () in
+    let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
+    Bgp.Network.originate net x.backbone default (tagged_attr ());
+    ignore (Bgp.Network.converge net);
+    let agent = Centralium.Switch_agent.create ~seed:(seed + 7) net in
+    let nsdb = Centralium.Nsdb.Replicated.create ~replicas:3 in
+    let hub = x.backbone in
+    let mgmt_graph = Faulted_deploy.management_star x.xgraph ~hub in
+    let openr = Openr.Network.create ~seed:(seed + 11) mgmt_graph in
+    ignore (Openr.Network.converge openr);
+    Centralium.Switch_agent.attach_management_network agent openr
+      ~controller_host:hub;
+    (* The chaos schedule is anchored to the instant the cluster starts:
+       offsets are relative so callers need not know the virtual clock. *)
+    let t0 = Bgp.Network.now net in
+    let ha =
+      {
+        Dsim.Mgmt_fault.leader_crash_times =
+          List.map (fun o -> t0 +. o) leader_crash_offsets;
+        lease_partitions =
+          List.map (fun (a, b) -> (t0 +. a, t0 +. b)) lease_partition_offsets;
+        renewal_delay_prob;
+        renewal_delay_max_s = tick_every /. 2.;
+      }
+    in
+    let fault = Dsim.Mgmt_fault.create ~ha ~seed:(seed + 13) profile in
+    let cluster =
+      Centralium.Ha.create ~lease_ttl ~tick_every ~fault ~members net agent
+        nsdb
+    in
+    Centralium.Ha.start cluster;
+    Centralium.Invariant.monitor ~period:0.01
+      ~until:(Bgp.Network.now net +. 0.5)
+      net;
+    let phase_violations = ref [] in
+    let between_phases idx =
+      List.iter
+        (fun (v : Centralium.Invariant.violation) ->
+          phase_violations :=
+            (idx, Centralium.Invariant.kind_name v.kind) :: !phase_violations)
+        (Centralium.Invariant.check net)
+    in
+    let policy =
+      { Centralium.Controller.default_retry_policy with jitter_seed = seed + 17 }
+    in
+    let plan = Centralium.Apps.Expansion_equalizer.plan x in
+    let attempts, terminal =
+      Centralium.Ha.run_plan ~policy ~between_phases cluster plan
+    in
+    ignore (Bgp.Network.converge net);
+    Centralium.Ha.stop cluster;
+    let attempt_names =
+      List.map (fun (m, o) -> (m, outcome_name o)) attempts
+    in
+    let completed_by =
+      match terminal with
+      | Some (Centralium.Controller.Completed _) ->
+        (match List.rev attempts with (m, _) :: _ -> Some m | [] -> None)
+      | _ -> None
+    in
+    let reports = List.filter_map (fun (_, o) -> report_of o) attempts in
+    let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+    let dead_members =
+      let n = ref 0 in
+      for i = 0 to Centralium.Ha.members cluster - 1 do
+        if not (Centralium.Ha.member_alive cluster i) then incr n
+      done;
+      !n
+    in
+    let ha_violations =
+      List.map
+        (fun (v : Centralium.Invariant.violation) ->
+          Centralium.Invariant.kind_name v.kind)
+        (Centralium.Invariant.check_ha
+           ~grants:(Centralium.Ha.grants cluster)
+           ~commits:(Centralium.Ha.epoch_commits cluster))
+    in
+    let final_violations =
+      List.map
+        (fun (v : Centralium.Invariant.violation) ->
+          Centralium.Invariant.kind_name v.kind)
+        (Centralium.Invariant.check net)
+    in
+    let journal_status =
+      (* Any member's controller sees the shared journal; ask the last
+         attempt's (or member 0 when no attempt ever ran). *)
+      let m = match List.rev attempts with (m, _) :: _ -> m | [] -> 0 in
+      Centralium.Controller.journal_status
+        (Centralium.Ha.controller cluster m)
+        plan
+    in
+    {
+      outcome =
+        (match terminal with Some o -> outcome_name o | None -> "none");
+      attempts = attempt_names;
+      completed_by;
+      elections = Centralium.Ha.elections cluster;
+      takeover_ms = Centralium.Ha.takeover_ms cluster;
+      fenced_attempts =
+        List.length (List.filter (fun (_, n) -> n = "fenced") attempt_names);
+      dead_members;
+      grants = Centralium.Ha.grants cluster;
+      applied = sum (fun (r : Centralium.Controller.report) -> r.applied);
+      skipped_in_sync =
+        sum (fun (r : Centralium.Controller.report) -> r.skipped_in_sync);
+      journal_status;
+      ha_violations;
+      phase_violations = List.rev !phase_violations;
+      final_violations;
+      fib_digest = Faulted_deploy.fib_digest net;
+    }
+
+  type comparison = {
+    interrupted : result;
+    uninterrupted : result;
+    digests_match : bool;
+  }
+
+  let crash_vs_uninterrupted ?(seed = 42) ?(profile = Dsim.Mgmt_fault.none)
+      ?(members = 3) ?(leader_crash_offsets = [ 0.02 ]) () =
+    let interrupted = run ~seed ~profile ~members ~leader_crash_offsets () in
+    let uninterrupted = run ~seed ~profile ~members () in
     {
       interrupted;
       uninterrupted;

@@ -211,6 +211,79 @@ module Faulted_deploy : sig
       first phase. *)
 end
 
+(** Controller HA failover: the {!Faulted_deploy} fixture driven by an
+    {!Centralium.Ha} cluster instead of a lone controller. The fault
+    model's {!Dsim.Mgmt_fault.ha_profile} kills the leader at seeded
+    offsets mid-rollout; the standbys race for the lease, the winner
+    resumes from the shared NSDB journal under a higher fencing epoch,
+    and the scenario audits the grant/commit trails with
+    {!Centralium.Invariant.check_ha}. *)
+module Failover : sig
+  type result = {
+    outcome : string;
+        (** terminal outcome of the rollout: completed | rolled-back |
+            aborted | none (leadership never re-established) *)
+    attempts : (int * string) list;
+        (** every (member id, outcome) deployment attempt, in order —
+            crashed/fenced entries are the interrupted leaders *)
+    completed_by : int option;  (** member that landed the final phase *)
+    elections : int;  (** successful lease acquisitions *)
+    takeover_ms : float list;
+        (** simulated ms from each leader loss to the next acquisition *)
+    fenced_attempts : int;
+        (** attempts that fail-stopped on a lost lease (vs crashing) *)
+    dead_members : int;
+    grants : (int * int * float * float) list;
+        (** lease-grant audit: (holder, epoch, start, expiry) *)
+    applied : int;  (** RPA applies summed over every attempt *)
+    skipped_in_sync : int;
+    journal_status : string option;
+    ha_violations : string list;
+        (** {!Centralium.Invariant.check_ha} over grants and epoch-stamped
+            commits — dual-leader / stale-epoch-write; must be empty *)
+    phase_violations : (int * string) list;
+    final_violations : string list;
+    fib_digest : string;
+  }
+
+  val run :
+    ?seed:int ->
+    ?profile:Dsim.Mgmt_fault.profile ->
+    ?members:int ->
+    ?lease_ttl:float ->
+    ?tick_every:float ->
+    ?leader_crash_offsets:float list ->
+    ?lease_partition_offsets:(float * float) list ->
+    ?renewal_delay_prob:float ->
+    unit ->
+    result
+  (** [leader_crash_offsets] (seconds after cluster start — relative, so
+      the caller need not know the virtual clock) schedules leader
+      fail-stops; [lease_partition_offsets] are half-open windows during
+      which the lease store is unreachable; [renewal_delay_prob] makes
+      renewals tardy (up to half a tick). Defaults: 3 members, 50 ms
+      lease TTL, 10 ms ticks, no chaos — the degenerate single-leader
+      run every comparison baselines against. *)
+
+  type comparison = {
+    interrupted : result;
+    uninterrupted : result;
+    digests_match : bool;
+  }
+
+  val crash_vs_uninterrupted :
+    ?seed:int ->
+    ?profile:Dsim.Mgmt_fault.profile ->
+    ?members:int ->
+    ?leader_crash_offsets:float list ->
+    unit ->
+    comparison
+  (** The HA acceptance experiment: the same seeded rollout run twice —
+      once with the leader killed mid-deployment (default: one crash
+      20 ms in) and completed by a standby, once untouched — and the
+      final forwarding state compared bit for bit. *)
+end
+
 (** Data-plane chaos with and without graceful restart: the expansion Clos
     under the {!Dsim.Fault.severe} message-fault profile plus mid-window
     speaker restarts (the route origin itself, then an FA), with session
