@@ -992,6 +992,51 @@ let causal () =
   emit "causal_overhead_p50" (Obs.Json.Float overhead_p50);
   emit "causal_overhead_p99" (Obs.Json.Float overhead_p99)
 
+let ops () =
+  header "ops: continuous operations under overload"
+    "hourly submission bursts through the bounded admission queue, async \
+     NSDB replicas, watchdog canary rollbacks; 4 simulated hours, 2 seeds";
+  let seeds = [ 42; 43 ] in
+  let waits = ref [] and lags = ref [] and pph = ref [] in
+  let rows = ref [] in
+  pf "%6s %10s %8s %10s %13s %12s %10s\n" "seed" "admitted" "shed"
+    "rolled-back" "wait p99 ms" "lag p99 ops" "plans/h";
+  List.iter
+    (fun seed ->
+      let r = Experiments.Scenarios.Continuous.run ~seed ~hours:4 () in
+      waits := r.Experiments.Scenarios.Continuous.queue_wait_p99_s :: !waits;
+      lags := r.replica_lag_p99 :: !lags;
+      pph := r.plans_per_hour :: !pph;
+      pf "%6d %10d %8d %10d %13.1f %12.0f %10.1f\n" seed r.admitted r.shed
+        r.rolled_back
+        (1000. *. r.queue_wait_p99_s)
+        r.replica_lag_p99 r.plans_per_hour;
+      rows :=
+        Obs.Json.Obj
+          [
+            ("seed", Obs.Json.Int seed);
+            ("admitted", Obs.Json.Int r.admitted);
+            ("shed", Obs.Json.Int r.shed);
+            ("rolled_back", Obs.Json.Int r.rolled_back);
+            ("remediations", Obs.Json.Int r.remediations);
+            ("queue_wait_p99_s", Obs.Json.Float r.queue_wait_p99_s);
+            ("replica_lag_p99", Obs.Json.Float r.replica_lag_p99);
+            ("replica_lag_peak", Obs.Json.Int r.replica_lag_peak);
+            ("snapshot_ships", Obs.Json.Int r.snapshot_ships);
+            ("plans_per_hour", Obs.Json.Float r.plans_per_hour);
+            ( "unremediated_violations",
+              Obs.Json.Int r.unremediated_violations );
+          ]
+        :: !rows)
+    seeds;
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  pf "mean: queue wait p99 %.1f ms, replica lag p99 %.0f ops, %.1f plans/h\n"
+    (1000. *. mean !waits) (mean !lags) (mean !pph);
+  emit "rows" (Obs.Json.List (List.rev !rows));
+  emit "queue_wait_p99_s_mean" (Obs.Json.Float (mean !waits));
+  emit "replica_lag_p99_mean" (Obs.Json.Float (mean !lags));
+  emit "plans_per_hour_mean" (Obs.Json.Float (mean !pph))
+
 (* ------------------------------------------------------------------ *)
 
 let sections =
@@ -1018,6 +1063,7 @@ let sections =
     ("ha", ha);
     ("decision", decision);
     ("causal", causal);
+    ("ops", ops);
   ]
 
 let () =

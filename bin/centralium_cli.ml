@@ -994,6 +994,197 @@ let apps_cmd =
     (Cmd.info "apps" ~doc:"List the onboarded controller applications")
     Term.(const run $ const ())
 
+(* ---------------- ops ---------------- *)
+
+(* The 24/7 operations driver: a compressed simulated day of back-to-back
+   migrations through the admission queue, with the SLO watchdog armed and
+   NSDB replica catch-up running (ISSUE: `centralium ops --seed N --hours H`). *)
+let ops_cmd =
+  let run seed hours jobs_per_hour members profile_name crash_at out =
+    match
+      match profile_name with
+      | "none" -> Some Dsim.Mgmt_fault.none
+      | "flaky" -> Some Dsim.Mgmt_fault.flaky
+      | "hostile" -> Some Dsim.Mgmt_fault.hostile
+      | _ -> None
+    with
+    | None ->
+      Printf.eprintf "ops: unknown profile %S (none | flaky | hostile)\n"
+        profile_name;
+      1
+    | Some profile ->
+      let leader_crash_offsets =
+        match crash_at with None -> [] | Some t -> [ t ]
+      in
+      let r =
+        Experiments.Scenarios.Continuous.run ~seed ~hours ~jobs_per_hour
+          ~members ~profile ~leader_crash_offsets ()
+      in
+      let oc = open_out out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let opt_str = function
+            | Some s -> Obs.Json.String s
+            | None -> Obs.Json.Null
+          in
+          List.iter
+            (fun (j : Experiments.Scenarios.Continuous.job) ->
+              let line =
+                Obs.Json.Obj
+                  [
+                    ("type", Obs.Json.String "ops_job");
+                    ("index", Obs.Json.Int j.job_index);
+                    ("name", Obs.Json.String j.job_name);
+                    ("tenant", Obs.Json.String j.job_tenant);
+                    ("class", Obs.Json.String j.job_class);
+                    ("canary", Obs.Json.Bool j.job_canary);
+                    ( "seq",
+                      match j.job_seq with
+                      | Some s -> Obs.Json.Int s
+                      | None -> Obs.Json.Null );
+                    ("shed_reason", opt_str j.job_shed_reason);
+                    ("outcome", opt_str j.job_outcome);
+                    ("queue_wait_s", Obs.Json.Float j.job_queue_wait_s);
+                    ("convergence_s", Obs.Json.Float j.job_convergence_s);
+                    ( "remediated",
+                      Obs.Json.Bool (j.job_remediation <> None) );
+                  ]
+              in
+              output_string oc (Obs.Json.to_string line);
+              output_char oc '\n')
+            r.jobs;
+          let report =
+            Obs.Json.Obj
+              [
+                ("type", Obs.Json.String "ops_slo");
+                ("seed", Obs.Json.Int seed);
+                ("hours", Obs.Json.Int r.hours);
+                ("members", Obs.Json.Int members);
+                ("profile", Obs.Json.String profile_name);
+                ( "crash_at_s",
+                  match crash_at with
+                  | Some t -> Obs.Json.Float t
+                  | None -> Obs.Json.Null );
+                ("submitted", Obs.Json.Int r.submitted);
+                ("admitted", Obs.Json.Int r.admitted);
+                ("shed", Obs.Json.Int r.shed);
+                ("completed", Obs.Json.Int r.completed);
+                ("rolled_back", Obs.Json.Int r.rolled_back);
+                ("shed_rate", Obs.Json.Float r.shed_rate);
+                ("rollback_rate", Obs.Json.Float r.rollback_rate);
+                ("plans_per_hour", Obs.Json.Float r.plans_per_hour);
+                ("convergence_p50_s", Obs.Json.Float r.convergence_p50_s);
+                ("convergence_p99_s", Obs.Json.Float r.convergence_p99_s);
+                ("queue_wait_p99_s", Obs.Json.Float r.queue_wait_p99_s);
+                ( "blackhole_seconds_per_day",
+                  Obs.Json.Float r.blackhole_seconds_per_day );
+                ("replica_lag_p99", Obs.Json.Float r.replica_lag_p99);
+                ("replica_lag_peak", Obs.Json.Int r.replica_lag_peak);
+                ("snapshot_ships", Obs.Json.Int r.snapshot_ships);
+                ("elections", Obs.Json.Int r.elections);
+                ("queue_recoveries", Obs.Json.Int r.queue_recoveries);
+                ("remediations", Obs.Json.Int r.remediations);
+                ( "unremediated_violations",
+                  Obs.Json.Int r.unremediated_violations );
+                ( "queue_order",
+                  Obs.Json.List
+                    (List.map (fun s -> Obs.Json.Int s) r.queue_order) );
+                ( "shed_set",
+                  Obs.Json.List
+                    (List.map (fun s -> Obs.Json.Int s) r.shed_set) );
+                ("fib_digest", Obs.Json.String r.fib_digest);
+              ]
+          in
+          output_string oc (Obs.Json.to_string report);
+          output_char oc '\n';
+          pf
+            "ops: %dh simulated day, %d submitted — %d admitted, %d shed \
+             (%.1f%%), %d completed, %d rolled back, %d remediations\n"
+            r.hours r.submitted r.admitted r.shed (100. *. r.shed_rate)
+            r.completed r.rolled_back r.remediations;
+          pf
+            "ops: convergence p50/p99 %.0f/%.0f ms, queue wait p99 %.0f ms, \
+             blackhole %.4f s/day, replica lag p99 %.0f ops (peak %d, %d \
+             snapshot ships), %d elections\n"
+            (1000. *. r.convergence_p50_s)
+            (1000. *. r.convergence_p99_s)
+            (1000. *. r.queue_wait_p99_s)
+            r.blackhole_seconds_per_day r.replica_lag_p99 r.replica_lag_peak
+            r.snapshot_ships r.elections;
+          if r.unremediated_violations > 0 then begin
+            pf
+              "ops: FAILED — %d unremediated invariant violations (SLO \
+               report in %s)\n"
+              r.unremediated_violations out;
+            1
+          end
+          else begin
+            pf
+              "ops: every violation absent or auto-remediated; SLO report \
+               in %s\n"
+              out;
+            0
+          end)
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
+  in
+  let hours =
+    Arg.(
+      value & opt int 24
+      & info [ "hours" ] ~doc:"length of the simulated horizon, in hours")
+  in
+  let jobs_per_hour =
+    Arg.(
+      value & opt int 5
+      & info [ "jobs-per-hour" ]
+          ~doc:
+            "migration submissions per hourly burst (the admission queue \
+             caps at 4, so bursts above that shed)")
+  in
+  let members =
+    Arg.(
+      value & opt int 2
+      & info [ "members" ] ~doc:"controller cluster size")
+  in
+  let profile =
+    Arg.(
+      value & opt string "flaky"
+      & info [ "profile" ]
+          ~doc:"management-plane fault profile: none | flaky | hostile")
+  in
+  let crash_at =
+    Arg.(
+      value & opt (some float) None
+      & info [ "crash-at" ] ~docv:"SECONDS"
+          ~doc:
+            "kill the controller leader SECONDS (virtual) into the run — \
+             the standby takes over and rebuilds the queue from the opsq \
+             journal; the report stays bit-identical to the uninterrupted \
+             run")
+  in
+  let out =
+    Arg.(
+      value & opt string "ops_slo.jsonl"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"write the per-job and summary SLO JSONL to FILE")
+  in
+  Cmd.v
+    (Cmd.info "ops"
+       ~doc:
+         "Run the 24/7 continuous-operations driver: hourly bursts of \
+          seeded migrations through the bounded admission queue \
+          (over-capacity submissions shed with typed reasons), NSDB \
+          replica catch-up under the write load, canary regressions that \
+          the SLO watchdog must catch and auto-roll-back, and a JSONL SLO \
+          report (p99 convergence, blackhole-seconds/day, shed and \
+          rollback rates, replica lag). Exits non-zero if any invariant \
+          violation was left unremediated.")
+    Term.(
+      const run $ seed $ hours $ jobs_per_hour $ members $ profile $ crash_at
+      $ out)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1008,5 +1199,5 @@ let () =
           [
             topology_cmd; rpa_cmd; parse_cmd; lint_cmd; simulate_cmd;
             observe_cmd; table3_cmd; verify_cmd; chaos_cmd; trace_cmd;
-            apps_cmd;
+            ops_cmd; apps_cmd;
           ]))

@@ -558,9 +558,48 @@ let check_plan ?(origination_layer = Topology.Node.Eb) graph plan =
       (Topology.Node.layer_to_string origination_layer);
   D.sort !diags
 
+(* ---------------- cross-plan conflict probe ---------------- *)
+
+let plan_devices plan =
+  Int_set.of_list (List.map fst plan.Controller.rpas)
+
+(* Every destination the plan's RPAs steer or weight: explicit prefixes
+   and tagged communities, across all path-selection and route-attribute
+   blocks of all devices. *)
+let plan_destinations plan =
+  let fold_dest (prefixes, tags) = function
+    | Destination.Prefixes ps -> (List.rev_append ps prefixes, tags)
+    | Destination.Tagged c -> (prefixes, c :: tags)
+  in
+  List.fold_left
+    (fun acc (_, rpa) ->
+      let acc =
+        List.fold_left
+          (fun acc block ->
+            List.fold_left
+              (fun acc st -> fold_dest acc st.Path_selection.destination)
+              acc block.Path_selection.statements)
+          acc rpa.Rpa.path_selection
+      in
+      List.fold_left
+        (fun acc block ->
+          List.fold_left
+            (fun acc st -> fold_dest acc st.Route_attribute.destination)
+            acc block.Route_attribute.statements)
+        acc rpa.Rpa.route_attribute)
+    ([], []) plan.Controller.rpas
+
+let plans_conflict a b =
+  (not (Int_set.is_empty (Int_set.inter (plan_devices a) (plan_devices b))))
+  ||
+  let pa, ta = plan_destinations a and pb, tb = plan_destinations b in
+  List.exists (fun c -> List.exists (Net.Community.equal c) tb) ta
+  || prefix_overlap_pairs [ (0, pa); (1, pb) ] <> []
+
 (* Arm the controller's [?lint] gate and the verification suite's lint
    pass: any binary linked against this library gets the analyzer. *)
 let () =
+  Ops.set_conflict_probe plans_conflict;
   Controller.set_linter (fun graph plan ->
       List.map
         (fun d ->

@@ -44,3 +44,12 @@ val check_plan :
     {!Centralium.Deployment.is_safe_order} for an [Install] rollout from
     [origination_layer] (default [Eb], the backbone origination of every
     standard-suite plan). *)
+
+val plans_conflict :
+  Centralium.Controller.plan -> Centralium.Controller.plan -> bool
+(** Cross-plan conflict predicate for the admission queue: two plans
+    conflict when they target a common device, steer/weight overlapping
+    destination prefixes, or share a tagged destination community.
+    Loading this module registers it with
+    {!Centralium.Ops.set_conflict_probe}, so queues in any binary linked
+    against [analysis] serialize such pairs. *)

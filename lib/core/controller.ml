@@ -11,6 +11,7 @@ let m_gave_up = Obs.Metrics.counter "controller.gave_up"
 let m_fenced_writes = Obs.Metrics.counter "ha.fenced_writes"
 let m_status_conflicts = Obs.Metrics.counter "controller.status_conflicts"
 let m_journal_pruned = Obs.Metrics.counter "controller.journal_pruned"
+let m_watchdog_rollbacks = Obs.Metrics.counter "controller.watchdog_rollbacks"
 
 type plan = {
   plan_name : string;
@@ -190,6 +191,7 @@ let lint_gate ~lint t plan =
 exception Crash_signal
 exception Budget_exceeded of int
 exception Fenced_signal
+exception Watchdog_breach of int * string list
 
 (* Evaluate the fence before every externally-visible mutation. A leader
    that has lost its lease fail-stops right here: no RPC, no NSDB write,
@@ -391,6 +393,13 @@ let journal_next_phase t plan =
   | Some (Nsdb.Int n) -> Some n
   | Some _ | None -> None
 
+let journal_remediation t plan =
+  match
+    Nsdb.Replicated.get_one t.state_db ~path:(journal_path plan "remediation")
+  with
+  | Some (Nsdb.String s) -> Some s
+  | Some _ | None -> None
+
 let clear_journal t plan =
   Nsdb.Replicated.delete t.state_db
     ~path:(Printf.sprintf "journal/%s" plan.plan_name)
@@ -405,6 +414,31 @@ let clear_journal t plan =
    tests to inspect while bounding NSDB growth. In-progress and
    rolled-back journals are never pruned: the former is a rollout to
    resume, the latter an audit trail operators asked to keep. *)
+
+(* {2 Admission-queue protection}
+
+   The admission layer (Ops) journals its queue under opsq/<seq>/
+   (see ops.mli for the schema). A plan that is queued but not yet
+   started must keep whatever journal it already has: pruning it would
+   make a post-takeover controller mistake a resumable rollout for a
+   fresh one. The GC therefore skips such plans, and completion defers
+   the completed_seq stamp (the GC eligibility mark) while a queued
+   resubmission exists. *)
+
+let ops_queue_root = "opsq"
+
+let queued_in_ops t name =
+  Nsdb.Replicated.get t.state_db ~path:(ops_queue_root ^ "/*/state")
+  |> List.exists (fun (path, v) ->
+         match (v, String.split_on_char '/' path) with
+         | Nsdb.String "queued", [ _; seq; _ ] -> (
+           match
+             Nsdb.Replicated.get_one t.state_db
+               ~path:(Printf.sprintf "%s/%s/plan" ops_queue_root seq)
+           with
+           | Some (Nsdb.String n) -> String.equal n name
+           | Some _ | None -> false)
+         | _ -> false)
 
 let next_journal_seq t =
   let path = "journal_meta/seq" in
@@ -427,7 +461,8 @@ let journal_gc ?retain t =
     Nsdb.Replicated.get t.state_db ~path:"journal/*/status"
     |> List.filter_map (fun (path, v) ->
            match (v, String.split_on_char '/' path) with
-           | Nsdb.String "completed", [ "journal"; name; "status" ] ->
+           | Nsdb.String "completed", [ "journal"; name; "status" ]
+             when not (queued_in_ops t name) ->
              let seq =
                match
                  Nsdb.Replicated.get_one t.state_db
@@ -494,7 +529,7 @@ let reconcile_with_retries t ~policy ~fault ~fence ~jrng ~prog device =
    more hard failures than the budget. [journal_cursor] persists the
    phase cursor after each completed phase. *)
 let run_phases_resilient t ~policy ~fault ~fence ~jrng ~prog ~intent_of
-    ~phases ~from_phase ~between_phases ~journal_cursor =
+    ~phases ~from_phase ~between_phases ~watchdog ~journal_cursor =
   List.iteri
     (fun idx phase ->
       if idx >= from_phase then begin
@@ -516,6 +551,12 @@ let run_phases_resilient t ~policy ~fault ~fence ~jrng ~prog ~intent_of
         if phase_failures > policy.failure_budget then
           raise (Budget_exceeded idx);
         between_phases idx;
+        (* The runtime watchdog samples the converged network against its
+           SLO budget at every phase boundary; a breach aborts the rollout
+           into the same reverse-order rollback as a blown failure budget. *)
+        (match watchdog idx with
+         | `Ok -> ()
+         | `Breach reasons -> raise (Watchdog_breach (idx, reasons)));
         journal_cursor (idx + 1)
       end)
     phases
@@ -553,7 +594,7 @@ let fmt_failures kind failures =
 (* Shared tail of deploy and resume: run phases from [from_phase], handle
    crash/budget/fencing, post-check, roll back on failure. *)
 let execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog ~between_phases
-    ~from_phase ~resumed_from_phase =
+    ~watchdog ~from_phase ~resumed_from_phase =
   let intent_of device = List.assoc_opt device plan.rpas in
   let journal_cursor n =
     journal_write t ~policy ~fault ~fence ~jrng ~prog plan "next_phase"
@@ -575,7 +616,8 @@ let execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog ~between_phases
   try
     match
       run_phases_resilient t ~policy ~fault ~fence ~jrng ~prog ~intent_of
-        ~phases:plan.phases ~from_phase ~between_phases ~journal_cursor
+        ~phases:plan.phases ~from_phase ~between_phases ~watchdog
+        ~journal_cursor
     with
     | () -> (
       match Health.failures plan.post_checks with
@@ -584,9 +626,13 @@ let execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog ~between_phases
           journal_transition t ~policy ~fault ~fence ~jrng ~prog plan
             ~expected:"in-progress" "completed"
         then begin
-          journal_write t ~policy ~fault ~fence ~jrng ~prog plan
-            "completed_seq"
-            (Nsdb.Int (next_journal_seq t));
+          (* completed_seq is the GC-eligibility stamp. While a queued
+             resubmission of this plan exists, defer it: the journal must
+             outlive the queue entry so a takeover still sees history. *)
+          if not (queued_in_ops t plan.plan_name) then
+            journal_write t ~policy ~fault ~fence ~jrng ~prog plan
+              "completed_seq"
+              (Nsdb.Int (next_journal_seq t));
           ignore (journal_gc t)
         end;
         Completed (report_of_progress t prog ~resumed_from_phase)
@@ -614,12 +660,31 @@ let execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog ~between_phases
       rollback t plan ~policy ~fault ~fence ~jrng ~through_phase:idx;
       Rolled_back
         { partial = report_of_progress t prog ~resumed_from_phase; reasons }
+    | exception Watchdog_breach (idx, breach_reasons) ->
+      (* Automatic remediation: record the event in the journal first —
+         rolled-back journals are never pruned, so the remediation trail
+         survives as audit — then run the same reverse-order rollback a
+         blown failure budget triggers. *)
+      Obs.Metrics.incr m_watchdog_rollbacks;
+      journal_write t ~policy ~fault ~fence ~jrng ~prog plan "remediation"
+        (Nsdb.String
+           (Printf.sprintf "watchdog phase %d: %s" idx
+              (String.concat "; " breach_reasons)));
+      rollback t plan ~policy ~fault ~fence ~jrng ~through_phase:idx;
+      Rolled_back
+        {
+          partial = report_of_progress t prog ~resumed_from_phase;
+          reasons =
+            List.map (fun r -> "watchdog: " ^ r) breach_reasons
+            @ [ Printf.sprintf "SLO breach at phase %d; auto-rolled-back" idx ];
+        }
   with
   | Crash_signal -> interrupted `Crash
   | Fenced_signal -> interrupted `Fence
 
 let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
-    ?(between_phases = fun _ -> ()) ?(lint = `Warn) t plan =
+    ?(between_phases = fun _ -> ()) ?(watchdog = fun _ -> `Ok) ?(lint = `Warn)
+    t plan =
   Obs.Span.with_span "controller.deploy"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
   @@ fun () ->
@@ -647,7 +712,7 @@ let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
        with
        | () ->
          execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog
-           ~between_phases ~from_phase:0 ~resumed_from_phase:None
+           ~between_phases ~watchdog ~from_phase:0 ~resumed_from_phase:None
        | exception Crash_signal ->
          Crashed
            {
@@ -662,7 +727,8 @@ let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
            })
 
 let resume ?(policy = default_retry_policy) ?fault ?fence
-    ?(between_phases = fun _ -> ()) ?(lint = `Warn) t plan =
+    ?(between_phases = fun _ -> ()) ?(watchdog = fun _ -> `Ok) ?(lint = `Warn)
+    t plan =
   Obs.Span.with_span "controller.resume"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
   @@ fun () ->
@@ -699,7 +765,8 @@ let resume ?(policy = default_retry_policy) ?fault ?fence
        match record_plan t ~policy ~fault ~fence ~jrng ~prog plan with
        | () ->
          execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog
-           ~between_phases ~from_phase ~resumed_from_phase:(Some from_phase)
+           ~between_phases ~watchdog ~from_phase
+           ~resumed_from_phase:(Some from_phase)
        | exception Crash_signal ->
          Crashed
            {
@@ -745,6 +812,7 @@ let remove t plan =
             ~intent_of:(fun _ -> None)
             ~phases:(Deployment.rollback_order plan.phases) ~from_phase:0
             ~between_phases:(fun _ -> ())
+            ~watchdog:(fun _ -> `Ok)
             ~journal_cursor:(fun _ -> ())
         with
         | () ->

@@ -158,6 +158,7 @@ val deploy_resilient :
   ?fault:Dsim.Mgmt_fault.t ->
   ?fence:(unit -> fence_status) ->
   ?between_phases:(int -> unit) ->
+  ?watchdog:(int -> [ `Ok | `Breach of string list ]) ->
   ?lint:lint_mode ->
   t ->
   plan ->
@@ -175,13 +176,21 @@ val deploy_resilient :
     [Fence_held epoch], that epoch stamps the operation; [Fence_lost]
     makes the deployment fail-stop with the [Fenced] outcome, and
     [Fence_crashed] with [Crashed]. Unfenced deployments (the default)
-    behave exactly as before. *)
+    behave exactly as before.
+
+    [watchdog] is the runtime SLO hook (see {!Ops.Watchdog}): evaluated
+    after [between_phases] at every phase boundary, on the converged
+    network. [`Breach reasons] records a remediation event at
+    [journal/<plan>/remediation] and triggers the same reverse-order
+    rollback as a blown failure budget; the outcome is [Rolled_back] with
+    the breach reasons. The default never breaches. *)
 
 val resume :
   ?policy:retry_policy ->
   ?fault:Dsim.Mgmt_fault.t ->
   ?fence:(unit -> fence_status) ->
   ?between_phases:(int -> unit) ->
+  ?watchdog:(int -> [ `Ok | `Breach of string list ]) ->
   ?lint:lint_mode ->
   t ->
   plan ->
@@ -197,6 +206,20 @@ val journal_status : t -> plan -> string option
 
 val journal_next_phase : t -> plan -> int option
 (** The journalled phase cursor: first phase not yet fully applied. *)
+
+val journal_remediation : t -> plan -> string option
+(** The remediation event a watchdog breach recorded for this plan, if
+    any — kept with the (never-pruned) rolled-back journal as audit. *)
+
+val ops_queue_root : string
+(** Root of the admission-queue journal ({!Ops} schema: [opsq/<seq>/plan],
+    [opsq/<seq>/state], ...). The journal GC consults it so that a plan
+    with a queued-but-not-started submission keeps its journal. *)
+
+val queued_in_ops : t -> string -> bool
+(** Whether the admission queue currently holds a [queued] (not yet
+    started) entry for this plan name. Such plans are protected from
+    {!journal_gc} and defer their [completed_seq] stamp on completion. *)
 
 val set_journal_retention : t -> int -> unit
 (** How many completed [journal/<plan>/] subtrees to keep (default 8).

@@ -328,8 +328,8 @@ let wait_member ?(max_wait = 60.0) t =
 let wait_for_leader ?max_wait t =
   Option.map (fun m -> m.id) (wait_member ?max_wait t)
 
-let run_plan ?policy ?between_phases ?lint ?op_fault ?(max_attempts = 64) t
-    plan =
+let run_plan ?policy ?between_phases ?watchdog ?lint ?op_fault
+    ?(max_attempts = 64) t plan =
   let op_fault =
     match op_fault with
     | Some f -> f
@@ -355,10 +355,10 @@ let run_plan ?policy ?between_phases ?lint ?op_fault ?(max_attempts = 64) t
           match Controller.journal_status m.controller plan with
           | None ->
             Controller.deploy_resilient ?policy ?fault ~fence ?between_phases
-              ?lint m.controller plan
+              ?watchdog ?lint m.controller plan
           | Some _ ->
-            Controller.resume ?policy ?fault ~fence ?between_phases ?lint
-              m.controller plan
+            Controller.resume ?policy ?fault ~fence ?between_phases ?watchdog
+              ?lint m.controller plan
         in
         incr attempt;
         attempts := (m.id, outcome) :: !attempts;

@@ -109,6 +109,7 @@ val wait_for_leader : ?max_wait:float -> t -> int option
 val run_plan :
   ?policy:Controller.retry_policy ->
   ?between_phases:(int -> unit) ->
+  ?watchdog:(int -> [ `Ok | `Breach of string list ]) ->
   ?lint:Controller.lint_mode ->
   ?op_fault:(attempt:int -> member:int -> Dsim.Mgmt_fault.t option) ->
   ?max_attempts:int ->
@@ -124,7 +125,10 @@ val run_plan :
 
     [op_fault] chooses the per-operation fate model for each attempt
     (default: the cluster's [fault] for every attempt); it is also
-    attached to the shared agent for the attempt's duration. *)
+    attached to the shared agent for the attempt's duration.
+
+    [watchdog] is forwarded to every deploy/resume attempt as the runtime
+    SLO hook (see {!Ops.Watchdog}). *)
 
 (** {1 Introspection} *)
 

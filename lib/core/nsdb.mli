@@ -80,7 +80,79 @@ module Replicated : sig
   (** Raises [Invalid_argument] if [replicas < 1]. *)
 
   val set : t -> path:string -> value -> unit
-  (** Fans out to every live replica (publish path of Section 5.2). *)
+  (** Fans out to every live replica (publish path of Section 5.2). In
+      async mode ({!enable_async}) the write applies to the leader
+      immediately and is appended to the replication log; followers catch
+      up at the next {!flush}. *)
+
+  (** {2 Asynchronous replication with bounded catch-up}
+
+      [enable_async] switches the wrapper from synchronous fan-out to a
+      leader + replication-log model: every write applies to the leader at
+      once and followers consume the log in batches of at most
+      [batch_budget] entries per {!flush} (one flush per simulation
+      instant, driven by the caller on the Dsim virtual clock). Each
+      follower's lag watermark is [head - applied]; a follower beyond
+      [lag_threshold] — or whose backlog was truncated — abandons replay
+      and catches up via snapshot shipping from the leader. Reads and
+      compare-and-set are always served by the leader, which is current by
+      construction; a follower promoted on leader failure first drains its
+      backlog, so leader-visible semantics are unchanged. *)
+
+  val enable_async : ?lag_threshold:int -> ?batch_budget:int -> t -> unit
+  (** Defaults: [lag_threshold = 64], [batch_budget = 32]. Idempotent;
+      raises [Invalid_argument] if either bound is < 1. *)
+
+  val flush : t -> unit
+  (** One replication + notification round: followers apply up to
+      [batch_budget] log entries (or snapshot-ship beyond the threshold),
+      the log is truncated below the slowest live replica, and every
+      batched subscriber notification is delivered. A no-op source of
+      writes in sync mode, but still flushes subscribers. Deterministic —
+      purely a function of store state. *)
+
+  val lag : t -> int -> int
+  (** Replica [i]'s lag watermark: log entries appended but not yet
+      applied there. 0 in sync mode and for the leader. *)
+
+  val max_lag : t -> int
+  (** Worst lag over the live replicas. *)
+
+  val lag_peak : t -> int
+  (** High-water mark of any follower's lag observed at {!flush} time. *)
+
+  val snapshot_ships : t -> int
+  (** How many catch-ups abandoned replay for snapshot shipping. *)
+
+  (** {2 Fleet-level pub/sub}
+
+      Unlike the per-store {!Nsdb.subscribe}, these subscriptions observe
+      the replicated write path itself and deliver {e batched}:
+      notifications coalesce keep-last per path in first-touch order and
+      are handed over as one batch per {!flush}. Each subscriber's pending
+      queue is bounded by [limit] distinct paths; on overflow the delta
+      stream is dropped and the next flush delivers a [`Resync] snapshot
+      of the watched paths instead — shed loudly, never silently. *)
+
+  type batch =
+    [ `Changes of (string * value option) list
+      (** coalesced deltas since the last flush; [None] = deleted *)
+    | `Resync of (string * value) list
+      (** full snapshot of the watched paths, after a queue overflow *) ]
+
+  val subscribe : ?limit:int -> t -> path:string -> (batch -> unit) -> int
+  (** Returns a token for {!unsubscribe}. [path] may contain ['*'] and
+      ["**"] wildcards. [limit] (default 256) bounds the pending queue. *)
+
+  val unsubscribe : t -> int -> unit
+  (** Tokens are single-use; unsubscribing twice is a no-op. Long-horizon
+      loops must pair every {!subscribe} with this — the watchdog and
+      replica catch-up paths do. *)
+
+  val subscriber_count : t -> int
+
+  val overflow_resyncs : t -> int
+  (** How many flushes downgraded a subscriber to [`Resync]. *)
 
   val get : t -> path:string -> (string * value) list
   (** Served by the elected leader. Raises [Failure] if no replica is
@@ -106,11 +178,15 @@ module Replicated : sig
   (** Index of the current leader (lowest-index live replica). *)
 
   val fail_replica : t -> int -> unit
-  (** Marks a replica dead; reads re-route to the next elected leader. *)
+  (** Marks a replica dead; reads re-route to the next elected leader. In
+      async mode the promoted follower first drains its backlog, so the
+      new leader serves current state. *)
 
   val recover_replica : t -> int -> unit
   (** Brings a replica back and re-synchronizes it from the leader
-      (eventual consistency: it may have missed writes while down). *)
+      (eventual consistency: it may have missed writes while down). The
+      resync restores {e in place}, preserving the replica store's own
+      subscriptions. *)
 
   val replica : t -> int -> store
   (** Direct access for tests. *)

@@ -1223,3 +1223,362 @@ module Fig13 = struct
         /. float_of_int (List.length event_list);
     }
 end
+
+(* ------------------------------------------------------------------ *)
+
+module Continuous = struct
+  type job = {
+    job_index : int;
+    job_name : string;
+    job_tenant : string;
+    job_class : string;
+    job_canary : bool;
+    job_seq : int option;
+    job_shed_reason : string option;
+    job_outcome : string option;
+    job_queue_wait_s : float;
+    job_convergence_s : float;
+    job_remediation : string option;
+  }
+
+  type report = {
+    hours : int;
+    hour_s : float;
+    submitted : int;
+    admitted : int;
+    shed : int;
+    completed : int;
+    rolled_back : int;
+    shed_rate : float;
+    rollback_rate : float;
+    plans_per_hour : float;
+    convergence_p50_s : float;
+    convergence_p99_s : float;
+    queue_wait_p99_s : float;
+    blackhole_seconds_per_day : float;
+    replica_lag_p99 : float;
+    replica_lag_peak : int;
+    snapshot_ships : int;
+    elections : int;
+    queue_recoveries : int;
+    remediations : int;
+    unremediated_violations : int;
+    queue_order : int list;
+    shed_set : int list;
+    fib_digest : string;
+    jobs : job list;
+  }
+
+  (* Nearest-rank percentile; 0.0 on an empty sample set. *)
+  let percentile p xs =
+    match List.sort compare xs with
+    | [] -> 0.0
+    | sorted ->
+      let n = List.length sorted in
+      let k = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      List.nth sorted (min (n - 1) (max 0 k))
+
+  let default_queue_config =
+    { Centralium.Ops.max_queue = 4; per_tenant = 2; per_class = 3 }
+
+  let run ?(seed = 42) ?(hours = 24) ?(jobs_per_hour = 5) ?(hour_s = 0.5)
+      ?(members = 2) ?(profile = Dsim.Mgmt_fault.flaky)
+      ?(leader_crash_offsets = []) ?(canary_every = 3)
+      ?(queue_config = default_queue_config) () =
+    Obs.Span.with_span "scenario.continuous"
+      ~attrs:(fun () ->
+        [
+          ("seed", string_of_int seed);
+          ("hours", string_of_int hours);
+          ("crashes", string_of_int (List.length leader_crash_offsets));
+        ])
+    @@ fun () ->
+    (* The Failover fixture, run as a 24/7 fleet: expansion Clos, shared
+       agent, an async 3-replica NSDB, and an HA controller cluster.
+       [hour_s] virtual seconds stand in for one wall-clock hour — the
+       simulated day is compressed, and per-day SLO figures are
+       normalized by that compression below. *)
+    let default = Net.Prefix.default_v4 in
+    let x = Topology.Clos.expansion () in
+    let net = Bgp.Network.create ~seed x.Topology.Clos.xgraph in
+    Bgp.Network.originate net x.backbone default (tagged_attr ());
+    ignore (Bgp.Network.converge net);
+    let agent = Centralium.Switch_agent.create ~seed:(seed + 7) net in
+    let nsdb = Centralium.Nsdb.Replicated.create ~replicas:3 in
+    Centralium.Nsdb.Replicated.enable_async ~lag_threshold:48
+      ~batch_budget:24 nsdb;
+    let hub = x.backbone in
+    let mgmt_graph = Faulted_deploy.management_star x.xgraph ~hub in
+    let openr = Openr.Network.create ~seed:(seed + 11) mgmt_graph in
+    ignore (Openr.Network.converge openr);
+    Centralium.Switch_agent.attach_management_network agent openr
+      ~controller_host:hub;
+    let t0 = Bgp.Network.now net in
+    let ha =
+      {
+        Dsim.Mgmt_fault.leader_crash_times =
+          List.map (fun o -> t0 +. o) leader_crash_offsets;
+        lease_partitions = [];
+        renewal_delay_prob = 0.0;
+        renewal_delay_max_s = 0.005;
+      }
+    in
+    let fault = Dsim.Mgmt_fault.create ~ha ~seed:(seed + 13) profile in
+    let cluster =
+      Centralium.Ha.create ~lease_ttl:0.05 ~tick_every:0.01 ~fault ~members
+        net agent nsdb
+    in
+    Centralium.Ha.start cluster;
+    (* Churn stream: tenants, classes and plan kinds are drawn from a
+       dedicated RNG so the submission schedule is a pure function of the
+       seed. *)
+    let rng = Dsim.Rng.create (seed + 19) in
+    let catalog : (string, Centralium.Controller.plan) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let lookup name = Hashtbl.find_opt catalog name in
+    let ops = ref (Centralium.Ops.create ~config:queue_config nsdb) in
+    let base = Centralium.Apps.Expansion_equalizer.plan x in
+    let install_of name =
+      { base with Centralium.Controller.plan_name = name }
+    in
+    let clear_of name =
+      {
+        base with
+        Centralium.Controller.plan_name = name;
+        rpas =
+          List.map
+            (fun (d, _) -> (d, Centralium.Rpa.empty))
+            base.Centralium.Controller.rpas;
+      }
+    in
+    (* The canary: a min-next-hop guard whose [Fraction 1.1] threshold can
+       never be met, so its SSW targets withdraw the default and the FSWs
+       below black-hole — exactly the regression the watchdog's SLO budget
+       exists to catch and roll back. *)
+    let canary_of name =
+      let p =
+        Centralium.Apps.Min_next_hop_guard.plan x.xgraph
+          ~destination:(Centralium.Destination.Tagged backbone_community)
+          ~threshold:(Centralium.Path_selection.Fraction 1.1)
+          ~keep_fib_warm:false ~targets:x.xssws
+          ~origination_layer:Topology.Node.Eb
+      in
+      { p with Centralium.Controller.plan_name = name }
+    in
+    let demands = List.map (fun f -> (f, 1.0)) x.xfsws in
+    let wd =
+      Centralium.Ops.Watchdog.create ~net ~nsdb ~demands ~prefix:default ()
+    in
+    let total_jobs = hours * jobs_per_hour in
+    let tenants = [| "ops"; "te"; "ml"; "edge" |] in
+    let j_name = Array.make total_jobs "" in
+    let j_tenant = Array.make total_jobs "" in
+    let j_class = Array.make total_jobs "" in
+    let j_canary = Array.make total_jobs false in
+    let j_seq = Array.make total_jobs None in
+    let j_shed = Array.make total_jobs None in
+    let j_outcome = Array.make total_jobs None in
+    let j_wait = Array.make total_jobs 0.0 in
+    let j_conv = Array.make total_jobs 0.0 in
+    let j_remediation = Array.make total_jobs None in
+    let submit_times = Hashtbl.create 64 in
+    let job_of_seq = Hashtbl.create 64 in
+    let queue_order = ref [] in
+    let lag_samples = ref [] in
+    let completed = ref 0 in
+    let rolled_back = ref 0 in
+    let unremediated = ref 0 in
+    let queue_recoveries = ref 0 in
+    let last_leader = ref (Centralium.Ha.wait_for_leader cluster) in
+    let policy =
+      { Centralium.Controller.default_retry_policy with jitter_seed = seed + 17 }
+    in
+    let submit_job i =
+      let name = Printf.sprintf "job-%04d" i in
+      let canary = canary_every > 0 && (i + 1) mod canary_every = 0 in
+      let plan =
+        if canary then canary_of name
+        else if i mod 2 = 0 then install_of name
+        else clear_of name
+      in
+      Hashtbl.replace catalog name plan;
+      let tenant = tenants.(Dsim.Rng.int rng (Array.length tenants)) in
+      let cls =
+        match Dsim.Rng.int rng 3 with
+        | 0 -> Centralium.Ops.Interactive
+        | 1 -> Centralium.Ops.Standard
+        | _ -> Centralium.Ops.Bulk
+      in
+      j_name.(i) <- name;
+      j_tenant.(i) <- tenant;
+      j_class.(i) <- Centralium.Ops.class_name cls;
+      j_canary.(i) <- canary;
+      match Centralium.Ops.submit !ops ~tenant ~cls plan with
+      | Centralium.Ops.Admitted seq ->
+        j_seq.(i) <- Some seq;
+        Hashtbl.replace submit_times seq (Bgp.Network.now net);
+        Hashtbl.replace job_of_seq seq i
+      | Centralium.Ops.Overloaded reason ->
+        j_shed.(i) <-
+          Some (Centralium.Ops.overload_reason_to_string reason)
+    in
+    (* An election means a takeover: the new leader rebuilds its queue
+       view from the opsq journal, exactly as a real standby would. *)
+    let maybe_recover () =
+      let l =
+        match Centralium.Ha.leader_id cluster with
+        | Some _ as l -> l
+        | None -> Centralium.Ha.wait_for_leader cluster
+      in
+      if l <> !last_leader then begin
+        last_leader := l;
+        incr queue_recoveries;
+        ops := Centralium.Ops.recover ~config:queue_config ~lookup nsdb
+      end
+    in
+    let run_one seq plan =
+      let start = Bgp.Network.now net in
+      Centralium.Ops.mark_started !ops seq;
+      let wait =
+        start
+        -.
+        match Hashtbl.find_opt submit_times seq with
+        | Some t -> t
+        | None -> start
+      in
+      Centralium.Ops.Watchdog.arm wd
+        ~plan_name:plan.Centralium.Controller.plan_name;
+      let _, terminal =
+        Centralium.Ha.run_plan ~policy
+          ~watchdog:(Centralium.Ops.Watchdog.probe wd) cluster plan
+      in
+      ignore (Bgp.Network.converge net);
+      let dur = Bgp.Network.now net -. start in
+      Centralium.Ops.mark_done !ops seq;
+      ignore (Centralium.Ops.gc !ops);
+      lag_samples :=
+        float_of_int (Centralium.Nsdb.Replicated.max_lag nsdb)
+        :: !lag_samples;
+      Centralium.Nsdb.Replicated.flush nsdb;
+      let remediation =
+        let m = match !last_leader with Some m -> m | None -> 0 in
+        Centralium.Controller.journal_remediation
+          (Centralium.Ha.controller cluster m)
+          plan
+      in
+      Centralium.Ops.Watchdog.disarm wd;
+      queue_order := seq :: !queue_order;
+      (match terminal with
+       | Some (Centralium.Controller.Completed _) -> incr completed
+       | Some (Centralium.Controller.Rolled_back _) -> incr rolled_back
+       | _ -> ());
+      let post = Centralium.Invariant.check net in
+      if post <> [] && remediation = None then
+        unremediated := !unremediated + List.length post;
+      (match Hashtbl.find_opt job_of_seq seq with
+       | Some i ->
+         j_wait.(i) <- wait;
+         j_conv.(i) <- dur;
+         j_outcome.(i) <-
+           Some
+             (match terminal with
+              | Some o -> Failover.outcome_name o
+              | None -> "none");
+         j_remediation.(i) <- remediation
+       | None -> ())
+    in
+    let drain () =
+      let continue = ref true in
+      while !continue do
+        maybe_recover ();
+        match Centralium.Ops.next_ready !ops with
+        | None -> continue := false
+        | Some (seq, plan) -> run_one seq plan
+      done
+    in
+    let next = ref 0 in
+    for h = 0 to hours - 1 do
+      for _ = 1 to jobs_per_hour do
+        submit_job !next;
+        incr next
+      done;
+      drain ();
+      ignore
+        (Bgp.Network.run_until net
+           ~time:(t0 +. (hour_s *. float_of_int (h + 1))));
+      lag_samples :=
+        float_of_int (Centralium.Nsdb.Replicated.max_lag nsdb)
+        :: !lag_samples;
+      Centralium.Nsdb.Replicated.flush nsdb
+    done;
+    drain ();
+    ignore (Bgp.Network.converge net);
+    Centralium.Nsdb.Replicated.flush nsdb;
+    Centralium.Ha.stop cluster;
+    unremediated :=
+      !unremediated + List.length (Centralium.Invariant.check net);
+    let submitted = Centralium.Ops.submissions !ops in
+    let sheds = Centralium.Ops.shed_log !ops in
+    let shed = List.length sheds in
+    let admitted = submitted - shed in
+    let waits = Array.to_list (Array.sub j_wait 0 !next) in
+    let waits =
+      List.filteri (fun i _ -> j_seq.(i) <> None) waits
+    in
+    let convs =
+      List.filteri
+        (fun i _ -> j_seq.(i) <> None)
+        (Array.to_list (Array.sub j_conv 0 !next))
+    in
+    let jobs =
+      List.init !next (fun i ->
+          {
+            job_index = i;
+            job_name = j_name.(i);
+            job_tenant = j_tenant.(i);
+            job_class = j_class.(i);
+            job_canary = j_canary.(i);
+            job_seq = j_seq.(i);
+            job_shed_reason = j_shed.(i);
+            job_outcome = j_outcome.(i);
+            job_queue_wait_s = j_wait.(i);
+            job_convergence_s = j_conv.(i);
+            job_remediation = j_remediation.(i);
+          })
+    in
+    let fi = float_of_int in
+    {
+      hours;
+      hour_s;
+      submitted;
+      admitted;
+      shed;
+      completed = !completed;
+      rolled_back = !rolled_back;
+      shed_rate = (if submitted = 0 then 0.0 else fi shed /. fi submitted);
+      rollback_rate =
+        (if admitted = 0 then 0.0 else fi !rolled_back /. fi admitted);
+      plans_per_hour = fi !completed /. fi (max 1 hours);
+      convergence_p50_s = percentile 0.50 convs;
+      convergence_p99_s = percentile 0.99 convs;
+      queue_wait_p99_s = percentile 0.99 waits;
+      (* Blackhole-seconds accrue on the virtual clock; one simulated day
+         is [hours] windows, so normalize to a represented 24h. *)
+      blackhole_seconds_per_day =
+        Centralium.Ops.Watchdog.blackhole_seconds wd *. 24.
+        /. fi (max 1 hours);
+      replica_lag_p99 = percentile 0.99 !lag_samples;
+      replica_lag_peak = Centralium.Nsdb.Replicated.lag_peak nsdb;
+      snapshot_ships = Centralium.Nsdb.Replicated.snapshot_ships nsdb;
+      elections = Centralium.Ha.elections cluster;
+      queue_recoveries = !queue_recoveries;
+      remediations =
+        List.length (Centralium.Ops.Watchdog.remediations wd);
+      unremediated_violations = !unremediated;
+      queue_order = List.rev !queue_order;
+      shed_set = List.map (fun (i, _, _, _) -> i) sheds;
+      fib_digest = Faulted_deploy.fib_digest net;
+      jobs;
+    }
+end

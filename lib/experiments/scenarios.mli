@@ -375,3 +375,84 @@ module Fig13 : sig
       RPA-TE comparator (default 64). Sweeping it shows how much expressive
       precision the RPA weight encoding needs to track the ideal. *)
 end
+
+(** The 24/7 fleet: back-to-back seeded migrations with admission control,
+    queueing, replica catch-up and the SLO watchdog, over a compressed
+    simulated day ([hour_s] virtual seconds per represented hour). Every
+    [canary_every]-th job (default 3 — deliberately coprime with
+    [jobs_per_hour], so canaries cycle through burst positions instead of
+    always landing on the shed slot) is a deliberately unsatisfiable
+    min-next-hop
+    guard whose blackhole the watchdog must catch and auto-roll-back.
+    Deterministic: the same seed yields a bit-identical report — queue
+    order, shed set and final FIB digest — with or without a leader crash
+    from [leader_crash_offsets]. *)
+module Continuous : sig
+  type job = {
+    job_index : int;  (** submission index, in submission order *)
+    job_name : string;
+    job_tenant : string;
+    job_class : string;
+    job_canary : bool;
+    job_seq : int option;  (** queue ticket; [None] when shed *)
+    job_shed_reason : string option;
+    job_outcome : string option;  (** terminal outcome of executed jobs *)
+    job_queue_wait_s : float;  (** virtual submit-to-start wait *)
+    job_convergence_s : float;  (** virtual start-to-converged duration *)
+    job_remediation : string option;
+        (** the journal's remediation record when the watchdog rolled the
+            job back *)
+  }
+
+  type report = {
+    hours : int;
+    hour_s : float;
+    submitted : int;
+    admitted : int;
+    shed : int;
+    completed : int;
+    rolled_back : int;
+    shed_rate : float;
+    rollback_rate : float;
+    plans_per_hour : float;
+    convergence_p50_s : float;
+    convergence_p99_s : float;
+    queue_wait_p99_s : float;
+    blackhole_seconds_per_day : float;
+        (** normalized to a represented 24h day *)
+    replica_lag_p99 : float;  (** ops behind, sampled before every flush *)
+    replica_lag_peak : int;
+    snapshot_ships : int;
+    elections : int;
+    queue_recoveries : int;
+        (** queue rebuilds from the opsq journal after a takeover *)
+    remediations : int;
+    unremediated_violations : int;
+        (** invariant violations left standing by a job that was not
+            rolled back, plus any at the end of the horizon — the
+            acceptance gate is zero *)
+    queue_order : int list;  (** queue seq of every started job, in order *)
+    shed_set : int list;  (** submission indices shed, in order *)
+    fib_digest : string;
+    jobs : job list;
+  }
+
+  val default_queue_config : Centralium.Ops.config
+  (** Deliberately small ([max_queue = 4], [per_tenant = 2],
+      [per_class = 3]) so hourly bursts exercise real backpressure. *)
+
+  val run :
+    ?seed:int ->
+    ?hours:int ->
+    ?jobs_per_hour:int ->
+    ?hour_s:float ->
+    ?members:int ->
+    ?profile:Dsim.Mgmt_fault.profile ->
+    ?leader_crash_offsets:float list ->
+    ?canary_every:int ->
+    ?queue_config:Centralium.Ops.config ->
+    unit ->
+    report
+  (** Defaults: seed 42, 24 hours, 5 jobs/hour, 0.5 s/hour, 2 members,
+      flaky management profile, no crashes, canary every 3rd job. *)
+end

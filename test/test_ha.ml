@@ -301,6 +301,37 @@ let test_fenced_failstop_under_lease_partition () =
   check_bool "fencing kept the audit clean" true
     (r.ha_violations = [] && r.final_violations = [])
 
+let test_ops_queue_survives_takeover () =
+  (* The admission queue under a mid-queue leader crash: the standby
+     rebuilds the queue from the opsq journal and the simulated day ends
+     with exactly the queue order, shed set and forwarding state of the
+     uninterrupted run. *)
+  let open Experiments.Scenarios.Continuous in
+  let interrupted =
+    run ~seed:42 ~hours:2 ~leader_crash_offsets:[ 0.12 ] ()
+  in
+  let uninterrupted = run ~seed:42 ~hours:2 () in
+  check_bool "the crash forced a real takeover" true
+    (interrupted.elections >= 2);
+  check_bool "the new leader rebuilt the queue from the journal" true
+    (interrupted.queue_recoveries >= 1);
+  check_bool "queue order identical" true
+    (interrupted.queue_order = uninterrupted.queue_order);
+  check_bool "shed set identical" true
+    (interrupted.shed_set = uninterrupted.shed_set);
+  check_string "forwarding state bit-identical" uninterrupted.fib_digest
+    interrupted.fib_digest;
+  check_int "no violation escaped remediation" 0
+    interrupted.unremediated_violations
+
+let test_ops_takeover_bit_reproducible () =
+  let open Experiments.Scenarios.Continuous in
+  let run () =
+    let r = run ~seed:7 ~hours:2 ~leader_crash_offsets:[ 0.12 ] () in
+    (r.queue_order, r.shed_set, r.completed, r.rolled_back, r.fib_digest)
+  in
+  check_bool "interrupted day is bit-reproducible" true (run () = run ())
+
 let () =
   Alcotest.run "ha"
     [
@@ -347,5 +378,12 @@ let () =
             test_failover_bit_reproducible;
           Alcotest.test_case "fenced fail-stop under lease partition" `Slow
             test_fenced_failstop_under_lease_partition;
+        ] );
+      ( "ops-takeover",
+        [
+          Alcotest.test_case "queue survives takeover" `Slow
+            test_ops_queue_survives_takeover;
+          Alcotest.test_case "interrupted day bit-reproducible" `Slow
+            test_ops_takeover_bit_reproducible;
         ] );
     ]
