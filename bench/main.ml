@@ -1038,6 +1038,147 @@ let ops () =
   emit "plans_per_hour_mean" (Obs.Json.Float (mean !pph))
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic phase verifier: full vs delta-net incremental verification *)
+
+let analysis () =
+  header "Phase verifier: full vs delta-net incremental verification"
+    "untouched equivalence classes reuse the previous boundary's forwarding \
+     graphs; incremental re-verification is measurably cheaper than full";
+  let module PV = Analysis.Phase_verifier in
+  let fab = Topology.Clos.fabric () in
+  let tagged =
+    Net.Attr.make
+      ~communities:
+        (Net.Community.Set.singleton
+           Net.Community.Well_known.backbone_default_route)
+      ()
+  in
+  (* One anycast default class plus [n_spec] specific classes, all
+     originated at the EBs. *)
+  let n_spec = 12 in
+  let origins =
+    List.map
+      (fun eb ->
+        {
+          PV.org_device = eb;
+          org_prefix = Net.Prefix.default_v4;
+          org_attr = tagged;
+        })
+      fab.Topology.Clos.ebs
+    @ List.init n_spec (fun j ->
+          {
+            PV.org_device =
+              List.nth fab.Topology.Clos.ebs
+                (j mod List.length fab.Topology.Clos.ebs);
+            org_prefix = Net.Prefix.v4 10 j 0 0 16;
+            org_attr = Net.Attr.make ();
+          })
+  in
+  (* Each phase deploys RPAs that steer exactly one specific class: the
+     delta-net set is 1 class of 13 per state. The steer pins FSW
+     forwarding to upstream (SSW-learned) paths — the natural best paths,
+     so the plan is clean and the bench measures verification, not
+     violation reporting. *)
+  let ssw_asns =
+    List.map (fun d -> Net.Asn.of_int (64512 + d)) fab.Topology.Clos.ssws
+  in
+  let steer j =
+    Centralium.Rpa.make
+      ~path_selection:
+        [
+          Centralium.Path_selection.make
+            [
+              Centralium.Path_selection.statement
+                ~name:(Printf.sprintf "steer-10-%d" j)
+                ~path_sets:
+                  [
+                    Centralium.Path_selection.path_set ~name:"via-ssw"
+                      (Centralium.Signature.make ~neighbor_asns:ssw_asns ());
+                  ]
+                (Centralium.Destination.Prefixes [ Net.Prefix.v4 10 j 0 0 16 ]);
+            ];
+        ]
+      ()
+  in
+  let rec chunk n = function
+    | [] -> []
+    | l ->
+      let rec take k = function
+        | x :: tl when k > 0 ->
+          let a, b = take (k - 1) tl in
+          (x :: a, b)
+        | rest -> ([], rest)
+      in
+      let a, b = take n l in
+      a :: chunk n b
+  in
+  let phases = chunk 4 fab.Topology.Clos.fsws in
+  let rpas =
+    List.concat
+      (List.mapi (fun k ph -> List.map (fun d -> (d, steer k)) ph) phases)
+  in
+  let plan =
+    {
+      Centralium.Controller.plan_name = "bench-analysis";
+      rpas;
+      phases;
+      pre_checks = [];
+      post_checks = [];
+    }
+  in
+  let iters = 5 in
+  let measure ~incremental =
+    let samples = ref [] in
+    let last = ref None in
+    for _ = 1 to iters do
+      let t0 = Monotonic_clock.now () in
+      let r = PV.verify ~origins ~incremental fab.Topology.Clos.graph plan in
+      let ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e6 in
+      samples := ms :: !samples;
+      last := Some r
+    done;
+    (Option.get !last, Dsim.Stats.summarize !samples)
+  in
+  let full_r, full_s = measure ~incremental:false in
+  let incr_r, incr_s = measure ~incremental:true in
+  (* Same verdicts either way: reuse only skips provably untouched work. *)
+  assert (full_r.PV.vr_violations = [] && incr_r.PV.vr_violations = []);
+  assert (full_r.PV.vr_states = incr_r.PV.vr_states);
+  let p50_speedup = full_s.Dsim.Stats.p50 /. incr_s.Dsim.Stats.p50 in
+  let p99_speedup = full_s.Dsim.Stats.p99 /. incr_s.Dsim.Stats.p99 in
+  pf "%d classes, %d states, %d devices\n" incr_r.PV.vr_classes
+    incr_r.PV.vr_states
+    (List.length (Topology.Graph.nodes fab.Topology.Clos.graph));
+  pf "%-12s %10s %8s %12s %12s\n" "mode" "compiled" "reused" "verify p50"
+    "verify p99";
+  pf "%-12s %10d %8d %10.3fms %10.3fms\n" "full" full_r.PV.vr_compiled
+    full_r.PV.vr_reused full_s.Dsim.Stats.p50 full_s.Dsim.Stats.p99;
+  pf "%-12s %10d %8d %10.3fms %10.3fms\n" "incremental" incr_r.PV.vr_compiled
+    incr_r.PV.vr_reused incr_s.Dsim.Stats.p50 incr_s.Dsim.Stats.p99;
+  pf "compile ratio %.2fx; verify p50 %.2fx, p99 %.2fx faster\n"
+    (float_of_int full_r.PV.vr_compiled /. float_of_int incr_r.PV.vr_compiled)
+    p50_speedup p99_speedup;
+  let mode_json r s =
+    Obs.Json.Obj
+      [
+        ("compiled", Obs.Json.Int r.PV.vr_compiled);
+        ("reused", Obs.Json.Int r.PV.vr_reused);
+        ("verify_ms", summary_json s);
+      ]
+  in
+  emit "classes" (Obs.Json.Int incr_r.PV.vr_classes);
+  emit "states" (Obs.Json.Int incr_r.PV.vr_states);
+  emit "iters" (Obs.Json.Int iters);
+  emit "full" (mode_json full_r full_s);
+  emit "incremental" (mode_json incr_r incr_s);
+  emit "compile_ratio"
+    (Obs.Json.Float
+       (float_of_int full_r.PV.vr_compiled
+       /. float_of_int incr_r.PV.vr_compiled));
+  emit "verify_p50_speedup" (Obs.Json.Float p50_speedup);
+  emit "verify_p99_speedup" (Obs.Json.Float p99_speedup)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1064,6 +1205,7 @@ let sections =
     ("decision", decision);
     ("causal", causal);
     ("ops", ops);
+    ("analysis", analysis);
   ]
 
 let () =

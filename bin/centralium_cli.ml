@@ -392,6 +392,126 @@ let lint_cmd =
              error-severity findings")
     Term.(const run $ file $ suite $ selftest $ json $ seed)
 
+(* ---------------- verify-plan ---------------- *)
+
+let verify_plan_cmd =
+  let module D = Analysis.Diagnostic in
+  let module PV = Analysis.Phase_verifier in
+  let print_human report =
+    List.iter
+      (fun d -> print_endline (D.to_human d))
+      report.PV.vr_diagnostics;
+    pf "%d class(es), %d state(s), %d compiled, %d reused, %d violation(s)\n"
+      report.PV.vr_classes report.PV.vr_states report.PV.vr_compiled
+      report.PV.vr_reused
+      (List.length report.PV.vr_violations)
+  in
+  let has_errors report =
+    List.exists (fun d -> d.D.severity = D.Error) report.PV.vr_diagnostics
+  in
+  let run_suite seed json no_frontiers =
+    let specs = Centralium.Verification.standard_suite ~seed () in
+    let results =
+      List.map
+        (fun spec ->
+          let net, plan, _ = spec.Centralium.Verification.build () in
+          let report = PV.verify_network ~frontiers:(not no_frontiers) net plan in
+          (spec.Centralium.Verification.spec_name, report))
+        specs
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ( "suite",
+                  Obs.Json.List
+                    (List.map
+                       (fun (name, report) ->
+                         Obs.Json.Obj
+                           [
+                             ("spec", Obs.Json.String name);
+                             ("verify", PV.report_json report);
+                           ])
+                       results) );
+              ]))
+    else
+      List.iter
+        (fun (name, report) ->
+          pf "%s:\n" name;
+          print_human report)
+        results;
+    if List.exists (fun (_, r) -> has_errors r) results then 1 else 0
+  in
+  let run_selftest json =
+    let results = Analysis.Corpus.run_verifier () in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ( "selftest",
+                  Obs.Json.List
+                    (List.map
+                       (fun r ->
+                         Obs.Json.Obj
+                           [
+                             ("case", Obs.Json.String r.Analysis.Corpus.r_case);
+                             ( "expect",
+                               Obs.Json.String
+                                 (D.code_to_string r.Analysis.Corpus.r_expect)
+                             );
+                             ( "detected",
+                               Obs.Json.Bool r.Analysis.Corpus.r_detected );
+                           ])
+                       results) );
+              ]))
+    else
+      List.iter
+        (fun r ->
+          pf "%-45s %s  [%s]\n" r.Analysis.Corpus.r_case
+            (D.code_to_string r.Analysis.Corpus.r_expect)
+            (if r.Analysis.Corpus.r_detected then "detected" else "MISSED"))
+        results;
+    if Analysis.Corpus.all_detected results then 0 else 1
+  in
+  let run selftest json seed no_frontiers =
+    if selftest then run_selftest json else run_suite seed json no_frontiers
+  in
+  let selftest =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:"run the verifier over the planted-defect corpus (forwarding \
+                loop, frontier blackhole, reachability loss) and check every \
+                plant is caught")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"machine-readable output (stable field order, byte-identical \
+                across runs)")
+  in
+  let seed =
+    Arg.(
+      value & opt int 31
+      & info [ "seed" ] ~doc:"base network seed for suite plan building")
+  in
+  let no_frontiers =
+    Arg.(
+      value & flag
+      & info [ "no-frontiers" ]
+          ~doc:"check phase boundaries only, skipping the per-device mixed \
+                frontier states inside each phase")
+  in
+  Cmd.v
+    (Cmd.info "verify-plan"
+       ~doc:"Symbolically prove deployment plans loop- and blackhole-free \
+             across every phase boundary and mixed frontier, without \
+             running the simulator; non-zero exit on violations")
+    Term.(const run $ selftest $ json $ seed $ no_frontiers)
+
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
@@ -1198,6 +1318,6 @@ let () =
        (Cmd.group ~default info
           [
             topology_cmd; rpa_cmd; parse_cmd; lint_cmd; simulate_cmd;
-            observe_cmd; table3_cmd; verify_cmd; chaos_cmd; trace_cmd;
-            ops_cmd; apps_cmd;
+            observe_cmd; table3_cmd; verify_cmd; verify_plan_cmd; chaos_cmd;
+            trace_cmd; ops_cmd; apps_cmd;
           ]))

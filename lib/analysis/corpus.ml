@@ -299,6 +299,155 @@ let cases =
     };
   ]
 
+(* ---------------- Symbolic phase-verifier plants ----------------
+
+   Defects no syntactic lint can see: the RPAs are individually
+   well-formed, and only the symbolic forwarding model over the planned
+   deployment states exposes them. *)
+
+(* Diamond: EB 0 over peered FA 1/2, optionally with FSW 3 fed by both
+   FAs. Default origins put the tagged v4 default route at EB 0. *)
+let diamond_graph ~feeder () =
+  let g = Topology.Graph.create () in
+  List.iter
+    (fun (id, name, layer) ->
+      Topology.Graph.add_node g (Topology.Node.make ~id ~name ~layer ()))
+    ([
+       (0, "eb0", Topology.Node.Eb);
+       (1, "fa1", Topology.Node.Fa);
+       (2, "fa2", Topology.Node.Fa);
+     ]
+    @ if feeder then [ (3, "fsw3", Topology.Node.Fsw) ] else []);
+  Topology.Graph.add_link g 0 1;
+  Topology.Graph.add_link g 0 2;
+  Topology.Graph.add_link g 1 2;
+  if feeder then begin
+    Topology.Graph.add_link g 1 3;
+    Topology.Graph.add_link g 2 3
+  end;
+  g
+
+(* Clos slice without the FA peering: EB 0 over FA 1/2, FSW 3 dual-homed
+   to both FAs. *)
+let slice_graph () =
+  let g = Topology.Graph.create () in
+  List.iter
+    (fun (id, name, layer) ->
+      Topology.Graph.add_node g (Topology.Node.make ~id ~name ~layer ()))
+    [
+      (0, "eb0", Topology.Node.Eb);
+      (1, "fa1", Topology.Node.Fa);
+      (2, "fa2", Topology.Node.Fa);
+      (3, "fsw3", Topology.Node.Fsw);
+    ];
+  Topology.Graph.add_link g 0 1;
+  Topology.Graph.add_link g 0 2;
+  Topology.Graph.add_link g 1 3;
+  Topology.Graph.add_link g 2 3;
+  g
+
+(* Each FA steers the default route through the other while advertising
+   its most preferred path (the Figure 9 ablation): once both are live
+   they chase each other's advertisements forever, and every other
+   propagation round is a forwarding loop. *)
+let mutual_steer_rpa ~via =
+  Rpa.make ~advertise_least_favorable:false
+    ~path_selection:
+      [
+        Path_selection.make
+          [
+            Path_selection.statement ~name:"steer-via-peer"
+              ~path_sets:
+                [
+                  path_set "peer"
+                    (Signature.make ~neighbor_asns:[ asn via ] ());
+                ]
+              Destination.backbone_default;
+          ];
+      ]
+    ()
+
+let mnh_guard_rpa () =
+  ps_rpa
+    [
+      Path_selection.statement ~name:"native-guard"
+        ~bgp_native_min_next_hop:(Path_selection.Count 2)
+        Destination.backbone_default;
+    ]
+
+let deny_default_egress_rpa () =
+  Rpa.make
+    ~route_filter:
+      [
+        Route_filter.make
+          [
+            Route_filter.statement ~name:"deny-default-egress"
+              ~egress:
+                (Route_filter.Allow_list
+                   [ Route_filter.prefix_rule (p4 192 168 0 0 16) ])
+              Route_filter.any_peer;
+          ];
+      ]
+    ()
+
+let verifier_diags graph plan_v =
+  (Phase_verifier.verify graph plan_v).Phase_verifier.vr_diagnostics
+
+let verifier_cases =
+  [
+    {
+      case_name = "verifier-forwarding-loop-mutual-steer";
+      expect = Diagnostic.Forwarding_loop_static;
+      findings =
+        (fun () ->
+          (* fa1 steers via fa2's ASN and vice versa; the loop only exists
+             once both RPAs are live, i.e. at the phase 1 boundary *)
+          verifier_diags
+            (diamond_graph ~feeder:false ())
+            (plan ~name:"loop-plant"
+               ~rpas:
+                 [ (1, mutual_steer_rpa ~via:64514);
+                   (2, mutual_steer_rpa ~via:64513) ]
+               ~phases:[ [ 1; 2 ] ] ()));
+    };
+    {
+      case_name = "verifier-blackhole-frontier-mnh";
+      expect = Diagnostic.Blackhole_static;
+      findings =
+        (fun () ->
+          (* fsw3 guards native selection with Count 2; fa2's egress filter
+             stops advertising the default downward. The moment fa2 deploys
+             ahead of its phase peer (the phase 2 frontier), fsw3 drops to
+             one candidate, withdraws, and blackholes traffic that still
+             has a physical path up through fa1. *)
+          verifier_diags (slice_graph ())
+            (plan ~name:"blackhole-plant"
+               ~rpas:
+                 [ (3, mnh_guard_rpa ());
+                   (1, benign_rpa ());
+                   (2, deny_default_egress_rpa ()) ]
+               ~phases:[ [ 3 ]; [ 1; 2 ] ] ()));
+    };
+    {
+      case_name = "verifier-reachability-loss-feeder";
+      expect = Diagnostic.Reachability_loss;
+      findings =
+        (fun () ->
+          (* fsw3 keeps a healthy-looking FIB toward both FAs, but its
+             packets die in the FAs' mutual-steer loop: reachability it had
+             at baseline is gone without any local symptom *)
+          verifier_diags
+            (diamond_graph ~feeder:true ())
+            (plan ~name:"feeder-plant"
+               ~rpas:
+                 [ (1, mutual_steer_rpa ~via:64514);
+                   (2, mutual_steer_rpa ~via:64513) ]
+               ~phases:[ [ 1; 2 ] ] ()));
+    };
+  ]
+
+let cases = cases @ verifier_cases
+
 type result = {
   r_case : string;
   r_expect : Diagnostic.code;
@@ -306,7 +455,7 @@ type result = {
   r_findings : Diagnostic.t list;
 }
 
-let run () =
+let run_cases cs =
   List.map
     (fun c ->
       let findings = c.findings () in
@@ -317,6 +466,8 @@ let run () =
           List.exists (fun d -> d.Diagnostic.code = c.expect) findings;
         r_findings = findings;
       })
-    cases
+    cs
 
+let run () = run_cases cases
+let run_verifier () = run_cases verifier_cases
 let all_detected results = List.for_all (fun r -> r.r_detected) results

@@ -15,6 +15,13 @@ type case = {
 }
 
 val cases : case list
+(** Every case: the lint corpus followed by {!verifier_cases}. *)
+
+val verifier_cases : case list
+(** The symbolic phase-verifier plants — defects invisible to syntactic
+    lint (a mutual-steer forwarding loop, a frontier-transient
+    min-next-hop blackhole, a reachability loss behind a loop) that only
+    the forwarding model over planned deployment states exposes. *)
 
 type result = {
   r_case : string;
@@ -24,5 +31,9 @@ type result = {
 }
 
 val run : unit -> result list
+
+val run_verifier : unit -> result list
+(** {!run} restricted to {!verifier_cases} ([centralium verify-plan
+    --selftest]). *)
 
 val all_detected : result list -> bool

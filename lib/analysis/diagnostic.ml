@@ -12,6 +12,10 @@ type code =
   | Merge_conflict
   | Least_favorable_off
   | Community_collision
+  | Forwarding_loop_static
+  | Blackhole_static
+  | Reachability_loss
+  | Analysis_capped
 
 let code_to_string = function
   | Empty_signature -> "empty-signature"
@@ -25,6 +29,10 @@ let code_to_string = function
   | Merge_conflict -> "merge-conflict"
   | Least_favorable_off -> "least-favorable-off"
   | Community_collision -> "community-collision"
+  | Forwarding_loop_static -> "forwarding-loop"
+  | Blackhole_static -> "blackhole"
+  | Reachability_loss -> "reachability-loss"
+  | Analysis_capped -> "analysis-capped"
 
 let severity_to_string = function
   | Error -> "error"
@@ -46,6 +54,10 @@ let code_rank = function
   | Merge_conflict -> 8
   | Least_favorable_off -> 9
   | Community_collision -> 10
+  | Forwarding_loop_static -> 11
+  | Blackhole_static -> 12
+  | Reachability_loss -> 13
+  | Analysis_capped -> 14
 
 type t = {
   code : code;

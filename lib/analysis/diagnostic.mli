@@ -31,6 +31,20 @@ type code =
   | Community_collision
       (** two route-attribute statements claim the same community or
           overlapping prefixes *)
+  | Forwarding_loop_static
+      (** the symbolic phase verifier found a FIB cycle in a deployment
+          state (a phase boundary, a mixed frontier, or a propagation
+          round within one) *)
+  | Blackhole_static
+      (** the verifier found a device with a surviving physical path to an
+          origin of a destination class but no forwarding entry for it *)
+  | Reachability_loss
+      (** a device that delivered a destination class in the baseline
+          state no longer does in a later deployment state, although its
+          own forwarding entry survives — the walk dies downstream *)
+  | Analysis_capped
+      (** a language-level decision procedure hit its state budget and
+          resolved conservatively, suppressing a potential finding *)
 
 val code_to_string : code -> string
 (** Stable kebab-case slug, e.g. ["empty-signature"]. *)

@@ -1,0 +1,185 @@
+open Centralium
+module G = Topology.Graph
+module Imap = Map.Make (Int)
+
+type entry = { e_next_hops : int list; e_origin : bool; e_kept_warm : bool }
+
+type t = {
+  f_final : entry Imap.t;
+  f_snapshots : (int * int list) list list;
+  f_converged : bool;
+  f_rounds : int;
+}
+
+let entry t d = Imap.find_opt d t.f_final
+let final t = Imap.bindings t.f_final
+let round_edges t = t.f_snapshots
+let converged t = t.f_converged
+let rounds_run t = t.f_rounds
+
+let entry_equal a b =
+  a.e_origin = b.e_origin
+  && a.e_kept_warm = b.e_kept_warm
+  && List.equal Int.equal a.e_next_hops b.e_next_hops
+
+let equal a b = Imap.equal entry_equal a.f_final b.f_final
+
+let compile graph ~engine_of ~cls =
+  let prefix = cls.Eq_class.cls_prefix in
+  let devices =
+    List.sort Int.compare
+      (List.map (fun n -> n.Topology.Node.id) (G.nodes graph))
+  in
+  let origin_attr =
+    List.fold_left
+      (fun acc (d, attr) -> Imap.add d attr acc)
+      Imap.empty cls.Eq_class.cls_origins
+  in
+  let asn d = (G.node graph d).Topology.Node.asn in
+  let layer_of d =
+    Option.map (fun n -> n.Topology.Node.layer) (G.node_opt graph d)
+  in
+  let rpa_of d = Option.map Engine.rpa (engine_of d) in
+  let filters_allow d direction ~peer =
+    match rpa_of d with
+    | None -> true
+    | Some rpa ->
+      let layer = layer_of peer in
+      List.for_all
+        (fun rf -> Route_filter.allows rf direction ~peer ~layer prefix)
+        rpa.Rpa.route_filter
+  in
+  let ctx_of d : Bgp.Rib_policy.ctx =
+    {
+      Bgp.Rib_policy.device = d;
+      prefix;
+      now = 0.0;
+      peer_layer = layer_of;
+      live_peers_in_layer =
+        (fun layer ->
+          List.length
+            (List.filter
+               (fun (n, _) ->
+                 Topology.Node.layer_equal n.Topology.Node.layer layer)
+               (G.neighbors graph d)));
+    }
+  in
+  (* Per-device state: what the device offers peers (its advertised
+     attributes, pre-prepend) and its forwarding entry. Origins are
+     terminal: constant advertisement, no next hops. *)
+  let adv = ref Imap.empty in
+  let ent = ref Imap.empty in
+  Imap.iter
+    (fun d attr ->
+      if Option.is_some (G.node_opt graph d) then begin
+        adv := Imap.add d attr !adv;
+        ent :=
+          Imap.add d
+            { e_next_hops = []; e_origin = true; e_kept_warm = false }
+            !ent
+      end)
+    origin_attr;
+  let snapshot () =
+    List.rev
+      (Imap.fold
+         (fun d e acc ->
+           if e.e_origin || e.e_next_hops = [] then acc
+           else (d, e.e_next_hops) :: acc)
+         !ent [])
+  in
+  let step () =
+    (* Synchronous round: every device re-decides from the neighbours'
+       previous-round advertisements, through the same decision code the
+       simulated speakers run. *)
+    let prev_adv = !adv in
+    let next_adv = ref Imap.empty in
+    let next_ent = ref Imap.empty in
+    List.iter
+      (fun d ->
+        match Imap.find_opt d origin_attr with
+        | Some attr ->
+          next_adv := Imap.add d attr !next_adv;
+          next_ent :=
+            Imap.add d
+              { e_next_hops = []; e_origin = true; e_kept_warm = false }
+              !next_ent
+        | None ->
+          let d_asn = asn d in
+          let candidates =
+            List.concat_map
+              (fun (n, (link : G.link)) ->
+                let nid = n.Topology.Node.id in
+                match Imap.find_opt nid prev_adv with
+                | None -> []
+                | Some a ->
+                  let a' = Net.Attr.with_prepended (asn nid) a in
+                  if Net.As_path.mem d_asn a'.Net.Attr.as_path then []
+                  else if
+                    filters_allow nid Route_filter.Egress ~peer:d
+                    && filters_allow d Route_filter.Ingress ~peer:nid
+                  then
+                    List.init (max 1 link.G.sessions) (fun s ->
+                        Bgp.Path.make ~peer:nid ~session:s ~attr:a')
+                  else [])
+              (G.neighbors graph d)
+          in
+          let native = Bgp.Decision.select ~multipath:true candidates in
+          let selection =
+            match engine_of d with
+            | Some eng ->
+              Engine.evaluate_selection eng ~ctx:(ctx_of d) ~candidates
+                ~native
+            | None ->
+              let selected, advertise = native in
+              { Bgp.Rib_policy.selected; advertise; keep_fib_warm = false }
+          in
+          (match selection.Bgp.Rib_policy.advertise with
+           | Some p ->
+             next_adv := Imap.add d p.Bgp.Path.attr !next_adv
+           | None -> ());
+          let next_hops =
+            List.sort_uniq Int.compare
+              (List.map
+                 (fun p -> p.Bgp.Path.peer)
+                 selection.Bgp.Rib_policy.selected)
+          in
+          if next_hops <> [] || selection.Bgp.Rib_policy.keep_fib_warm then
+            next_ent :=
+              Imap.add d
+                {
+                  e_next_hops = next_hops;
+                  e_origin = false;
+                  e_kept_warm = selection.Bgp.Rib_policy.keep_fib_warm;
+                }
+                !next_ent)
+      devices;
+    let changed =
+      not
+        (Imap.equal Net.Attr.equal prev_adv !next_adv
+        && Imap.equal entry_equal !ent !next_ent)
+    in
+    adv := !next_adv;
+    ent := !next_ent;
+    changed
+  in
+  let max_rounds = (2 * List.length devices) + 8 in
+  let rec run rounds snaps =
+    if rounds >= max_rounds then (rounds, List.rev snaps, false)
+    else if step () then begin
+      let s = snapshot () in
+      let snaps =
+        match snaps with last :: _ when last = s -> snaps | _ -> s :: snaps
+      in
+      run (rounds + 1) snaps
+    end
+    else (rounds + 1, List.rev snaps, true)
+  in
+  let rounds, snaps, converged = run 0 [] in
+  let snaps =
+    let final_snap = snapshot () in
+    match List.rev snaps with
+    | last :: _ when last = final_snap -> snaps
+    | _ -> snaps @ [ final_snap ]
+  in
+  { f_final = !ent; f_snapshots = snaps; f_converged = converged;
+    f_rounds = rounds }

@@ -30,7 +30,10 @@ let machines sg =
   | [] -> [ Regex_algebra.universal ]
   | ms -> ms
 
-let signature_empty_reason sg =
+(* [(reason option, capped)]: the emptiness verdict plus whether the
+   product BFS hit its state budget — a capped [None] is a conservative
+   "cannot prove empty", which the caller surfaces as an Info note. *)
+let signature_empty_status sg =
   let contradiction =
     List.find_opt
       (fun c -> List.exists (Net.Community.equal c) (Signature.none_of sg))
@@ -38,15 +41,20 @@ let signature_empty_reason sg =
   in
   match contradiction with
   | Some c ->
-    Some
-      (Printf.sprintf "community %s is both required and excluded"
-         (Net.Community.to_string c))
+    ( Some
+        (Printf.sprintf "community %s is both required and excluded"
+           (Net.Community.to_string c)),
+      false )
   | None ->
     (match Signature.neighbor_asns sg with
-     | Some [] -> Some "neighbor_asns = [] matches no path"
+     | Some [] -> (Some "neighbor_asns = [] matches no path", false)
      | _ ->
-       if Regex_algebra.intersection_nonempty (machines sg) then None
-       else Some "no AS-path can satisfy all path conjuncts")
+       let nonempty, capped =
+         Regex_algebra.intersection_nonempty_capped (machines sg)
+       in
+       if nonempty then (None, capped)
+       else (Some "no AS-path can satisfy all path conjuncts", false))
+
 
 let communities_compatible a b =
   let required = Signature.communities a @ Signature.communities b in
@@ -60,14 +68,19 @@ let sig_overlap a b =
   communities_compatible a b
   && Regex_algebra.intersection_nonempty (machines a @ machines b)
 
-(* [sig_subsumes a b]: every route matching [b] matches [a]. Sound but
-   incomplete: community subset tests plus language subsumption. *)
-let sig_subsumes a b =
+(* [sig_subsumes_status a b]: every route matching [b] matches [a], plus
+   whether the language procedure was capped (a capped [false] suppresses
+   a shadowing finding). Sound but incomplete: community subset tests plus
+   language subsumption. *)
+let sig_subsumes_status a b =
   let subset eq xs ys = List.for_all (fun x -> List.exists (eq x) ys) xs in
-  subset Net.Community.equal (Signature.communities a)
-    (Signature.communities b)
-  && subset Net.Community.equal (Signature.none_of a) (Signature.none_of b)
-  && Regex_algebra.subsumes (machines a) (machines b)
+  if
+    subset Net.Community.equal (Signature.communities a)
+      (Signature.communities b)
+    && subset Net.Community.equal (Signature.none_of a) (Signature.none_of b)
+  then Regex_algebra.subsumes_capped (machines a) (machines b)
+  else (false, false)
+
 
 (* ---------------- small helpers ---------------- *)
 
@@ -206,32 +219,49 @@ let check_rpa ?device ?(positions = []) rpa =
           let name = st.Path_selection.st_name in
           List.iter
             (fun set ->
-              match signature_empty_reason set.Path_selection.ps_signature with
-              | Some reason ->
+              match signature_empty_status set.Path_selection.ps_signature with
+              | Some reason, _ ->
                 add ~rpa:block ~kind:`Path_selection ~statement:name D.Error
                   D.Empty_signature "path set %S can match no route: %s"
                   set.Path_selection.ps_name reason
-              | None -> ())
+              | None, true ->
+                add ~rpa:block ~kind:`Path_selection ~statement:name D.Info
+                  D.Analysis_capped
+                  "emptiness check for path set %S hit the state budget; \
+                   an empty-signature finding may be suppressed"
+                  set.Path_selection.ps_name
+              | None, false -> ())
             st.Path_selection.path_sets;
           List.iteri
             (fun i earlier ->
               List.iteri
                 (fun j later ->
-                  if
-                    i < j
-                    && sig_subsumes earlier.Path_selection.ps_signature
-                         later.Path_selection.ps_signature
-                    && thr_le
-                         (thr_of earlier.Path_selection.ps_min_next_hop)
-                         (thr_of later.Path_selection.ps_min_next_hop)
-                  then
-                    add ~rpa:block ~kind:`Path_selection ~statement:name
-                      D.Warning D.Shadowed_statement
-                      "path set %S is unreachable: every route it matches \
-                       is already claimed by earlier path set %S with an \
-                       equal-or-lower threshold"
-                      later.Path_selection.ps_name
-                      earlier.Path_selection.ps_name)
+                  if i < j then
+                    let subsumed, capped =
+                      sig_subsumes_status earlier.Path_selection.ps_signature
+                        later.Path_selection.ps_signature
+                    in
+                    if
+                      subsumed
+                      && thr_le
+                           (thr_of earlier.Path_selection.ps_min_next_hop)
+                           (thr_of later.Path_selection.ps_min_next_hop)
+                    then
+                      add ~rpa:block ~kind:`Path_selection ~statement:name
+                        D.Warning D.Shadowed_statement
+                        "path set %S is unreachable: every route it matches \
+                         is already claimed by earlier path set %S with an \
+                         equal-or-lower threshold"
+                        later.Path_selection.ps_name
+                        earlier.Path_selection.ps_name
+                    else if capped then
+                      add ~rpa:block ~kind:`Path_selection ~statement:name
+                        D.Info D.Analysis_capped
+                        "shadowing check of path set %S against %S hit the \
+                         state budget; a shadowed-statement finding may be \
+                         suppressed"
+                        later.Path_selection.ps_name
+                        earlier.Path_selection.ps_name)
                 st.Path_selection.path_sets)
             st.Path_selection.path_sets)
         ps.Path_selection.statements)
@@ -325,30 +355,48 @@ let check_rpa ?device ?(positions = []) rpa =
       let name = st.Route_attribute.st_name in
       List.iter
         (fun w ->
-          match signature_empty_reason w.Route_attribute.w_signature with
-          | Some reason ->
+          match signature_empty_status w.Route_attribute.w_signature with
+          | Some reason, _ ->
             add ~rpa:block ~kind:`Route_attribute ~statement:name D.Error
               D.Empty_signature "weight entry %S can match no route: %s"
               w.Route_attribute.w_name reason
-          | None -> ())
+          | None, true ->
+            add ~rpa:block ~kind:`Route_attribute ~statement:name D.Info
+              D.Analysis_capped
+              "emptiness check for weight entry %S hit the state budget; \
+               an empty-signature finding may be suppressed"
+              w.Route_attribute.w_name
+          | None, false -> ())
         st.Route_attribute.next_hop_weights;
       List.iteri
         (fun i earlier ->
           List.iteri
             (fun j later ->
-              if
-                i < j
-                && sig_subsumes earlier.Route_attribute.w_signature
-                     later.Route_attribute.w_signature
-                && earlier.Route_attribute.weight
-                   <> later.Route_attribute.weight
-              then
-                add ~rpa:block ~kind:`Route_attribute ~statement:name
-                  D.Warning D.Shadowed_statement
-                  "weight entry %S (weight %d) is unreachable: earlier \
-                   entry %S (weight %d) matches first"
-                  later.Route_attribute.w_name later.Route_attribute.weight
-                  earlier.Route_attribute.w_name earlier.Route_attribute.weight)
+              if i < j then
+                let subsumed, capped =
+                  sig_subsumes_status earlier.Route_attribute.w_signature
+                    later.Route_attribute.w_signature
+                in
+                if
+                  subsumed
+                  && earlier.Route_attribute.weight
+                     <> later.Route_attribute.weight
+                then
+                  add ~rpa:block ~kind:`Route_attribute ~statement:name
+                    D.Warning D.Shadowed_statement
+                    "weight entry %S (weight %d) is unreachable: earlier \
+                     entry %S (weight %d) matches first"
+                    later.Route_attribute.w_name later.Route_attribute.weight
+                    earlier.Route_attribute.w_name
+                    earlier.Route_attribute.weight
+                else if capped then
+                  add ~rpa:block ~kind:`Route_attribute ~statement:name
+                    D.Info D.Analysis_capped
+                    "shadowing check of weight entry %S against %S hit the \
+                     state budget; a shadowed-statement finding may be \
+                     suppressed"
+                    later.Route_attribute.w_name
+                    earlier.Route_attribute.w_name)
             st.Route_attribute.next_hop_weights)
         st.Route_attribute.next_hop_weights)
     ra_stmts;
@@ -596,10 +644,13 @@ let plans_conflict a b =
   List.exists (fun c -> List.exists (Net.Community.equal c) tb) ta
   || prefix_overlap_pairs [ (0, pa); (1, pb) ] <> []
 
-(* Arm the controller's [?lint] gate and the verification suite's lint
-   pass: any binary linked against this library gets the analyzer. *)
+(* Arm the controller's [?lint] and [?verify] gates and the verification
+   suite's analysis passes: any binary linked against this library gets
+   the analyzer and the symbolic phase verifier. *)
 let () =
   Ops.set_conflict_probe plans_conflict;
+  Controller.set_verifier (fun net plan ->
+      Phase_verifier.findings (Phase_verifier.verify_network net plan));
   Controller.set_linter (fun graph plan ->
       List.map
         (fun d ->

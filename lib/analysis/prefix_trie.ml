@@ -94,6 +94,25 @@ let covered_by t p =
     in
     (match descend r with None -> [] | Some n -> collect n [])
 
+let longest_match t p =
+  match root_opt t p with
+  | None -> None
+  | Some r ->
+    (* Deepest node on the path to [p] holding at least one value; the
+       family root (/0 or ::/0) participates like any other node, so a
+       default route is matched when nothing more specific covers [p]. *)
+    let rec go node best =
+      let best = if node.values <> [] then Some node else best in
+      if Prefix.equal node.prefix p then best
+      else
+        let zero, _ = Prefix.subdivide node.prefix in
+        let child = if Prefix.contains zero p then node.lo else node.hi in
+        (match child with
+         | Some c when Prefix.contains c.prefix p -> go c best
+         | Some _ | None -> best)
+    in
+    Option.map (fun n -> (n.prefix, n.values)) (go r None)
+
 let overlapping t p =
   let above =
     List.filter (fun (q, _) -> not (Prefix.equal q p)) (covering t p)

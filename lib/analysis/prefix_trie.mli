@@ -22,3 +22,11 @@ val covered_by : 'a t -> Net.Prefix.t -> (Net.Prefix.t * 'a) list
 val overlapping : 'a t -> Net.Prefix.t -> (Net.Prefix.t * 'a) list
 (** Union of {!covering} and {!covered_by}; entries equal to the query
     appear once. Two prefixes overlap iff one contains the other. *)
+
+val longest_match : 'a t -> Net.Prefix.t -> (Net.Prefix.t * 'a list) option
+(** The longest-prefix-match entry for the query: the most specific stored
+    prefix containing it (the query itself included), with every value
+    added under that prefix in insertion order. A stored default route
+    (/0 or ::/0) matches any query of its family unless shadowed by a
+    more specific entry; families never cross-match. [None] when nothing
+    of the query's family covers it. *)

@@ -102,7 +102,7 @@ let default_cap = 4096
 (* BFS over the product of [machines]; [good] decides the verdict at each
    reachable state, [keep] prunes dead states, [on_cap] is the conservative
    answer when the visited-state budget runs out. *)
-let product_search ~cap ~good ~keep ~on_cap machines =
+let product_search_capped ~cap ~good ~keep ~on_cap machines =
   let reps = representatives machines in
   let start = List.map (fun m -> eps_closure m (Int_set.singleton m.P.sym_start)) machines in
   let visited = Hashtbl.create 64 in
@@ -111,10 +111,10 @@ let product_search ~cap ~good ~keep ~on_cap machines =
   Queue.add start queue;
   let rec loop () =
     if Queue.is_empty queue then None
-    else if Hashtbl.length visited >= cap then Some on_cap
+    else if Hashtbl.length visited >= cap then Some (on_cap, true)
     else begin
       let state = Queue.pop queue in
-      if good state then Some true
+      if good state then Some (true, false)
       else begin
         List.iter
           (fun token ->
@@ -132,19 +132,22 @@ let product_search ~cap ~good ~keep ~on_cap machines =
     end
   in
   (* [good] may already hold at the start state. *)
-  match loop () with Some v -> v | None -> false
+  match loop () with Some v -> v | None -> (false, false)
 
-let intersection_nonempty ?(cap = default_cap) machines =
+let intersection_nonempty_capped ?(cap = default_cap) machines =
   match machines with
-  | [] -> true
+  | [] -> (true, false)
   | _ ->
-    product_search ~cap ~on_cap:true machines
+    product_search_capped ~cap ~on_cap:true machines
       ~good:(fun state -> List.for_all2 accepts machines state)
       ~keep:(fun state -> List.for_all (fun s -> not (Int_set.is_empty s)) state)
 
-let subsumes ?(cap = default_cap) sup sub =
+let intersection_nonempty ?cap machines =
+  fst (intersection_nonempty_capped ?cap machines)
+
+let subsumes_capped ?(cap = default_cap) sup sub =
   match sup with
-  | [] -> true (* universal superset *)
+  | [] -> (true, false) (* universal superset *)
   | _ ->
     let n_sub = List.length sub in
     let machines = sub @ sup in
@@ -157,8 +160,8 @@ let subsumes ?(cap = default_cap) sup sub =
       go n_sub [] state
     in
     (* A counterexample is a word [sub] accepts but [sup] does not. *)
-    let counterexample =
-      product_search ~cap ~on_cap:true machines
+    let counterexample, capped =
+      product_search_capped ~cap ~on_cap:true machines
         ~good:(fun state ->
           let sub_part, sup_part = split state in
           List.for_all2 accepts sub sub_part
@@ -167,4 +170,6 @@ let subsumes ?(cap = default_cap) sup sub =
           let sub_part, _ = split state in
           List.for_all (fun s -> not (Int_set.is_empty s)) sub_part)
     in
-    not counterexample
+    (not counterexample, capped)
+
+let subsumes ?cap sup sub = fst (subsumes_capped ?cap sup sub)

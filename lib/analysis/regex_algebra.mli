@@ -45,3 +45,12 @@ val subsumes : ?cap:int -> machine list -> machine list -> bool
 (** [subsumes sup sub]: is the intersection language of [sub] contained in
     the intersection language of [sup]? Hitting [cap] returns [false]
     (cannot prove containment). *)
+
+val intersection_nonempty_capped : ?cap:int -> machine list -> bool * bool
+(** Like {!intersection_nonempty}, also reporting whether the state budget
+    was hit: [(verdict, capped)]. A [capped = true] verdict is the
+    conservative answer, so the caller can surface the suppression (an
+    [analysis-capped] diagnostic) instead of staying silent. *)
+
+val subsumes_capped : ?cap:int -> machine list -> machine list -> bool * bool
+(** Like {!subsumes}, also reporting whether the state budget was hit. *)

@@ -48,6 +48,15 @@ let linter_ref : (Topology.Graph.t -> plan -> lint_finding list) option ref =
 let set_linter f = linter_ref := Some f
 let linter () = !linter_ref
 
+(* The symbolic phase verifier registers here the same way. It needs the
+   network (not just the graph): the destination classes it proves things
+   about come from what the speakers actually originate. *)
+let verifier_ref : (Bgp.Network.t -> plan -> lint_finding list) option ref =
+  ref None
+
+let set_verifier f = verifier_ref := Some f
+let verifier () = !verifier_ref
+
 type device_failure = { failed_device : int; attempts : int; last_error : string }
 
 type report = {
@@ -182,6 +191,37 @@ let lint_gate ~lint t plan =
            else
              Logs.info (fun m ->
                  m "plan %s: lint %s: %s" plan.plan_name f.lint_code
+                   f.lint_message))
+         findings;
+       Ok ())
+
+(* Pre-flight symbolic verification pass: the phase verifier proves the
+   plan loop- and blackhole-free across every phase boundary and mixed
+   frontier before anything touches a device. Same contract as the lint
+   gate — [`Warn] logs findings, [`Enforce] refuses plans with
+   error-severity findings, no registered engine means no-op. *)
+let verify_gate ~verify t plan =
+  match (verify, !verifier_ref) with
+  | `Off, _ | _, None -> Ok ()
+  | ((`Warn | `Enforce) as mode), Some engine ->
+    let findings = engine t.net plan in
+    let errors = List.filter (fun f -> f.lint_error) findings in
+    (match mode with
+     | `Enforce when errors <> [] ->
+       Error
+         (List.map
+            (fun f -> Printf.sprintf "verify %s: %s" f.lint_code f.lint_message)
+            errors)
+     | _ ->
+       List.iter
+         (fun f ->
+           if f.lint_error then
+             Logs.warn (fun m ->
+                 m "plan %s: verify %s: %s" plan.plan_name f.lint_code
+                   f.lint_message)
+           else
+             Logs.info (fun m ->
+                 m "plan %s: verify %s: %s" plan.plan_name f.lint_code
                    f.lint_message))
          findings;
        Ok ())
@@ -684,7 +724,7 @@ let execute_deploy t plan ~policy ~fault ~fence ~jrng ~prog ~between_phases
 
 let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
     ?(between_phases = fun _ -> ()) ?(watchdog = fun _ -> `Ok) ?(lint = `Warn)
-    t plan =
+    ?(verify = `Warn) t plan =
   Obs.Span.with_span "controller.deploy"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
   @@ fun () ->
@@ -694,6 +734,9 @@ let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
     (match lint_gate ~lint t plan with
      | Error reasons -> Aborted reasons
      | Ok () ->
+    match verify_gate ~verify t plan with
+    | Error reasons -> Aborted reasons
+    | Ok () ->
     match Health.failures plan.pre_checks with
      | _ :: _ as failures -> Aborted (fmt_failures "pre-check" failures)
      | [] ->
@@ -728,7 +771,7 @@ let deploy_resilient ?(policy = default_retry_policy) ?fault ?fence
 
 let resume ?(policy = default_retry_policy) ?fault ?fence
     ?(between_phases = fun _ -> ()) ?(watchdog = fun _ -> `Ok) ?(lint = `Warn)
-    t plan =
+    ?(verify = `Warn) t plan =
   Obs.Span.with_span "controller.resume"
     ~attrs:(fun () -> [ ("plan", plan.plan_name) ])
   @@ fun () ->
@@ -752,6 +795,9 @@ let resume ?(policy = default_retry_policy) ?fault ?fence
      | Error e -> Aborted [ e ]
      | Ok () ->
      match lint_gate ~lint t plan with
+     | Error reasons -> Aborted reasons
+     | Ok () ->
+     match verify_gate ~verify t plan with
      | Error reasons -> Aborted reasons
      | Ok () ->
        let from_phase = Option.value (journal_next_phase t plan) ~default:0 in
@@ -784,8 +830,8 @@ let resume ?(policy = default_retry_policy) ?fault ?fence
              completed_phases = from_phase;
            })
 
-let deploy ?(lint = `Warn) t plan =
-  match deploy_resilient ~policy:single_shot_policy ~lint t plan with
+let deploy ?(lint = `Warn) ?(verify = `Warn) t plan =
+  match deploy_resilient ~policy:single_shot_policy ~lint ~verify t plan with
   | Completed report -> Ok report
   | Rolled_back { reasons; _ } -> Error reasons
   | Aborted reasons -> Error reasons

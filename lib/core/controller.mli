@@ -55,6 +55,23 @@ val linter : unit -> (Topology.Graph.t -> plan -> lint_finding list) option
 (** The registered engine, if any — e.g. for {!Verification} to run the
     analyzer over every spec's plan. *)
 
+(** {1 Verifier hook}
+
+    The symbolic phase verifier (lib/analysis) registers here the same
+    way. Unlike the linter it takes the network, not just the graph: the
+    destination classes it proves loop- and blackhole-freedom for come
+    from what the speakers actually originate. Deployments run it as a
+    second pre-flight gate controlled by [?verify] (same modes and
+    default as [?lint]). *)
+
+val set_verifier : (Bgp.Network.t -> plan -> lint_finding list) -> unit
+(** Registers the phase-verifier engine. Called by the analysis library's
+    initializer; the last registration wins. *)
+
+val verifier : unit -> (Bgp.Network.t -> plan -> lint_finding list) option
+(** The registered verifier, if any — e.g. for {!Verification} and
+    {!Ops} admission control. *)
+
 type device_failure = {
   failed_device : int;
   attempts : int;
@@ -145,7 +162,9 @@ val epoch_writes : t -> (float * int) list
 val services : t -> Service.t list
 (** All service tasks of this controller deployment (for Figure 11). *)
 
-val deploy : ?lint:lint_mode -> t -> plan -> (report, string list) result
+val deploy :
+  ?lint:lint_mode -> ?verify:lint_mode -> t -> plan ->
+  (report, string list) result
 (** Single-shot deployment (one attempt per device, no failure budget):
     pre-checks (failures abort with their messages), write intended state,
     reconcile phase by phase letting the network converge after each
@@ -160,6 +179,7 @@ val deploy_resilient :
   ?between_phases:(int -> unit) ->
   ?watchdog:(int -> [ `Ok | `Breach of string list ]) ->
   ?lint:lint_mode ->
+  ?verify:lint_mode ->
   t ->
   plan ->
   outcome
@@ -192,6 +212,7 @@ val resume :
   ?between_phases:(int -> unit) ->
   ?watchdog:(int -> [ `Ok | `Breach of string list ]) ->
   ?lint:lint_mode ->
+  ?verify:lint_mode ->
   t ->
   plan ->
   outcome

@@ -24,6 +24,7 @@ type overload_reason =
   | Queue_full of { limit : int }
   | Tenant_limit of { tenant : string; limit : int }
   | Class_limit of { cls : plan_class; limit : int }
+  | Unsafe_plan of { errors : string list }
 
 let overload_reason_to_string = function
   | Queue_full { limit } -> Printf.sprintf "queue-full(%d)" limit
@@ -31,6 +32,9 @@ let overload_reason_to_string = function
     Printf.sprintf "tenant-limit(%s,%d)" tenant limit
   | Class_limit { cls; limit } ->
     Printf.sprintf "class-limit(%s,%d)" (class_name cls) limit
+  | Unsafe_plan { errors } ->
+    Printf.sprintf "unsafe-plan(%d:%s)" (List.length errors)
+      (match errors with e :: _ -> e | [] -> "")
 
 type admit_result = Admitted of int | Overloaded of overload_reason
 
@@ -103,6 +107,23 @@ let plans_conflict a b =
   | Some probe -> probe a b
   | None -> device_overlap a b
 
+(* {1 Admission verification}
+
+   The admission probe rejects provably-unsafe plans before they consume
+   a queue slot: whoever owns the target network binds the symbolic phase
+   verifier ({!Controller.verifier}) to it and registers the closure
+   here. No registration means no safety screening (admission control
+   stays purely capacity-based). *)
+
+let admission_verifier_ref : (Controller.plan -> string list) option ref =
+  ref None
+
+let set_admission_verifier f = admission_verifier_ref := Some f
+let clear_admission_verifier () = admission_verifier_ref := None
+
+let admission_errors plan =
+  match !admission_verifier_ref with None -> [] | Some probe -> probe plan
+
 (* {1 Admission} *)
 
 let active t = List.filter (fun e -> e.e_state <> Done) t.entries
@@ -130,6 +151,11 @@ let submit t ~tenant ~cls plan =
     record_shed t ~tenant ~plan_name reason;
     Overloaded reason
   in
+  (* Safety first: an unsafe plan is rejected whatever the queue looks
+     like, so the shed audit names the plan's defects, not the load. *)
+  match admission_errors plan with
+  | _ :: _ as errors -> shed (Unsafe_plan { errors })
+  | [] ->
   if List.length live >= t.config.max_queue then
     shed (Queue_full { limit = t.config.max_queue })
   else if

@@ -40,6 +40,10 @@ type overload_reason =
   | Queue_full of { limit : int }
   | Tenant_limit of { tenant : string; limit : int }
   | Class_limit of { cls : plan_class; limit : int }
+  | Unsafe_plan of { errors : string list }
+      (** the registered admission verifier proved the plan unsafe
+          (forwarding loop, blackhole or reachability loss in some
+          deployment state); rejected before consuming any queue slot *)
 
 val overload_reason_to_string : overload_reason -> string
 
@@ -76,11 +80,13 @@ val recover :
 
 val submit :
   t -> tenant:string -> cls:plan_class -> Controller.plan -> admit_result
-(** Admission control. Checked in order: {!config.max_queue}, then
-    {!config.per_tenant}, then {!config.per_class}; the first exceeded
-    limit sheds the submission with its typed reason and an
-    [opsq_meta/shed] audit record. Admission journals the entry before
-    returning, so a takeover between submit and start loses nothing. *)
+(** Admission control. Checked in order: the admission verifier (an
+    unsafe plan is shed with {!Unsafe_plan} whatever the queue looks
+    like), then {!config.max_queue}, {!config.per_tenant},
+    {!config.per_class}; the first exceeded limit sheds the submission
+    with its typed reason and an [opsq_meta/shed] audit record. Admission
+    journals the entry before returning, so a takeover between submit and
+    start loses nothing. *)
 
 val next_ready : t -> (int * Controller.plan) option
 (** The entry to run next: a [started] entry left behind by a crashed
@@ -124,6 +130,17 @@ val set_conflict_probe :
 val plans_conflict : Controller.plan -> Controller.plan -> bool
 (** The conflict predicate in force: the registered probe, or the
     built-in check (plans sharing a target device conflict). *)
+
+val set_admission_verifier : (Controller.plan -> string list) -> unit
+(** Registers the admission safety probe: given a plan, return the
+    error-severity verification findings (empty = safe to queue).
+    Typically bound by the queue's owner as
+    [fun plan -> errors of (Controller.verifier ()) net plan] against the
+    network the queue deploys to; unregistered, admission stays purely
+    capacity-based. *)
+
+val clear_admission_verifier : unit -> unit
+(** Removes the admission safety probe (tests; queue re-targeting). *)
 
 (** {1 The runtime watchdog}
 

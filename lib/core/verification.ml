@@ -41,6 +41,26 @@ let qualify spec =
       { outcome_name = spec.spec_name; deployed = false;
         intent_failures = []; errors = lint_errors }
     else
+    (* Then the symbolic phase verifier: a plan with a provable forwarding
+       loop, blackhole or reachability loss in any deployment state fails
+       qualification before anything is deployed. *)
+    let verify_errors =
+      match Controller.verifier () with
+      | None -> []
+      | Some engine ->
+        List.filter_map
+          (fun f ->
+            if f.Controller.lint_error then
+              Some
+                (Printf.sprintf "verify %s: %s" f.Controller.lint_code
+                   f.Controller.lint_message)
+            else None)
+          (engine net plan)
+    in
+    if verify_errors <> [] then
+      { outcome_name = spec.spec_name; deployed = false;
+        intent_failures = []; errors = verify_errors }
+    else
     let controller = Controller.create net in
     (match Controller.deploy controller plan with
      | Error errors ->

@@ -29,9 +29,11 @@ val passed : outcome -> bool
 
 val qualify : spec -> outcome
 (** Builds the spec, runs the registered static analyzer (see
-    {!Controller.set_linter}) over its plan — error-severity findings fail
-    qualification before anything is deployed — then deploys through the
-    real controller and evaluates the intent checks. *)
+    {!Controller.set_linter}) and the registered symbolic phase verifier
+    (see {!Controller.set_verifier}) over its plan — error-severity
+    findings from either fail qualification before anything is deployed —
+    then deploys through the real controller and evaluates the intent
+    checks. *)
 
 val qualify_all : spec list -> outcome list
 

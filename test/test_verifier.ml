@@ -1,0 +1,519 @@
+(* Tests for the symbolic phase verifier (lib/analysis): planted-defect
+   detection with counterexample paths, zero false positives on the
+   standard qualification suite, agreement with the runtime invariant
+   checker, deterministic JSON, delta-net incrementality, and the wiring
+   into the controller gate, the qualification suite and Ops admission. *)
+
+open Centralium
+module D = Analysis.Diagnostic
+module PV = Analysis.Phase_verifier
+module Eq = Analysis.Eq_class
+module FM = Analysis.Fwd_model
+
+let quick name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.(check bool) msg
+let check_int msg = Alcotest.(check int) msg
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let asn = Net.Asn.of_int
+let p4 = Net.Prefix.v4
+
+let tagged_attr () =
+  Net.Attr.make
+    ~communities:
+      (Net.Community.Set.singleton
+         Net.Community.Well_known.backbone_default_route)
+    ()
+
+(* The corpus plants, rebuilt here so the tests can inspect the raw
+   violations (the corpus only exposes diagnostics). *)
+
+let add_nodes g specs =
+  List.iter
+    (fun (id, name, layer) ->
+      Topology.Graph.add_node g (Topology.Node.make ~id ~name ~layer ()))
+    specs
+
+let diamond_graph ~feeder () =
+  let g = Topology.Graph.create () in
+  add_nodes g
+    ([
+       (0, "eb0", Topology.Node.Eb);
+       (1, "fa1", Topology.Node.Fa);
+       (2, "fa2", Topology.Node.Fa);
+     ]
+    @ if feeder then [ (3, "fsw3", Topology.Node.Fsw) ] else []);
+  Topology.Graph.add_link g 0 1;
+  Topology.Graph.add_link g 0 2;
+  Topology.Graph.add_link g 1 2;
+  if feeder then begin
+    Topology.Graph.add_link g 1 3;
+    Topology.Graph.add_link g 2 3
+  end;
+  g
+
+let slice_graph () =
+  let g = Topology.Graph.create () in
+  add_nodes g
+    [
+      (0, "eb0", Topology.Node.Eb);
+      (1, "fa1", Topology.Node.Fa);
+      (2, "fa2", Topology.Node.Fa);
+      (3, "fsw3", Topology.Node.Fsw);
+    ];
+  Topology.Graph.add_link g 0 1;
+  Topology.Graph.add_link g 0 2;
+  Topology.Graph.add_link g 1 3;
+  Topology.Graph.add_link g 2 3;
+  g
+
+let mutual_steer_rpa ~via =
+  Rpa.make ~advertise_least_favorable:false
+    ~path_selection:
+      [
+        Path_selection.make
+          [
+            Path_selection.statement ~name:"steer-via-peer"
+              ~path_sets:
+                [
+                  Path_selection.path_set ~name:"peer"
+                    (Signature.make ~neighbor_asns:[ asn via ] ());
+                ]
+              Destination.backbone_default;
+          ];
+      ]
+    ()
+
+let mnh_guard_rpa () =
+  Rpa.make
+    ~path_selection:
+      [
+        Path_selection.make
+          [
+            Path_selection.statement ~name:"native-guard"
+              ~bgp_native_min_next_hop:(Path_selection.Count 2)
+              Destination.backbone_default;
+          ];
+      ]
+    ()
+
+let deny_default_egress_rpa () =
+  Rpa.make
+    ~route_filter:
+      [
+        Route_filter.make
+          [
+            Route_filter.statement ~name:"deny-default-egress"
+              ~egress:
+                (Route_filter.Allow_list
+                   [ Route_filter.prefix_rule (p4 192 168 0 0 16) ])
+              Route_filter.any_peer;
+          ];
+      ]
+    ()
+
+let benign_rpa () =
+  Rpa.make
+    ~path_selection:
+      [
+        Path_selection.make
+          [
+            Path_selection.statement ~name:"steer"
+              ~path_sets:
+                [
+                  Path_selection.path_set ~name:"via-upstream"
+                    (Signature.make ~neighbor_asns:[ asn 64512 ] ());
+                ]
+              (Destination.Tagged (Net.Community.make 65000 1));
+          ];
+      ]
+    ()
+
+let plan ~name ~rpas ~phases =
+  { Controller.plan_name = name; rpas; phases; pre_checks = [];
+    post_checks = [] }
+
+let loop_plan () =
+  plan ~name:"loop-plant"
+    ~rpas:[ (1, mutual_steer_rpa ~via:64514); (2, mutual_steer_rpa ~via:64513) ]
+    ~phases:[ [ 1; 2 ] ]
+
+let blackhole_plan () =
+  plan ~name:"blackhole-plant"
+    ~rpas:
+      [ (3, mnh_guard_rpa ()); (1, benign_rpa ());
+        (2, deny_default_egress_rpa ()) ]
+    ~phases:[ [ 3 ]; [ 1; 2 ] ]
+
+(* ---------------- planted defects ---------------- *)
+
+let test_plants_all_detected () =
+  let results = Analysis.Corpus.run_verifier () in
+  check_int "three plants" 3 (List.length results);
+  check_bool "all detected" true (Analysis.Corpus.all_detected results);
+  List.iter
+    (fun r ->
+      check_bool (r.Analysis.Corpus.r_case ^ " is an error") true
+        (List.exists
+           (fun d ->
+             d.D.code = r.Analysis.Corpus.r_expect && d.D.severity = D.Error)
+           r.Analysis.Corpus.r_findings))
+    results
+
+let test_loop_counterexample () =
+  let r = PV.verify (diamond_graph ~feeder:false ()) (loop_plan ()) in
+  let loops =
+    List.filter (fun v -> v.PV.v_code = D.Forwarding_loop_static)
+      r.PV.vr_violations
+  in
+  check_bool "loop found" true (loops <> []);
+  List.iter
+    (fun v ->
+      check_bool "cycle path closes" true
+        (List.length v.PV.v_path >= 3
+        && List.hd v.PV.v_path = List.nth v.PV.v_path
+             (List.length v.PV.v_path - 1)))
+    loops;
+  check_bool "loop is at the phase boundary" true
+    (List.exists (fun v -> v.PV.v_state = "phase 1") loops);
+  check_bool "mutual steer oscillates" false r.PV.vr_converged
+
+let test_blackhole_at_frontier () =
+  let r = PV.verify (slice_graph ()) (blackhole_plan ()) in
+  let holes =
+    List.filter (fun v -> v.PV.v_code = D.Blackhole_static) r.PV.vr_violations
+  in
+  check_bool "blackhole found" true (holes <> []);
+  check_bool "anchored at the guarded device" true
+    (List.for_all (fun v -> v.PV.v_device = 3) holes);
+  (* the defect is live before the phase completes: the verifier must see
+     it on the single-device frontier where only the deny filter is in *)
+  check_bool "caught on a mixed frontier" true
+    (List.exists
+       (fun v -> contains_sub ~sub:"frontier device 2" v.PV.v_state)
+       holes);
+  (* counterexample: a surviving physical path from the hole to the origin *)
+  List.iter
+    (fun v ->
+      check_bool "path starts at the hole" true (List.hd v.PV.v_path = 3);
+      check_bool "path ends at the origin" true
+        (List.nth v.PV.v_path (List.length v.PV.v_path - 1) = 0))
+    holes
+
+let test_reachability_loss_feeder () =
+  let r = PV.verify (diamond_graph ~feeder:true ()) (loop_plan ()) in
+  let losses =
+    List.filter (fun v -> v.PV.v_code = D.Reachability_loss) r.PV.vr_violations
+  in
+  check_bool "loss found" true (losses <> []);
+  check_bool "at the feeder, not the looping pair" true
+    (List.exists (fun v -> v.PV.v_device = 3) losses);
+  List.iter
+    (fun v -> check_bool "walk recorded" true (List.length v.PV.v_path >= 2))
+    losses
+
+(* ---------------- zero false positives ---------------- *)
+
+let test_standard_suite_clean () =
+  List.iter
+    (fun spec ->
+      let net, plan_v, _ = spec.Verification.build () in
+      let r = PV.verify_network net plan_v in
+      check_bool
+        (spec.Verification.spec_name ^ " verifies clean")
+        true
+        (not (List.exists (fun d -> d.D.severity = D.Error) r.PV.vr_diagnostics));
+      check_bool (spec.Verification.spec_name ^ " converges") true
+        r.PV.vr_converged)
+    (Verification.standard_suite ())
+
+(* ---------------- runtime agreement ---------------- *)
+
+let test_runtime_invariant_agreement () =
+  (* Static verdict: blackhole at device 3 in the final state. *)
+  let r = PV.verify (slice_graph ()) (blackhole_plan ()) in
+  check_bool "static blackhole in the end state" true
+    (List.exists
+       (fun v -> v.PV.v_code = D.Blackhole_static && v.PV.v_state = "phase 2")
+       r.PV.vr_violations);
+  (* Runtime verdict at the same end state: deploy the plan for real (gates
+     off) and sweep the converged network with the invariant checker. *)
+  let net = Bgp.Network.create ~seed:7 (slice_graph ()) in
+  Bgp.Network.originate net 0 Net.Prefix.default_v4 (tagged_attr ());
+  ignore (Bgp.Network.converge net);
+  let controller = Controller.create net in
+  (match Controller.deploy ~lint:`Off ~verify:`Off controller (blackhole_plan ()) with
+   | Ok _ -> ()
+   | Error es -> Alcotest.failf "deploy failed: %s" (String.concat "; " es));
+  ignore (Bgp.Network.converge net);
+  let violations = Invariant.check ~prefixes:[ Net.Prefix.default_v4 ] net in
+  check_bool "runtime sweep agrees: blackhole at device 3" true
+    (List.exists
+       (fun (v : Invariant.violation) ->
+         v.Invariant.kind = Invariant.Blackhole && v.Invariant.device = Some 3)
+       violations)
+
+(* ---------------- determinism ---------------- *)
+
+let test_json_byte_identical () =
+  let render () =
+    Obs.Json.to_string
+      (PV.report_json (PV.verify (slice_graph ()) (blackhole_plan ())))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical reports" a b
+
+(* ---------------- incrementality ---------------- *)
+
+let test_incremental_reuse () =
+  let g = diamond_graph ~feeder:false () in
+  let origins =
+    [
+      { PV.org_device = 0; org_prefix = Net.Prefix.default_v4;
+        org_attr = tagged_attr () };
+      { PV.org_device = 0; org_prefix = p4 10 0 0 0 8;
+        org_attr = Net.Attr.make () };
+    ]
+  in
+  let steer_10 =
+    Rpa.make
+      ~path_selection:
+        [
+          Path_selection.make
+            [
+              Path_selection.statement ~name:"steer-10"
+                ~path_sets:
+                  [
+                    Path_selection.path_set ~name:"via-eb"
+                      (Signature.make ~neighbor_asns:[ asn 64512 ] ());
+                  ]
+                (Destination.Prefixes [ p4 10 0 0 0 8 ]);
+            ];
+        ]
+      ()
+  in
+  let plan_v =
+    plan ~name:"inc" ~rpas:[ (1, steer_10); (2, steer_10) ]
+      ~phases:[ [ 1 ]; [ 2 ] ]
+  in
+  let r = PV.verify ~origins g plan_v in
+  check_int "two classes" 2 r.PV.vr_classes;
+  check_bool "clean" true (r.PV.vr_violations = []);
+  (* only the 10/8 class recompiles per phase; the default class carries *)
+  check_int "compiled" 4 r.PV.vr_compiled;
+  check_int "reused" 2 r.PV.vr_reused;
+  (* reuse is sound: recompiling the untouched class under the deployed
+     engines yields the identical forwarding model *)
+  let clss =
+    Eq.classes
+      (List.map (fun o -> (o.PV.org_device, o.PV.org_prefix, o.PV.org_attr))
+         origins)
+  in
+  let dflt =
+    List.find (fun c -> Net.Prefix.is_default c.Eq.cls_prefix) clss
+  in
+  check_bool "delta does not touch the default class" true
+    (Eq.touched_by clss ~rpas:[ (1, steer_10) ]
+    |> List.for_all (fun c -> not (Net.Prefix.is_default c.Eq.cls_prefix)));
+  let eng = Engine.create steer_10 in
+  let base = FM.compile g ~engine_of:(fun _ -> None) ~cls:dflt in
+  let after =
+    FM.compile g
+      ~engine_of:(fun d -> if d = 1 || d = 2 then Some eng else None)
+      ~cls:dflt
+  in
+  check_bool "untouched model identical" true (FM.equal base after)
+
+(* ---------------- prefix-trie properties vs a naive oracle ------------ *)
+
+module Trie = Analysis.Prefix_trie
+module Prefix = Net.Prefix
+
+(* Mixed-family generator biased toward collisions: octets from a small
+   alphabet, masks 0..24 — /0 and the v6 root are reachable outcomes, not
+   corner cases bolted on. *)
+let prefix_gen =
+  QCheck.Gen.(
+    let oct = oneofl [ 0; 10; 128; 192; 255 ] in
+    let v4 =
+      map3 (fun a b len -> Prefix.v4 a b 0 0 len) oct oct (int_bound 24)
+    in
+    let v6 =
+      map2
+        (fun x len -> Prefix.v6 ~hi:(Int64.shift_left (Int64.of_int x) 48) ~lo:0L len)
+        (oneofl [ 0; 1; 0x20; 0xfe ])
+        (int_bound 16)
+    in
+    frequency [ (3, v4); (1, v6) ])
+
+let universe_gen = QCheck.Gen.(list_size (int_range 1 20) prefix_gen)
+
+let universe_arb =
+  QCheck.make
+    ~print:(fun ps -> String.concat " " (List.map Prefix.to_string ps))
+    universe_gen
+
+(* Entries tagged with their insertion index so the oracle can reproduce
+   the trie's value ordering exactly. *)
+let build ps =
+  let t = Trie.create () in
+  List.iteri (fun i p -> Trie.add t p i) ps;
+  t
+
+let indexed ps = List.mapi (fun i p -> (p, i)) ps
+
+let sort_entries l =
+  List.sort
+    (fun (p, i) (q, j) ->
+      match Prefix.compare p q with 0 -> Int.compare i j | c -> c)
+    l
+
+let same_entries a b = sort_entries a = sort_entries b
+
+let queries ps = Prefix.default_v4 :: Prefix.default_v6 :: ps
+
+let trie_qcheck =
+  let mk name prop =
+    QCheck.Test.make ~name ~count:300 universe_arb (fun ps ->
+        List.for_all (fun q -> prop (build ps) (indexed ps) q) (queries ps))
+  in
+  [
+    mk "covering = linear scan" (fun t entries q ->
+        let oracle = List.filter (fun (p, _) -> Prefix.contains p q) entries in
+        let got = Trie.covering t q in
+        let masks = List.map (fun (p, _) -> Prefix.mask_length p) got in
+        same_entries got oracle
+        (* and the documented order: shortest mask first *)
+        && List.sort Int.compare masks = masks);
+    mk "covered_by = linear scan" (fun t entries q ->
+        same_entries (Trie.covered_by t q)
+          (List.filter (fun (p, _) -> Prefix.contains q p) entries));
+    mk "overlapping = linear scan" (fun t entries q ->
+        same_entries (Trie.overlapping t q)
+          (List.filter
+             (fun (p, _) -> Prefix.contains p q || Prefix.contains q p)
+             entries));
+    mk "longest_match = linear scan" (fun t entries q ->
+        let covers = List.filter (fun (p, _) -> Prefix.contains p q) entries in
+        match Trie.longest_match t q with
+        | None -> covers = []
+        | Some (p, vs) ->
+          List.exists (fun (c, _) -> Prefix.equal c p) covers
+          && List.for_all
+               (fun (c, _) -> Prefix.mask_length c <= Prefix.mask_length p)
+               covers
+          && vs
+             = List.filter_map
+                 (fun (c, i) -> if Prefix.equal c p then Some i else None)
+                 entries);
+  ]
+
+(* ---------------- wiring ---------------- *)
+
+let test_controller_enforce_gate () =
+  let net = Bgp.Network.create ~seed:11 (diamond_graph ~feeder:false ()) in
+  Bgp.Network.originate net 0 Net.Prefix.default_v4 (tagged_attr ());
+  ignore (Bgp.Network.converge net);
+  let controller = Controller.create net in
+  (match Controller.deploy ~lint:`Off ~verify:`Enforce controller (loop_plan ()) with
+   | Ok _ -> Alcotest.fail "enforce gate let a looping plan through"
+   | Error reasons ->
+     check_bool "names the loop" true
+       (List.exists (contains_sub ~sub:"verify forwarding-loop") reasons));
+  (* a safe plan clears the same gate: Enforce blocks defects, not deploys *)
+  match
+    Controller.deploy ~lint:`Off ~verify:`Enforce controller
+      (plan ~name:"benign" ~rpas:[ (1, benign_rpa ()) ] ~phases:[ [ 1 ] ])
+  with
+  | Ok _ -> ()
+  | Error es -> Alcotest.failf "benign deploy blocked: %s" (String.concat "; " es)
+
+let test_qualification_verify_pass () =
+  let spec =
+    {
+      Verification.spec_name = "planted loop";
+      build =
+        (fun () ->
+          let net = Bgp.Network.create ~seed:13 (diamond_graph ~feeder:false ()) in
+          Bgp.Network.originate net 0 Net.Prefix.default_v4 (tagged_attr ());
+          ignore (Bgp.Network.converge net);
+          (net, loop_plan (), []));
+    }
+  in
+  let o = Verification.qualify spec in
+  check_bool "qualification fails" false (Verification.passed o);
+  check_bool "nothing deployed" false o.Verification.deployed;
+  check_bool "verifier error surfaced" true
+    (List.exists (contains_sub ~sub:"verify forwarding-loop")
+       o.Verification.errors)
+
+let test_ops_admission_rejects_unsafe () =
+  let net = Bgp.Network.create ~seed:17 (diamond_graph ~feeder:false ()) in
+  Bgp.Network.originate net 0 Net.Prefix.default_v4 (tagged_attr ());
+  ignore (Bgp.Network.converge net);
+  Ops.set_admission_verifier (fun plan_v ->
+      match Controller.verifier () with
+      | None -> []
+      | Some engine ->
+        List.filter_map
+          (fun f ->
+            if f.Controller.lint_error then
+              Some
+                (Printf.sprintf "%s: %s" f.Controller.lint_code
+                   f.Controller.lint_message)
+            else None)
+          (engine net plan_v));
+  Fun.protect ~finally:Ops.clear_admission_verifier @@ fun () ->
+  let q = Ops.create (Nsdb.Replicated.create ~replicas:2) in
+  (match Ops.submit q ~tenant:"mig" ~cls:Ops.Standard (loop_plan ()) with
+   | Ops.Overloaded (Ops.Unsafe_plan { errors }) ->
+     check_bool "reasons recorded" true (errors <> []);
+     check_bool "loop named" true
+       (List.exists (contains_sub ~sub:"forwarding-loop") errors)
+   | Ops.Overloaded _ -> Alcotest.fail "shed for the wrong reason"
+   | Ops.Admitted _ -> Alcotest.fail "unsafe plan admitted");
+  check_bool "rejected before consuming a slot" true (Ops.depth q = 0);
+  check_bool "shed audit recorded" true
+    (List.exists
+       (fun (_, _, name, detail) ->
+         name = "loop-plant" && contains_sub ~sub:"unsafe-plan" detail)
+       (Ops.shed_log q));
+  (* a safe plan from the same queue still admits *)
+  match
+    Ops.submit q ~tenant:"mig" ~cls:Ops.Standard
+      (plan ~name:"benign" ~rpas:[ (1, benign_rpa ()) ] ~phases:[ [ 1 ] ])
+  with
+  | Ops.Admitted _ -> ()
+  | Ops.Overloaded r ->
+    Alcotest.failf "benign plan shed: %s" (Ops.overload_reason_to_string r)
+
+let () =
+  Alcotest.run "verifier"
+    [
+      ( "plants",
+        [
+          quick "all detected as errors" test_plants_all_detected;
+          quick "loop counterexample" test_loop_counterexample;
+          quick "blackhole at frontier" test_blackhole_at_frontier;
+          quick "reachability loss at feeder" test_reachability_loss_feeder;
+        ] );
+      ( "soundness",
+        [
+          quick "standard suite clean" test_standard_suite_clean;
+          quick "runtime invariant agreement" test_runtime_invariant_agreement;
+        ] );
+      ( "determinism", [ quick "json byte-identical" test_json_byte_identical ] );
+      ( "prefix-trie",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) trie_qcheck );
+      ( "incremental", [ quick "delta-net reuse" test_incremental_reuse ] );
+      ( "wiring",
+        [
+          quick "controller enforce gate" test_controller_enforce_gate;
+          quick "qualification verify pass" test_qualification_verify_pass;
+          quick "ops admission rejects unsafe" test_ops_admission_rejects_unsafe;
+        ] );
+    ]
